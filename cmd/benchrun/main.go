@@ -1,0 +1,82 @@
+// Command benchrun regenerates the paper's evaluation tables and figures
+// (Sec. 7) on synthetic WatDiv data:
+//
+//	-exp load       Table 2  (load times and store sizes)
+//	-exp st         Fig. 13 / Table 3 (Selectivity Testing, ExtVP vs VP)
+//	-exp basic      Fig. 14 / Table 4 (Basic Testing across all systems)
+//	-exp il         Fig. 15 / Table 5 (Incremental Linear Testing)
+//	-exp threshold  Table 6 / Fig. 16 (SF threshold sweep)
+//	-exp joinorder  Sec. 6.2 ablation (Algorithm 4 vs Algorithm 3)
+//	-exp oo         Sec. 5.2 ablation (OO-correlation omission)
+//	-exp bitvec     Sec. 8 future work (bit-vector ExtVP + unification)
+//	-exp scaling    Table 4 scale axis (Basic means vs dataset size)
+//	-exp all        everything
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"s2rdf/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchrun: ")
+	exp := flag.String("exp", "all", "experiment: load, st, basic, il, threshold, joinorder, oo, bitvec, scaling, all")
+	scale := flag.Float64("scale", 0.2, "WatDiv scale factor (1 ≈ 10^5 triples)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	runs := flag.Int("runs", 3, "instantiations per query template")
+	timeout := flag.Duration("timeout", 120*time.Second, "per-query timeout (timed-out entries print F)")
+	engines := flag.String("engines", "", "comma-separated engine subset (default all)")
+	flag.Parse()
+
+	tmp, err := os.MkdirTemp("", "s2rdf-bench-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	cfg := bench.Config{
+		Scale:   *scale,
+		Seed:    *seed,
+		Runs:    *runs,
+		Timeout: *timeout,
+		TmpDir:  tmp,
+		Out:     os.Stdout,
+	}
+	if *engines != "" {
+		cfg.Engines = strings.Split(*engines, ",")
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	run("load", func() error {
+		_, err := bench.RunLoad(cfg, []float64{*scale / 4, *scale / 2, *scale})
+		return err
+	})
+	run("st", func() error { _, err := bench.RunST(cfg); return err })
+	run("basic", func() error { _, err := bench.RunBasic(cfg); return err })
+	run("il", func() error { _, err := bench.RunIL(cfg); return err })
+	run("threshold", func() error {
+		_, err := bench.RunThreshold(cfg, []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
+		return err
+	})
+	run("joinorder", func() error { _, err := bench.RunJoinOrder(cfg); return err })
+	run("oo", func() error { _, err := bench.RunOO(cfg); return err })
+	run("bitvec", func() error { _, err := bench.RunBitVec(cfg); return err })
+	run("scaling", func() error {
+		_, err := bench.RunScaling(cfg, []float64{*scale / 4, *scale / 2, *scale, *scale * 2})
+		return err
+	})
+}

@@ -1,0 +1,182 @@
+// Command s2rdf loads RDF data into the ExtVP store and answers SPARQL
+// queries, mirroring the load/query workflow of the paper's prototype.
+//
+// Subcommands:
+//
+//	s2rdf load  -in data.nt -store ./storedir [-threshold 0.25]
+//	s2rdf query -store ./storedir [-mode ExtVP] [-explain] 'SELECT ...'
+//	s2rdf stats -store ./storedir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"s2rdf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("s2rdf: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "load":
+		cmdLoad(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  s2rdf load  -in data.nt -store DIR [-threshold T] [-novp]
+  s2rdf query -store DIR [-mode ExtVP|VP|TT|PT] [-explain] 'SPARQL'
+  s2rdf stats -store DIR`)
+	os.Exit(2)
+}
+
+func cmdLoad(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	in := fs.String("in", "", "input N-Triples file")
+	dir := fs.String("store", "", "store directory")
+	threshold := fs.Float64("threshold", 0, "SF threshold (0 = keep all useful tables)")
+	noExt := fs.Bool("novp", false, "skip ExtVP preprocessing (plain VP store)")
+	bitvec := fs.Bool("bitvec", false, "store ExtVP reductions as bit vectors (paper Sec. 8)")
+	fs.Parse(args)
+	if *in == "" || *dir == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	st, err := s2rdf.LoadReader(f, s2rdf.Options{
+		Threshold:    *threshold,
+		DisableExtVP: *noExt,
+		BitVectors:   *bitvec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+	if err := st.Save(*dir); err != nil {
+		log.Fatal(err)
+	}
+	sizes := st.Sizes()
+	fmt.Printf("loaded %d triples in %v\n", sizes.Triples, buildTime.Round(time.Millisecond))
+	fmt.Printf("VP tables: %d, ExtVP tables: %d (%d tuples), empty: %d, =VP: %d\n",
+		sizes.VPTables, sizes.ExtTables, sizes.ExtTuples, sizes.ExtEmpty, sizes.ExtEqualVP)
+	fmt.Printf("store written to %s\n", *dir)
+}
+
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dir := fs.String("store", "", "store directory")
+	mode := fs.String("mode", "ExtVP", "execution mode: ExtVP, VP, TT or PT")
+	explain := fs.Bool("explain", false, "print the selected tables per pattern")
+	fs.Parse(args)
+	if *dir == "" || fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	st, err := s2rdf.Open(*dir, s2rdf.Options{BuildPropertyTable: strings.EqualFold(*mode, "PT")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m s2rdf.Mode
+	switch strings.ToUpper(*mode) {
+	case "EXTVP":
+		m = s2rdf.ModeExtVP
+	case "VP":
+		m = s2rdf.ModeVP
+	case "TT":
+		m = s2rdf.ModeTT
+	case "PT":
+		m = s2rdf.ModePT
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	res, err := st.QueryMode(m, fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *explain {
+		fmt.Println("# plan:")
+		for _, p := range res.Plan {
+			fmt.Printf("#   %-40s -> %s (rows %d, SF %.2f)\n", p.Pattern, p.Table, p.Rows, p.SF)
+		}
+		if res.StatsOnly {
+			fmt.Println("#   answered from statistics only (no execution)")
+		}
+	}
+	fmt.Println(strings.Join(res.Vars, "\t"))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, t := range row {
+			parts[i] = string(t)
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	fmt.Fprintf(os.Stderr, "%d solutions in %v (scanned %d rows, shuffled %d)\n",
+		res.Len(), res.Duration.Round(time.Microsecond),
+		res.Metrics.RowsScanned, res.Metrics.RowsShuffled)
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	dir := fs.String("store", "", "store directory")
+	top := fs.Int("top", 15, "number of largest tables to list")
+	fs.Parse(args)
+	if *dir == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	st, err := s2rdf.Open(*dir, s2rdf.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes := st.Sizes()
+	fmt.Printf("triples:        %d\n", sizes.Triples)
+	fmt.Printf("VP tables:      %d\n", sizes.VPTables)
+	fmt.Printf("ExtVP tables:   %d (%d tuples)\n", sizes.ExtTables, sizes.ExtTuples)
+	fmt.Printf("empty:          %d\n", sizes.ExtEmpty)
+	fmt.Printf("equal to VP:    %d\n", sizes.ExtEqualVP)
+	fmt.Printf("cut by SF TH:   %d\n", sizes.ExtCut)
+	fmt.Printf("total tuples:   %d (%.1fx the input)\n", sizes.TotalTuples,
+		float64(sizes.TotalTuples)/float64(sizes.Triples))
+
+	ds := st.Dataset()
+	type entry struct {
+		name string
+		rows int
+	}
+	var entries []entry
+	for p, tbl := range ds.VP {
+		entries = append(entries, entry{tbl.Name, ds.VPRows[p]})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].rows > entries[j].rows })
+	fmt.Printf("\nlargest VP tables:\n")
+	for i, e := range entries {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %-40s %8d rows (%.2f of |G|)\n", e.name, e.rows,
+			float64(e.rows)/float64(sizes.Triples))
+	}
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"s2rdf/internal/core"
+	"s2rdf/internal/layout"
+	"s2rdf/internal/watdiv"
+)
+
+// ScalingRow is one (scale, mode) point of the data-scalability sweep: the
+// scale axis of the paper's Table 4 (SF10 → SF10000), which the other
+// experiments hold fixed.
+type ScalingRow struct {
+	Scale   float64
+	Triples int
+	// MeanBasic is the arithmetic-mean Basic Testing runtime per mode.
+	MeanBasic map[string]time.Duration
+}
+
+// RunScaling sweeps the dataset scale and reports the Basic Testing mean
+// per S2RDF mode, showing how each layout's cost grows with |G|.
+func RunScaling(cfg Config, scales []float64) ([]ScalingRow, error) {
+	cfg.defaults()
+	modes := []core.Mode{core.ModeExtVP, core.ModeVP, core.ModeTT, core.ModePT}
+
+	var rows []ScalingRow
+	for _, scale := range scales {
+		data := watdiv.Generate(watdiv.Config{Scale: scale, Seed: cfg.Seed})
+		opts := layout.DefaultOptions()
+		opts.BuildPT = true
+		ds := layout.Build(data.Triples, opts)
+
+		// Same template instantiations for every mode at this scale.
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		var queries []string
+		for _, tpl := range watdiv.BasicTemplates() {
+			queries = append(queries, tpl.Instantiate(data, rng))
+		}
+
+		row := ScalingRow{Scale: scale, Triples: ds.NumTriples(), MeanBasic: map[string]time.Duration{}}
+		for _, mode := range modes {
+			e := core.New(ds, mode)
+			var total time.Duration
+			for _, src := range queries {
+				res, err := e.Query(src)
+				if err != nil {
+					return nil, fmt.Errorf("scale %g %v: %w", scale, mode, err)
+				}
+				total += res.Duration
+			}
+			row.MeanBasic[mode.String()] = total / time.Duration(len(queries))
+		}
+		rows = append(rows, row)
+	}
+
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(cfg.Out, "\n=== E9: data scalability (scale axis of paper Table 4) ===")
+	fmt.Fprintln(tw, "scale\ttriples\tExtVP\tVP\tTT\tPT")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%g\t%d\t%s\t%s\t%s\t%s\n", r.Scale, r.Triples,
+			fmtDur(r.MeanBasic["ExtVP"]), fmtDur(r.MeanBasic["VP"]),
+			fmtDur(r.MeanBasic["TT"]), fmtDur(r.MeanBasic["PT"]))
+	}
+	tw.Flush()
+	return rows, nil
+}

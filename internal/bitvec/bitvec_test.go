@@ -1,0 +1,132 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Errorf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Errorf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 7 {
+		t.Errorf("Clear failed: %v %d", b.Get(64), b.Count())
+	}
+	if b.Len() != 130 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}
+
+func TestAnd(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(3)
+	a.Set(50)
+	a.Set(99)
+	b.Set(50)
+	b.Set(99)
+	b.Set(0)
+	c := a.And(b)
+	if c.Count() != 2 || !c.Get(50) || !c.Get(99) || c.Get(3) || c.Get(0) {
+		t.Errorf("And wrong: count=%d", c.Count())
+	}
+	// Inputs untouched.
+	if a.Count() != 3 || b.Count() != 3 {
+		t.Error("And mutated inputs")
+	}
+	a.AndInPlace(b)
+	if a.Count() != 2 {
+		t.Errorf("AndInPlace count = %d", a.Count())
+	}
+}
+
+func TestAndLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(10).And(New(11))
+}
+
+func TestCloneAndWordsRoundTrip(t *testing.T) {
+	b := New(70)
+	b.Set(1)
+	b.Set(69)
+	c := b.Clone()
+	c.Clear(1)
+	if !b.Get(1) {
+		t.Error("Clone shares storage")
+	}
+	r := FromWords(b.Len(), b.Words())
+	if r.Count() != 2 || !r.Get(69) {
+		t.Error("FromWords round trip failed")
+	}
+	if b.Bytes() != 16 {
+		t.Errorf("Bytes = %d, want 16", b.Bytes())
+	}
+}
+
+func TestCountMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := New(n)
+		naive := make([]bool, n)
+		for i := 0; i < n/2; i++ {
+			k := rng.Intn(n)
+			b.Set(k)
+			naive[k] = true
+		}
+		count := 0
+		for i, v := range naive {
+			if v != b.Get(i) {
+				return false
+			}
+			if v {
+				count++
+			}
+		}
+		return count == b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAndIsIntersectionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		c := a.And(b)
+		for i := 0; i < n; i++ {
+			if c.Get(i) != (a.Get(i) && b.Get(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"strconv"
+
+	"s2rdf/internal/dict"
+	"s2rdf/internal/engine"
+	"s2rdf/internal/rdf"
+	"s2rdf/internal/sparql"
+)
+
+// aggregate implements SPARQL 1.1 grouping and aggregation over the solved
+// group pattern: it partitions the solutions by the GROUP BY variables and
+// computes each aggregate projection per partition. Computed values are
+// encoded into the shared dictionary so the rest of the pipeline (ORDER BY,
+// LIMIT, decoding) is unchanged.
+func (e *Engine) aggregate(rel *engine.Relation, q *sparql.Query) *engine.Relation {
+	groupIdx := make([]int, len(q.GroupBy))
+	for i, v := range q.GroupBy {
+		groupIdx[i] = rel.ColIndex(v)
+	}
+	aggIdx := make([]int, len(q.Aggregates))
+	for i, a := range q.Aggregates {
+		aggIdx[i] = rel.ColIndex(a.Var) // -1 for COUNT(*)
+	}
+
+	type groupState struct {
+		key  engine.Row
+		accs []*accumulator
+	}
+	groups := make(map[string]*groupState)
+	var order []string // deterministic output order (first appearance)
+	for _, row := range rel.Rows() {
+		kb := make([]byte, 0, len(groupIdx)*4)
+		key := make(engine.Row, len(groupIdx))
+		for i, gi := range groupIdx {
+			v := dict.ID(engine.Null)
+			if gi >= 0 {
+				v = row[gi]
+			}
+			key[i] = v
+			kb = append(kb, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		ks := string(kb)
+		g, ok := groups[ks]
+		if !ok {
+			g = &groupState{key: key, accs: make([]*accumulator, len(q.Aggregates))}
+			for i, a := range q.Aggregates {
+				g.accs[i] = newAccumulator(a, e.DS.Dict)
+			}
+			groups[ks] = g
+			order = append(order, ks)
+		}
+		for i, acc := range g.accs {
+			acc.add(row, aggIdx[i])
+		}
+	}
+	// A query with aggregates but no GROUP BY always yields one group,
+	// even over an empty input (e.g. COUNT(*) = 0).
+	if len(groups) == 0 && len(q.GroupBy) == 0 {
+		g := &groupState{key: engine.Row{}, accs: make([]*accumulator, len(q.Aggregates))}
+		for i, a := range q.Aggregates {
+			g.accs[i] = newAccumulator(a, e.DS.Dict)
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	schema := append(append([]string{}, q.GroupBy...), aggAliases(q)...)
+	rows := make([]engine.Row, 0, len(groups))
+	for _, ks := range order {
+		g := groups[ks]
+		row := make(engine.Row, 0, len(schema))
+		row = append(row, g.key...)
+		for _, acc := range g.accs {
+			row = append(row, acc.result())
+		}
+		rows = append(rows, row)
+	}
+	return e.Cluster.FromRows(schema, rows)
+}
+
+func aggAliases(q *sparql.Query) []string {
+	out := make([]string, len(q.Aggregates))
+	for i, a := range q.Aggregates {
+		out[i] = a.As
+	}
+	return out
+}
+
+// accumulator computes one aggregate over one group.
+type accumulator struct {
+	agg   sparql.Aggregate
+	d     *dict.Dict
+	count int
+	sum   float64
+	valid bool // at least one numeric contribution (SUM/AVG/MIN/MAX)
+	min   float64
+	max   float64
+	minT  rdf.Term // lexical fallback for MIN/MAX over non-numeric terms
+	maxT  rdf.Term
+	anyT  bool
+	seen  map[dict.ID]struct{} // DISTINCT support
+}
+
+func newAccumulator(a sparql.Aggregate, d *dict.Dict) *accumulator {
+	acc := &accumulator{agg: a, d: d}
+	if a.Distinct {
+		acc.seen = make(map[dict.ID]struct{})
+	}
+	return acc
+}
+
+func (acc *accumulator) add(row engine.Row, idx int) {
+	if acc.agg.Var == "" { // COUNT(*)
+		acc.count++
+		return
+	}
+	if idx < 0 || row[idx] == engine.Null {
+		return // unbound values do not contribute
+	}
+	v := row[idx]
+	if acc.seen != nil {
+		if _, dup := acc.seen[v]; dup {
+			return
+		}
+		acc.seen[v] = struct{}{}
+	}
+	acc.count++
+	if acc.agg.Func == sparql.AggCount {
+		return
+	}
+	term := acc.d.Decode(v)
+	if n, ok := term.Numeric(); ok {
+		if !acc.valid {
+			acc.min, acc.max = n, n
+		} else {
+			if n < acc.min {
+				acc.min = n
+			}
+			if n > acc.max {
+				acc.max = n
+			}
+		}
+		acc.valid = true
+		acc.sum += n
+		return
+	}
+	// Non-numeric terms: MIN/MAX fall back to lexical ordering.
+	if !acc.anyT {
+		acc.minT, acc.maxT = term, term
+		acc.anyT = true
+	} else {
+		if term < acc.minT {
+			acc.minT = term
+		}
+		if term > acc.maxT {
+			acc.maxT = term
+		}
+	}
+}
+
+// result encodes the aggregate value as a dictionary ID.
+func (acc *accumulator) result() dict.ID {
+	switch acc.agg.Func {
+	case sparql.AggCount:
+		return acc.d.Encode(rdf.NewInteger(int64(acc.count)))
+	case sparql.AggSum:
+		return acc.d.Encode(numericLiteral(acc.sum))
+	case sparql.AggAvg:
+		if acc.count == 0 || !acc.valid {
+			return acc.d.Encode(rdf.NewInteger(0))
+		}
+		return acc.d.Encode(numericLiteral(acc.sum / float64(acc.count)))
+	case sparql.AggMin:
+		if acc.valid {
+			return acc.d.Encode(numericLiteral(acc.min))
+		}
+		if acc.anyT {
+			return acc.d.Encode(acc.minT)
+		}
+	case sparql.AggMax:
+		if acc.valid {
+			return acc.d.Encode(numericLiteral(acc.max))
+		}
+		if acc.anyT {
+			return acc.d.Encode(acc.maxT)
+		}
+	}
+	return engine.Null
+}
+
+// numericLiteral renders a float as an xsd:integer when integral, else as
+// an xsd:decimal with a canonical form.
+func numericLiteral(v float64) rdf.Term {
+	if v == float64(int64(v)) {
+		return rdf.NewInteger(int64(v))
+	}
+	s := strconv.FormatFloat(v, 'f', -1, 64)
+	return rdf.NewTypedLiteral(s, rdf.XSDDecimal)
+}

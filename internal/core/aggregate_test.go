@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"s2rdf/internal/layout"
+	"s2rdf/internal/rdf"
+)
+
+// aggGraph: three users with ages, two cities.
+func aggGraph() []rdf.Triple {
+	iri := rdf.NewIRI
+	age, city := iri("urn:age"), iri("urn:city")
+	return []rdf.Triple{
+		{S: iri("urn:u1"), P: age, O: rdf.NewInteger(30)},
+		{S: iri("urn:u2"), P: age, O: rdf.NewInteger(20)},
+		{S: iri("urn:u3"), P: age, O: rdf.NewInteger(40)},
+		{S: iri("urn:u1"), P: city, O: iri("urn:berlin")},
+		{S: iri("urn:u2"), P: city, O: iri("urn:berlin")},
+		{S: iri("urn:u3"), P: city, O: iri("urn:paris")},
+	}
+}
+
+func aggEngine(t *testing.T) *Engine {
+	t.Helper()
+	return New(layout.Build(aggGraph(), layout.DefaultOptions()), ModeExtVP)
+}
+
+func one(t *testing.T, e *Engine, src string) map[string]rdf.Term {
+	t.Helper()
+	res, err := e.Query(src)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("%s: rows = %d, want 1: %v", src, res.Len(), res.Bindings())
+	}
+	return res.Bindings()[0]
+}
+
+func TestAggregateCountStar(t *testing.T) {
+	e := aggEngine(t)
+	b := one(t, e, `SELECT (COUNT(*) AS ?n) WHERE { ?s <urn:age> ?a }`)
+	if b["n"] != rdf.NewInteger(3) {
+		t.Errorf("COUNT(*) = %v", b["n"])
+	}
+}
+
+func TestAggregateCountStarEmptyInput(t *testing.T) {
+	e := aggEngine(t)
+	b := one(t, e, `SELECT (COUNT(*) AS ?n) WHERE { ?s <urn:age> <urn:nope> }`)
+	if b["n"] != rdf.NewInteger(0) {
+		t.Errorf("COUNT(*) over empty = %v, want 0", b["n"])
+	}
+}
+
+func TestAggregateSumAvgMinMax(t *testing.T) {
+	e := aggEngine(t)
+	b := one(t, e, `SELECT (SUM(?a) AS ?s) (AVG(?a) AS ?avg)
+		(MIN(?a) AS ?lo) (MAX(?a) AS ?hi)
+		WHERE { ?u <urn:age> ?a }`)
+	if b["s"] != rdf.NewInteger(90) {
+		t.Errorf("SUM = %v", b["s"])
+	}
+	if b["avg"] != rdf.NewInteger(30) {
+		t.Errorf("AVG = %v", b["avg"])
+	}
+	if b["lo"] != rdf.NewInteger(20) || b["hi"] != rdf.NewInteger(40) {
+		t.Errorf("MIN/MAX = %v/%v", b["lo"], b["hi"])
+	}
+}
+
+func TestAggregateGroupBy(t *testing.T) {
+	e := aggEngine(t)
+	res, err := e.Query(`SELECT ?c (COUNT(?u) AS ?n) (AVG(?a) AS ?avg) WHERE {
+		?u <urn:city> ?c .
+		?u <urn:age> ?a .
+	} GROUP BY ?c ORDER BY ?c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("groups = %d: %v", res.Len(), res.Bindings())
+	}
+	byCity := map[rdf.Term]map[string]rdf.Term{}
+	for _, b := range res.Bindings() {
+		byCity[b["c"]] = b
+	}
+	berlin := byCity[rdf.NewIRI("urn:berlin")]
+	if berlin["n"] != rdf.NewInteger(2) || berlin["avg"] != rdf.NewInteger(25) {
+		t.Errorf("berlin = %v", berlin)
+	}
+	paris := byCity[rdf.NewIRI("urn:paris")]
+	if paris["n"] != rdf.NewInteger(1) || paris["avg"] != rdf.NewInteger(40) {
+		t.Errorf("paris = %v", paris)
+	}
+}
+
+func TestAggregateCountDistinct(t *testing.T) {
+	e := aggEngine(t)
+	b := one(t, e, `SELECT (COUNT(DISTINCT ?c) AS ?n) WHERE { ?u <urn:city> ?c }`)
+	if b["n"] != rdf.NewInteger(2) {
+		t.Errorf("COUNT(DISTINCT city) = %v, want 2", b["n"])
+	}
+	b = one(t, e, `SELECT (COUNT(?c) AS ?n) WHERE { ?u <urn:city> ?c }`)
+	if b["n"] != rdf.NewInteger(3) {
+		t.Errorf("COUNT(city) = %v, want 3", b["n"])
+	}
+}
+
+func TestAggregateMinMaxNonNumeric(t *testing.T) {
+	e := aggEngine(t)
+	b := one(t, e, `SELECT (MIN(?c) AS ?lo) (MAX(?c) AS ?hi) WHERE { ?u <urn:city> ?c }`)
+	if b["lo"] != rdf.NewIRI("urn:berlin") || b["hi"] != rdf.NewIRI("urn:paris") {
+		t.Errorf("MIN/MAX terms = %v/%v", b["lo"], b["hi"])
+	}
+}
+
+func TestAggregateAvgDecimal(t *testing.T) {
+	iri := rdf.NewIRI
+	triples := []rdf.Triple{
+		{S: iri("urn:a"), P: iri("urn:v"), O: rdf.NewInteger(1)},
+		{S: iri("urn:b"), P: iri("urn:v"), O: rdf.NewInteger(2)},
+	}
+	e := New(layout.Build(triples, layout.DefaultOptions()), ModeExtVP)
+	b := one(t, e, `SELECT (AVG(?x) AS ?m) WHERE { ?s <urn:v> ?x }`)
+	if b["m"] != rdf.NewTypedLiteral("1.5", rdf.XSDDecimal) {
+		t.Errorf("AVG = %v, want 1.5", b["m"])
+	}
+}
+
+func TestAggregateCountWithOptionalUnbound(t *testing.T) {
+	// Unbound values must not contribute to COUNT(?v).
+	iri := rdf.NewIRI
+	triples := []rdf.Triple{
+		{S: iri("urn:a"), P: iri("urn:p"), O: iri("urn:x")},
+		{S: iri("urn:b"), P: iri("urn:p"), O: iri("urn:y")},
+		{S: iri("urn:a"), P: iri("urn:mail"), O: rdf.NewLiteral("a@x")},
+	}
+	e := New(layout.Build(triples, layout.DefaultOptions()), ModeExtVP)
+	b := one(t, e, `SELECT (COUNT(?m) AS ?n) (COUNT(*) AS ?all) WHERE {
+		?s <urn:p> ?o .
+		OPTIONAL { ?s <urn:mail> ?m }
+	}`)
+	if b["n"] != rdf.NewInteger(1) {
+		t.Errorf("COUNT(?m) = %v, want 1", b["n"])
+	}
+	if b["all"] != rdf.NewInteger(2) {
+		t.Errorf("COUNT(*) = %v, want 2", b["all"])
+	}
+}
+
+func TestAggregateParserValidation(t *testing.T) {
+	e := aggEngine(t)
+	bad := []string{
+		`SELECT ?u (COUNT(*) AS ?n) WHERE { ?u <urn:age> ?a }`, // ?u not grouped
+		`SELECT ?u WHERE { ?u <urn:age> ?a } GROUP BY ?u`,      // GROUP BY w/o aggregate
+		`SELECT (SUM(*) AS ?s) WHERE { ?u <urn:age> ?a }`,      // SUM(*) invalid
+		`SELECT (NOPE(?a) AS ?x) WHERE { ?u <urn:age> ?a }`,    // unknown func
+		`SELECT (COUNT(?a) ?x) WHERE { ?u <urn:age> ?a }`,      // missing AS
+	}
+	for _, src := range bad {
+		if _, err := e.Query(src); err == nil {
+			t.Errorf("%q should fail to parse", src)
+		}
+	}
+}
+
+func TestAggregateAcrossModes(t *testing.T) {
+	opts := layout.DefaultOptions()
+	opts.BuildPT = true
+	ds := layout.Build(aggGraph(), opts)
+	src := `SELECT ?c (COUNT(?u) AS ?n) WHERE {
+		?u <urn:city> ?c . ?u <urn:age> ?a .
+	} GROUP BY ?c`
+	var want []string
+	for name, e := range allModes(ds) {
+		res, err := e.Query(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := canon(res)
+		if want == nil {
+			want = got
+		} else if len(got) != len(want) {
+			t.Errorf("%s: %v vs %v", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"s2rdf/internal/bitvec"
+	"s2rdf/internal/dict"
+	"s2rdf/internal/engine"
+	"s2rdf/internal/layout"
+	"s2rdf/internal/sparql"
+	"s2rdf/internal/store"
+)
+
+// selection is the outcome of table selection for one triple pattern.
+type selection struct {
+	table *store.Table // nil when the result is provably empty
+	name  string
+	rows  int
+	sf    float64
+	empty bool
+	// tt is true when the triples table was selected (predicate must be
+	// constrained or projected during the scan).
+	tt bool
+	// bits is the selection vector over table when the dataset stores
+	// ExtVP reductions as bit vectors (paper Sec. 8 future work). With
+	// Engine.UnifyCorrelations it may be the AND of several reductions.
+	bits *bitvec.Bitset
+}
+
+// selectTable implements the paper's Algorithm 1 (TableSelection): start
+// from the VP table of the pattern's predicate and switch to the ExtVP
+// table with the best (smallest) selectivity factor among the pattern's
+// SS/SO/OS correlations with the other patterns of the BGP.
+func (e *Engine) selectTable(tp sparql.TriplePattern, bgp []sparql.TriplePattern) selection {
+	// Unbound predicate: fall back to the triples table (paper Sec. 5.2).
+	if tp.P.IsVar() {
+		return selection{table: e.DS.TT, name: "TT", rows: e.DS.TT.NumRows(), sf: 1, tt: true}
+	}
+	p := e.DS.Dict.Lookup(tp.P.Term)
+	if p == dict.NoID || e.DS.VP[p] == nil {
+		// The predicate does not occur in the dataset at all.
+		return selection{empty: true, name: "∅(unknown predicate)"}
+	}
+	if e.Mode == ModeTT {
+		return selection{table: e.DS.TT, name: "TT", rows: e.DS.TT.NumRows(), sf: 1, tt: true}
+	}
+
+	vp := e.DS.VP[p]
+	best := selection{table: vp, name: vp.Name, rows: vp.NumRows(), sf: 1}
+	if e.Mode != ModeExtVP {
+		return best
+	}
+
+	// combined accumulates the intersection of every applicable bit-vector
+	// reduction when UnifyCorrelations is enabled (the paper's proposed
+	// unification strategy: consider the intersections of all correlations
+	// of a triple pattern).
+	var combined *bitvec.Bitset
+	nCombined := 0
+	consider := func(key layout.ExtKey) {
+		var info layout.TableInfo
+		var lazyTbl *store.Table
+		if e.Lazy != nil {
+			lazyTbl, info = e.Lazy.EnsureTable(key)
+		} else {
+			info = e.DS.ExtInfo(key)
+		}
+		if info.SF == 0 {
+			// Statistics prove the whole BGP empty: the correlation does
+			// not exist in the dataset.
+			best = selection{empty: true, name: layout.ExtVPName(e.DS.Dict, key)}
+			return
+		}
+		if !info.Materialized || best.empty {
+			return
+		}
+		if bits, ok := e.DS.ExtBits[key]; ok {
+			if e.UnifyCorrelations {
+				if combined == nil {
+					combined = bits.Clone()
+				} else {
+					combined.AndInPlace(bits)
+				}
+				nCombined++
+			}
+			if info.SF < best.sf {
+				best = selection{
+					table: vp,
+					name:  layout.ExtVPName(e.DS.Dict, key) + "[bits]",
+					rows:  info.Rows, sf: info.SF, bits: bits,
+				}
+			}
+			return
+		}
+		if info.SF < best.sf {
+			tbl := lazyTbl
+			if tbl == nil {
+				tbl = e.DS.ExtVP[key]
+			}
+			best = selection{table: tbl, name: tbl.Name, rows: info.Rows, sf: info.SF}
+		}
+	}
+
+	for _, other := range bgp {
+		if other == tp || best.empty {
+			if best.empty {
+				break
+			}
+			continue
+		}
+		if other.P.IsVar() {
+			continue
+		}
+		p2 := e.DS.Dict.Lookup(other.P.Term)
+		if p2 == dict.NoID {
+			continue
+		}
+		// SS correlation: same subject variable.
+		if tp.S.IsVar() && other.S.IsVar() && tp.S.Var == other.S.Var && p != p2 {
+			consider(layout.ExtKey{Kind: layout.SS, P1: p, P2: p2})
+		}
+		// SO correlation: this subject joins the other pattern's object.
+		if tp.S.IsVar() && other.O.IsVar() && tp.S.Var == other.O.Var {
+			consider(layout.ExtKey{Kind: layout.SO, P1: p, P2: p2})
+		}
+		// OS correlation: this object joins the other pattern's subject.
+		if tp.O.IsVar() && other.S.IsVar() && tp.O.Var == other.S.Var {
+			consider(layout.ExtKey{Kind: layout.OS, P1: p, P2: p2})
+		}
+	}
+	if !best.empty && nCombined > 1 {
+		count := combined.Count()
+		if count == 0 {
+			// The intersection of the correlations is empty: the pattern
+			// (and hence the BGP) has no solutions.
+			return selection{empty: true, name: fmt.Sprintf("ExtVP∩(%d tables)", nCombined)}
+		}
+		if count < best.rows {
+			best = selection{
+				table: vp,
+				name:  fmt.Sprintf("ExtVP∩(%d tables)", nCombined),
+				rows:  count,
+				sf:    float64(count) / float64(vp.NumRows()),
+				bits:  combined,
+			}
+		}
+	}
+	return best
+}
+
+// compilePattern is the paper's Algorithm 2 (TP2SQL): turn one triple
+// pattern plus its selected table into an engine scan with projections for
+// variables and conditions for bound positions.
+func (e *Engine) compilePattern(tp sparql.TriplePattern, sel selection) (*engine.Relation, bool) {
+	var projs []engine.ScanProjection
+	var conds []engine.ScanCondition
+
+	bindCol := func(col string, n sparql.Node) bool {
+		if n.IsVar() {
+			projs = append(projs, engine.ScanProjection{Col: col, As: n.Var})
+			return true
+		}
+		id := e.DS.Dict.Lookup(n.Term)
+		if id == dict.NoID {
+			return false // bound term absent from the graph: empty result
+		}
+		conds = append(conds, engine.ScanCondition{Col: col, Value: id})
+		return true
+	}
+
+	if !bindCol("s", tp.S) {
+		return nil, false
+	}
+	if sel.tt {
+		if !bindCol("p", tp.P) {
+			return nil, false
+		}
+	}
+	if !bindCol("o", tp.O) {
+		return nil, false
+	}
+	if sel.bits != nil {
+		return e.Cluster.ScanSel(sel.table, sel.bits, projs, conds), true
+	}
+	return e.Cluster.Scan(sel.table, projs, conds), true
+}
+
+// evalBGP compiles and executes a basic graph pattern: Algorithm 3 when
+// JoinOrderOpt is off, Algorithm 4 (order by bound values, then by selected
+// table size, avoiding cross joins) when on. ModePT routes to the
+// property-table planner.
+func (e *Engine) evalBGP(bgp []sparql.TriplePattern, res *Result) (*engine.Relation, error) {
+	if e.Mode == ModePT {
+		return e.evalBGPPT(bgp, res)
+	}
+
+	type unit struct {
+		tp  sparql.TriplePattern
+		sel selection
+	}
+	units := make([]unit, len(bgp))
+	for i, tp := range bgp {
+		sel := e.selectTable(tp, bgp)
+		units[i] = unit{tp: tp, sel: sel}
+		res.Plan = append(res.Plan, PatternPlan{
+			Pattern: tp.String(), Table: sel.name, Rows: sel.rows, SF: sel.sf,
+		})
+		if sel.empty {
+			// Statistics-only answer (paper Sec. 6.1): no execution at all.
+			res.StatsOnly = true
+			return e.emptyRelation(bgp), nil
+		}
+	}
+
+	if e.JoinOrderOpt {
+		// Algorithm 4 pre-pass: order by number of bound values
+		// (descending), breaking ties by table size.
+		sort.SliceStable(units, func(i, j int) bool {
+			bi, bj := units[i].tp.BoundCount(), units[j].tp.BoundCount()
+			if bi != bj {
+				return bi > bj
+			}
+			return units[i].sel.rows < units[j].sel.rows
+		})
+	}
+
+	var rel *engine.Relation
+	var bound []string
+	remaining := units
+	for len(remaining) > 0 {
+		next := 0
+		if e.JoinOrderOpt && rel != nil {
+			next = -1
+			for i, u := range remaining {
+				if !sharesVar(bound, u.tp) {
+					continue
+				}
+				if next < 0 || u.sel.rows < remaining[next].sel.rows {
+					next = i
+				}
+			}
+			if next < 0 {
+				// Every remaining pattern is disconnected: a cross join is
+				// unavoidable, take the smallest.
+				next = 0
+				for i, u := range remaining {
+					if u.sel.rows < remaining[next].sel.rows {
+						next = i
+					}
+				}
+			}
+		}
+		u := remaining[next]
+		remaining = append(remaining[:next:next], remaining[next+1:]...)
+
+		scan, ok := e.compilePattern(u.tp, u.sel)
+		if !ok {
+			res.StatsOnly = true
+			return e.emptyRelation(bgp), nil
+		}
+		if rel == nil {
+			rel = scan
+		} else {
+			rel = e.Cluster.Join(rel, scan)
+		}
+		bound = joinedSchema(bound, u.tp.Vars())
+	}
+	if rel == nil {
+		rel = e.unitRelation()
+	}
+	return rel, nil
+}
+
+// emptyRelation returns a zero-row relation over all the BGP's variables.
+func (e *Engine) emptyRelation(bgp []sparql.TriplePattern) *engine.Relation {
+	var vars []string
+	for _, tp := range bgp {
+		vars = joinedSchema(vars, tp.Vars())
+	}
+	return e.Cluster.FromRows(vars, nil)
+}
+
+func sharesVar(bound []string, tp sparql.TriplePattern) bool {
+	for _, v := range tp.Vars() {
+		if indexOf(bound, v) >= 0 {
+			return true
+		}
+	}
+	return false
+}

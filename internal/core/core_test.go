@@ -1,0 +1,591 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"s2rdf/internal/layout"
+	"s2rdf/internal/rdf"
+)
+
+// g1 is the paper's running-example graph (Fig. 1).
+func g1() []rdf.Triple {
+	iri := rdf.NewIRI
+	follows, likes := iri("urn:follows"), iri("urn:likes")
+	return []rdf.Triple{
+		{S: iri("urn:A"), P: follows, O: iri("urn:B")},
+		{S: iri("urn:B"), P: follows, O: iri("urn:C")},
+		{S: iri("urn:B"), P: follows, O: iri("urn:D")},
+		{S: iri("urn:C"), P: follows, O: iri("urn:D")},
+		{S: iri("urn:A"), P: likes, O: iri("urn:I1")},
+		{S: iri("urn:A"), P: likes, O: iri("urn:I2")},
+		{S: iri("urn:C"), P: likes, O: iri("urn:I2")},
+	}
+}
+
+func g1Dataset(t *testing.T) *layout.Dataset {
+	t.Helper()
+	opts := layout.DefaultOptions()
+	opts.BuildPT = true
+	return layout.Build(g1(), opts)
+}
+
+const q1 = `SELECT * WHERE {
+	?x <urn:likes> ?w . ?x <urn:follows> ?y .
+	?y <urn:follows> ?z . ?z <urn:likes> ?w
+}`
+
+func allModes(ds *layout.Dataset) map[string]*Engine {
+	return map[string]*Engine{
+		"ExtVP": New(ds, ModeExtVP),
+		"VP":    New(ds, ModeVP),
+		"TT":    New(ds, ModeTT),
+		"PT":    New(ds, ModePT),
+	}
+}
+
+// canon renders a result as a sorted list of binding strings so results can
+// be compared across engines regardless of row and column order.
+func canon(r *Result) []string {
+	out := make([]string, 0, r.Len())
+	for _, b := range r.Bindings() {
+		keys := make([]string, 0, len(b))
+		for k := range b {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s=%s;", k, b[k])
+		}
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestQ1AllModesAgree(t *testing.T) {
+	ds := g1Dataset(t)
+	var want []string
+	for name, e := range allModes(ds) {
+		res, err := e.Query(q1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Len() != 1 {
+			t.Fatalf("%s: Q1 returned %d rows: %v", name, res.Len(), res.Bindings())
+		}
+		b := res.Bindings()[0]
+		if b["x"] != rdf.NewIRI("urn:A") || b["y"] != rdf.NewIRI("urn:B") ||
+			b["z"] != rdf.NewIRI("urn:C") || b["w"] != rdf.NewIRI("urn:I2") {
+			t.Errorf("%s: Q1 binding = %v", name, b)
+		}
+		got := canon(res)
+		if want == nil {
+			want = got
+		} else if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s disagrees: %v vs %v", name, got, want)
+		}
+	}
+}
+
+func TestExtVPSelectsBestTables(t *testing.T) {
+	// From the paper's Fig. 11: for tp3 = (?y follows ?z) the candidates
+	// are VP_follows (SF 1), ExtVP_SO follows|follows (0.75) and
+	// ExtVP_OS follows|likes (0.25); the OS table must win.
+	ds := g1Dataset(t)
+	e := New(ds, ModeExtVP)
+	res, err := e.Query(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tp3 *PatternPlan
+	for i := range res.Plan {
+		if res.Plan[i].Pattern == "?y <urn:follows> ?z" {
+			tp3 = &res.Plan[i]
+		}
+	}
+	if tp3 == nil {
+		t.Fatalf("plan missing tp3: %+v", res.Plan)
+	}
+	if !strings.Contains(tp3.Table, "ExtVP:OS") || tp3.SF != 0.25 {
+		t.Errorf("tp3 selected %q (SF %v), want ExtVP:OS follows|likes (0.25)", tp3.Table, tp3.SF)
+	}
+}
+
+func TestExtVPReducesScannedRows(t *testing.T) {
+	ds := g1Dataset(t)
+	ext := New(ds, ModeExtVP)
+	vp := New(ds, ModeVP)
+	re, err := ext.Query(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := vp.Query(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Metrics.RowsScanned >= rv.Metrics.RowsScanned {
+		t.Errorf("ExtVP scanned %d rows, VP scanned %d; ExtVP should scan fewer",
+			re.Metrics.RowsScanned, rv.Metrics.RowsScanned)
+	}
+	if re.Metrics.JoinComparisons > rv.Metrics.JoinComparisons {
+		t.Errorf("ExtVP compared %d, VP %d; ExtVP should not compare more",
+			re.Metrics.JoinComparisons, rv.Metrics.JoinComparisons)
+	}
+}
+
+func TestBoundSubjectQuery(t *testing.T) {
+	ds := g1Dataset(t)
+	for name, e := range allModes(ds) {
+		res, err := e.Query(`SELECT ?y WHERE { <urn:B> <urn:follows> ?y }`)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Len() != 2 {
+			t.Errorf("%s: rows = %d, want 2", name, res.Len())
+		}
+	}
+}
+
+func TestBoundObjectQuery(t *testing.T) {
+	ds := g1Dataset(t)
+	for name, e := range allModes(ds) {
+		res, err := e.Query(`SELECT ?x WHERE { ?x <urn:likes> <urn:I2> }`)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Len() != 2 { // A and C
+			t.Errorf("%s: rows = %d, want 2", name, res.Len())
+		}
+	}
+}
+
+func TestUnknownTermGivesEmptyResult(t *testing.T) {
+	ds := g1Dataset(t)
+	for name, e := range allModes(ds) {
+		res, err := e.Query(`SELECT ?x WHERE { ?x <urn:likes> <urn:NOSUCH> }`)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Len() != 0 {
+			t.Errorf("%s: rows = %d, want 0", name, res.Len())
+		}
+	}
+}
+
+func TestUnknownPredicateStatsOnly(t *testing.T) {
+	ds := g1Dataset(t)
+	e := New(ds, ModeExtVP)
+	res, err := e.Query(`SELECT ?x WHERE { ?x <urn:nosuchpred> ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 || !res.StatsOnly {
+		t.Errorf("rows=%d statsOnly=%v, want empty stats-only result", res.Len(), res.StatsOnly)
+	}
+}
+
+func TestEmptyCorrelationStatsOnly(t *testing.T) {
+	// Paper ST-8 behaviour: likes' objects never appear as likes' subjects,
+	// so ?a likes ?b . ?b likes ?c is provably empty from statistics alone.
+	ds := g1Dataset(t)
+	e := New(ds, ModeExtVP)
+	res, err := e.Query(`SELECT * WHERE { ?a <urn:likes> ?b . ?b <urn:likes> ?c }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("rows = %d, want 0", res.Len())
+	}
+	if !res.StatsOnly {
+		t.Error("expected statistics-only answer")
+	}
+	if res.Metrics.RowsScanned != 0 {
+		t.Errorf("scanned %d rows; stats-only answers must not scan", res.Metrics.RowsScanned)
+	}
+	// VP mode has no such statistics and must actually execute.
+	vp := New(ds, ModeVP)
+	rv, err := vp.Query(`SELECT * WHERE { ?a <urn:likes> ?b . ?b <urn:likes> ?c }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.StatsOnly {
+		t.Error("VP mode should not produce stats-only answers")
+	}
+	if rv.Len() != 0 {
+		t.Errorf("VP rows = %d, want 0", rv.Len())
+	}
+}
+
+func TestVariablePredicateFallsBackToTT(t *testing.T) {
+	ds := g1Dataset(t)
+	for name, e := range allModes(ds) {
+		res, err := e.Query(`SELECT ?p WHERE { <urn:A> ?p <urn:B> }`)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Len() != 1 || res.Bindings()[0]["p"] != rdf.NewIRI("urn:follows") {
+			t.Errorf("%s: got %v", name, res.Bindings())
+		}
+	}
+}
+
+func TestSelectAllTriples(t *testing.T) {
+	ds := g1Dataset(t)
+	for name, e := range allModes(ds) {
+		res, err := e.Query(`SELECT * WHERE { ?s ?p ?o }`)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Len() != 7 {
+			t.Errorf("%s: rows = %d, want 7", name, res.Len())
+		}
+	}
+}
+
+func TestDistinctProjection(t *testing.T) {
+	ds := g1Dataset(t)
+	for name, e := range allModes(ds) {
+		res, err := e.Query(`SELECT DISTINCT ?x WHERE { ?x <urn:likes> ?w }`)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Len() != 2 { // A, C
+			t.Errorf("%s: distinct rows = %d, want 2", name, res.Len())
+		}
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	ds := g1Dataset(t)
+	e := New(ds, ModeExtVP)
+	res, err := e.Query(`SELECT ?s ?o WHERE { ?s <urn:follows> ?o } ORDER BY ?s ?o LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+	if res.Rows[0][0] != rdf.NewIRI("urn:A") {
+		t.Errorf("first row = %v", res.Rows[0])
+	}
+	if res.Rows[1][0] != rdf.NewIRI("urn:B") || res.Rows[1][1] != rdf.NewIRI("urn:C") {
+		t.Errorf("second row = %v", res.Rows[1])
+	}
+	// DESC ordering.
+	res, err = e.Query(`SELECT ?s ?o WHERE { ?s <urn:follows> ?o } ORDER BY DESC(?s) LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != rdf.NewIRI("urn:C") {
+		t.Errorf("desc first row = %v", res.Rows[0])
+	}
+}
+
+func TestOffset(t *testing.T) {
+	ds := g1Dataset(t)
+	e := New(ds, ModeExtVP)
+	res, err := e.Query(`SELECT ?s WHERE { ?s <urn:follows> ?o } ORDER BY ?s ?o OFFSET 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("rows = %d, want 1", res.Len())
+	}
+}
+
+func TestFilterInBGP(t *testing.T) {
+	ds := g1Dataset(t)
+	for name, e := range allModes(ds) {
+		res, err := e.Query(`SELECT ?x ?w WHERE {
+			?x <urn:likes> ?w .
+			FILTER (?w = <urn:I1>)
+		}`)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Len() != 1 || res.Bindings()[0]["x"] != rdf.NewIRI("urn:A") {
+			t.Errorf("%s: got %v", name, res.Bindings())
+		}
+	}
+}
+
+func TestOptional(t *testing.T) {
+	ds := g1Dataset(t)
+	for name, e := range allModes(ds) {
+		// Every user with who they follow, plus optionally what they like.
+		res, err := e.Query(`SELECT ?x ?y ?w WHERE {
+			?x <urn:follows> ?y .
+			OPTIONAL { ?x <urn:likes> ?w }
+		}`)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// follows rows: A→B (likes I1, I2 → 2 rows), B→C, B→D (no likes,
+		// 1 row each), C→D (likes I2, 1 row) = 2+1+1+1 = 5.
+		if res.Len() != 5 {
+			t.Fatalf("%s: rows = %d, want 5: %v", name, res.Len(), res.Bindings())
+		}
+		unbound := 0
+		for _, b := range res.Bindings() {
+			if _, ok := b["w"]; !ok {
+				unbound++
+			}
+		}
+		if unbound != 2 {
+			t.Errorf("%s: unbound w rows = %d, want 2 (B→C, B→D)", name, unbound)
+		}
+	}
+}
+
+func TestOptionalWithInnerFilter(t *testing.T) {
+	ds := g1Dataset(t)
+	e := New(ds, ModeExtVP)
+	res, err := e.Query(`SELECT ?x ?w WHERE {
+		?x <urn:follows> ?y .
+		OPTIONAL { ?x <urn:likes> ?w FILTER (?w = <urn:I1>) }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A→B keeps w=I1; all other follows rows survive with w unbound.
+	withW := 0
+	for _, b := range res.Bindings() {
+		if w, ok := b["w"]; ok {
+			withW++
+			if w != rdf.NewIRI("urn:I1") {
+				t.Errorf("unexpected w = %v", w)
+			}
+		}
+	}
+	if withW != 1 {
+		t.Errorf("bound-w rows = %d, want 1", withW)
+	}
+	if res.Len() != 4 {
+		t.Errorf("rows = %d, want 4", res.Len())
+	}
+}
+
+func TestFilterBoundAfterOptional(t *testing.T) {
+	// bound(?w) after an OPTIONAL keeps only matched rows.
+	ds := g1Dataset(t)
+	e := New(ds, ModeExtVP)
+	res, err := e.Query(`SELECT ?x ?w WHERE {
+		?x <urn:follows> ?y .
+		OPTIONAL { ?x <urn:likes> ?w }
+		FILTER bound(?w)
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("rows = %d, want 3", res.Len())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	ds := g1Dataset(t)
+	for name, e := range allModes(ds) {
+		res, err := e.Query(`SELECT ?a ?b WHERE {
+			{ ?a <urn:follows> ?b } UNION { ?a <urn:likes> ?b }
+		}`)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Len() != 7 {
+			t.Errorf("%s: rows = %d, want 7", name, res.Len())
+		}
+	}
+}
+
+func TestUnionJoinedWithBGP(t *testing.T) {
+	ds := g1Dataset(t)
+	e := New(ds, ModeExtVP)
+	res, err := e.Query(`SELECT ?x ?v WHERE {
+		?x <urn:follows> <urn:D> .
+		{ ?x <urn:likes> ?v } UNION { ?x <urn:follows> ?v }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subjects following D: B, C. B follows C,D (2) + likes none;
+	// C follows D (1) + likes I2 (1) = 4 rows.
+	if res.Len() != 4 {
+		t.Errorf("rows = %d, want 4: %v", res.Len(), res.Bindings())
+	}
+}
+
+func TestJoinOrderOptimizationEquivalence(t *testing.T) {
+	// Algorithm 3 and Algorithm 4 must return identical results; Alg. 4
+	// must not produce more intermediate rows.
+	ds := g1Dataset(t)
+	opt := New(ds, ModeExtVP)
+	naive := New(ds, ModeExtVP)
+	naive.JoinOrderOpt = false
+	ro, err := opt.Query(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := naive.Query(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canon(ro), canon(rn)) {
+		t.Errorf("results differ: %v vs %v", canon(ro), canon(rn))
+	}
+	if ro.Metrics.RowsOutput > rn.Metrics.RowsOutput {
+		t.Errorf("optimized plan output %d rows, naive %d", ro.Metrics.RowsOutput, rn.Metrics.RowsOutput)
+	}
+}
+
+func TestRepeatedVariableInPattern(t *testing.T) {
+	iri := rdf.NewIRI
+	triples := append(g1(), rdf.Triple{S: iri("urn:E"), P: iri("urn:follows"), O: iri("urn:E")})
+	opts := layout.DefaultOptions()
+	opts.BuildPT = true
+	ds := layout.Build(triples, opts)
+	for name, e := range allModes(ds) {
+		res, err := e.Query(`SELECT ?x WHERE { ?x <urn:follows> ?x }`)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Len() != 1 || res.Bindings()[0]["x"] != iri("urn:E") {
+			t.Errorf("%s: got %v", name, res.Bindings())
+		}
+	}
+}
+
+func TestCrossJoinDisconnectedPatterns(t *testing.T) {
+	ds := g1Dataset(t)
+	e := New(ds, ModeExtVP)
+	res, err := e.Query(`SELECT * WHERE {
+		<urn:A> <urn:likes> ?a .
+		<urn:C> <urn:likes> ?b .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 { // {I1,I2} × {I2}
+		t.Errorf("rows = %d, want 2", res.Len())
+	}
+}
+
+func TestPTStarUsesPropertyTable(t *testing.T) {
+	// Build data where a star over functional predicates hits the PT.
+	iri := rdf.NewIRI
+	var triples []rdf.Triple
+	for i := 0; i < 10; i++ {
+		s := iri(fmt.Sprintf("urn:user%d", i))
+		triples = append(triples,
+			rdf.Triple{S: s, P: iri("urn:name"), O: rdf.NewLiteral(fmt.Sprintf("name%d", i))},
+			rdf.Triple{S: s, P: iri("urn:age"), O: rdf.NewInteger(int64(20 + i))},
+		)
+	}
+	opts := layout.DefaultOptions()
+	opts.BuildPT = true
+	ds := layout.Build(triples, opts)
+	e := New(ds, ModePT)
+	res, err := e.Query(`SELECT ?s ?n ?a WHERE {
+		?s <urn:name> ?n .
+		?s <urn:age> ?a .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 10 {
+		t.Fatalf("rows = %d, want 10", res.Len())
+	}
+	if len(res.Plan) != 1 || res.Plan[0].Table != "PT" {
+		t.Errorf("star should compile to a single PT scan, plan = %+v", res.Plan)
+	}
+}
+
+func TestPTModeRequiresPT(t *testing.T) {
+	ds := layout.Build(g1(), layout.DefaultOptions()) // no PT
+	e := New(ds, ModePT)
+	if _, err := e.Query(q1); err == nil {
+		t.Error("expected error when PT mode used without a property table")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	names := map[Mode]string{ModeExtVP: "ExtVP", ModeVP: "VP", ModeTT: "TT", ModePT: "PT"}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("Mode %d = %q, want %q", int(m), m.String(), want)
+		}
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode name")
+	}
+}
+
+func TestResultBindingsOmitUnbound(t *testing.T) {
+	ds := g1Dataset(t)
+	e := New(ds, ModeExtVP)
+	res, err := e.Query(`SELECT ?x ?w WHERE {
+		?x <urn:follows> <urn:C> .
+		OPTIONAL { ?x <urn:likes> ?w }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+	b := res.Bindings()[0]
+	if _, ok := b["w"]; ok {
+		t.Errorf("w should be unbound for B, got %v", b)
+	}
+}
+
+func TestProjectionSubset(t *testing.T) {
+	ds := g1Dataset(t)
+	e := New(ds, ModeExtVP)
+	res, err := e.Query(`SELECT ?z WHERE {
+		?x <urn:likes> ?w . ?x <urn:follows> ?y .
+		?y <urn:follows> ?z . ?z <urn:likes> ?w
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vars) != 1 || res.Vars[0] != "z" {
+		t.Errorf("Vars = %v", res.Vars)
+	}
+	if res.Len() != 1 || res.Rows[0][0] != rdf.NewIRI("urn:C") {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestAskQueries(t *testing.T) {
+	ds := g1Dataset(t)
+	for name, e := range allModes(ds) {
+		res, err := e.Query(`ASK { <urn:A> <urn:follows> <urn:B> }`)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Ask {
+			t.Errorf("%s: ASK = false, want true", name)
+		}
+		res, err = e.Query(`ASK { <urn:A> <urn:follows> <urn:D> }`)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Ask {
+			t.Errorf("%s: ASK = true, want false", name)
+		}
+	}
+	// ASK over an impossible correlation answers from statistics.
+	e := New(ds, ModeExtVP)
+	res, err := e.Query(`ASK { ?a <urn:likes> ?b . ?b <urn:likes> ?c }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ask || !res.StatsOnly {
+		t.Errorf("ask=%v statsOnly=%v, want false/true", res.Ask, res.StatsOnly)
+	}
+}

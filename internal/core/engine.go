@@ -1,0 +1,399 @@
+// Package core implements S2RDF itself: the SPARQL-to-relational compiler
+// over the ExtVP schema, with statistics-driven table selection (paper
+// Algorithm 1), triple-pattern compilation (Algorithm 2) and join-order
+// optimization (Algorithms 3 and 4), executed on the partitioned relational
+// engine.
+//
+// The same compiler also runs in VP, TT and PT modes, which serve as the
+// paper's baselines (S2RDF VP, a plain triples-table store, and the
+// Sempala-style property-table layout).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"s2rdf/internal/dict"
+	"s2rdf/internal/engine"
+	"s2rdf/internal/layout"
+	"s2rdf/internal/rdf"
+	"s2rdf/internal/sparql"
+)
+
+// Mode selects the storage layout queries are compiled against.
+type Mode int
+
+const (
+	// ModeExtVP uses ExtVP tables with statistics-driven selection — the
+	// paper's contribution.
+	ModeExtVP Mode = iota
+	// ModeVP uses plain vertical partitioning (baseline "S2RDF VP").
+	ModeVP
+	// ModeTT scans the triples table for every pattern.
+	ModeTT
+	// ModePT answers star sub-patterns from the unified property table
+	// (the Sempala baseline).
+	ModePT
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeExtVP:
+		return "ExtVP"
+	case ModeVP:
+		return "VP"
+	case ModeTT:
+		return "TT"
+	case ModePT:
+		return "PT"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Engine executes SPARQL queries over a dataset in one layout mode.
+type Engine struct {
+	DS      *layout.Dataset
+	Cluster *engine.Cluster
+	Mode    Mode
+	// JoinOrderOpt enables the size-driven join ordering of Algorithm 4;
+	// disabled it falls back to Algorithm 3 (pattern order as written).
+	JoinOrderOpt bool
+	// Lazy, when set, computes ExtVP reductions on demand the first time a
+	// query needs them and caches them for later queries — the paper's
+	// "pay as you go" loading strategy (Sec. 7). The dataset should be
+	// built without ExtVP preprocessing.
+	Lazy *layout.LazyExtVP
+	// UnifyCorrelations intersects all applicable bit-vector reductions of
+	// a triple pattern instead of picking the single best one — the
+	// unification strategy the paper sketches as future work (Sec. 8).
+	// Effective only when the dataset was built with layout
+	// Options.BitVectors.
+	UnifyCorrelations bool
+
+	// pt caches the property-table view built on first use in ModePT.
+	pt *ptView
+}
+
+// New returns an engine in the given mode with join-order optimization on.
+func New(ds *layout.Dataset, mode Mode) *Engine {
+	return &Engine{
+		DS:           ds,
+		Cluster:      engine.NewCluster(0),
+		Mode:         mode,
+		JoinOrderOpt: true,
+	}
+}
+
+// PatternPlan records which table was selected for one triple pattern,
+// for EXPLAIN-style inspection and the paper's selectivity experiments.
+type PatternPlan struct {
+	Pattern string
+	Table   string
+	Rows    int
+	SF      float64
+}
+
+// Result is a solved query: variable names, decoded rows, the physical
+// plan, and the engine metrics the execution consumed.
+type Result struct {
+	Vars []string
+	// Rows holds one term per variable; the empty term marks an unbound
+	// variable (possible under OPTIONAL and UNION).
+	Rows     [][]rdf.Term
+	Plan     []PatternPlan
+	Metrics  engine.MetricsSnapshot
+	Duration time.Duration
+	// StatsOnly is true when the statistics proved the result empty
+	// without executing anything (paper Sec. 6.1, ST-8 queries).
+	StatsOnly bool
+	// Ask holds the boolean answer of an ASK query (Rows is empty then).
+	Ask bool
+}
+
+// Len returns the number of solution mappings.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// Bindings returns the solutions as variable->term maps (unbound vars are
+// omitted), convenient for assertions and display.
+func (r *Result) Bindings() []map[string]rdf.Term {
+	out := make([]map[string]rdf.Term, len(r.Rows))
+	for i, row := range r.Rows {
+		m := make(map[string]rdf.Term, len(row))
+		for j, t := range row {
+			if t != "" {
+				m[r.Vars[j]] = t
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// Query parses and executes a SPARQL query string.
+func (e *Engine) Query(src string) (*Result, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Exec(q)
+}
+
+// Exec executes a parsed query.
+func (e *Engine) Exec(q *sparql.Query) (*Result, error) {
+	start := time.Now()
+	before := e.Cluster.Metrics.Snapshot()
+
+	res := &Result{}
+	rel, err := e.evalGroup(q.Where, res)
+	if err != nil {
+		return nil, err
+	}
+
+	if q.Ask {
+		res.Ask = rel.NumRows() > 0
+		res.Metrics = e.Cluster.Metrics.Snapshot().Sub(before)
+		res.Duration = time.Since(start)
+		return res, nil
+	}
+
+	if q.HasAggregates() {
+		rel = e.aggregate(rel, q)
+	}
+
+	vars := q.SelectVars()
+	rel = e.Cluster.Project(rel, vars)
+	if q.Distinct {
+		rel = e.Cluster.Distinct(rel)
+	}
+	if len(q.OrderBy) > 0 {
+		rel = e.orderBy(rel, q.OrderBy)
+	}
+	if q.Limit >= 0 || q.Offset > 0 {
+		limit := q.Limit
+		if limit < 0 {
+			limit = -1
+		}
+		rel = e.Cluster.Limit(rel, q.Offset, limit)
+	}
+
+	res.Vars = vars
+	res.Rows = e.decode(rel)
+	res.Metrics = e.Cluster.Metrics.Snapshot().Sub(before)
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// decode converts engine rows into RDF terms.
+func (e *Engine) decode(rel *engine.Relation) [][]rdf.Term {
+	rows := rel.Rows()
+	out := make([][]rdf.Term, len(rows))
+	for i, row := range rows {
+		terms := make([]rdf.Term, len(row))
+		for j, id := range row {
+			if id != engine.Null {
+				terms[j] = e.DS.Dict.Decode(id)
+			}
+		}
+		out[i] = terms
+	}
+	return out
+}
+
+// orderBy sorts by the given keys; terms compare by numeric value when both
+// are numeric, lexically otherwise, and unbound sorts first.
+func (e *Engine) orderBy(rel *engine.Relation, keys []sparql.OrderKey) *engine.Relation {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		idx[i] = rel.ColIndex(k.Var)
+	}
+	d := e.DS.Dict
+	cmp := func(a, b dict.ID) int {
+		if a == b {
+			return 0
+		}
+		if a == engine.Null {
+			return -1
+		}
+		if b == engine.Null {
+			return 1
+		}
+		ta, tb := d.Decode(a), d.Decode(b)
+		if na, ok := ta.Numeric(); ok {
+			if nb, ok := tb.Numeric(); ok {
+				switch {
+				case na < nb:
+					return -1
+				case na > nb:
+					return 1
+				default:
+					return 0
+				}
+			}
+		}
+		switch {
+		case ta < tb:
+			return -1
+		case ta > tb:
+			return 1
+		}
+		return 0
+	}
+	return e.Cluster.OrderBy(rel, func(a, b engine.Row) bool {
+		for i, k := range keys {
+			if idx[i] < 0 {
+				continue
+			}
+			c := cmp(a[idx[i]], b[idx[i]])
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// unitRelation is the join identity: one zero-column row.
+func (e *Engine) unitRelation() *engine.Relation {
+	return e.Cluster.FromRows(nil, []engine.Row{{}})
+}
+
+// evalGroup evaluates a group graph pattern: BGP, then UNION blocks, then
+// pushable filters, then OPTIONALs, then remaining filters.
+func (e *Engine) evalGroup(g *sparql.Group, res *Result) (*engine.Relation, error) {
+	var rel *engine.Relation
+	if len(g.Triples) > 0 {
+		r, err := e.evalBGP(g.Triples, res)
+		if err != nil {
+			return nil, err
+		}
+		rel = r
+	}
+	for _, u := range g.Unions {
+		ur, err := e.evalUnion(u, res)
+		if err != nil {
+			return nil, err
+		}
+		if rel == nil {
+			rel = ur
+		} else {
+			rel = e.Cluster.Join(rel, ur)
+		}
+	}
+	if rel == nil {
+		rel = e.unitRelation()
+	}
+
+	// Filter pushing: apply filters whose variables are all bound by the
+	// pattern evaluated so far (paper Sec. 6: "basic algebraic
+	// optimizations, e.g. filter pushing").
+	var deferred []sparql.Expression
+	for _, f := range g.Filters {
+		if varsSubset(f.Vars(), rel.Schema) {
+			rel = e.applyFilter(rel, f)
+		} else {
+			deferred = append(deferred, f)
+		}
+	}
+
+	for _, opt := range g.Optionals {
+		right, err := e.evalOptionalBody(opt, res)
+		if err != nil {
+			return nil, err
+		}
+		pred := e.filterPred(joinedSchema(rel.Schema, right.Schema), opt.Filters)
+		rel = e.Cluster.LeftJoin(rel, right, pred)
+	}
+
+	for _, f := range deferred {
+		rel = e.applyFilter(rel, f)
+	}
+	return rel, nil
+}
+
+// evalOptionalBody evaluates an OPTIONAL group without its top-level
+// filters (those join the LeftJoin as its predicate, per SPARQL semantics).
+func (e *Engine) evalOptionalBody(g *sparql.Group, res *Result) (*engine.Relation, error) {
+	body := &sparql.Group{
+		Triples:   g.Triples,
+		Optionals: g.Optionals,
+		Unions:    g.Unions,
+	}
+	return e.evalGroup(body, res)
+}
+
+func (e *Engine) evalUnion(u *sparql.Union, res *Result) (*engine.Relation, error) {
+	var rel *engine.Relation
+	for _, alt := range u.Alternatives {
+		r, err := e.evalGroup(alt, res)
+		if err != nil {
+			return nil, err
+		}
+		if rel == nil {
+			rel = r
+		} else {
+			rel = e.Cluster.Union(rel, r)
+		}
+	}
+	return rel, nil
+}
+
+// applyFilter evaluates a SPARQL filter over decoded bindings.
+func (e *Engine) applyFilter(rel *engine.Relation, f sparql.Expression) *engine.Relation {
+	pred := e.filterPred(rel.Schema, []sparql.Expression{f})
+	return e.Cluster.Filter(rel, pred)
+}
+
+// filterPred builds a row predicate evaluating all exprs under the schema.
+// Returns nil when exprs is empty.
+func (e *Engine) filterPred(schema []string, exprs []sparql.Expression) func(engine.Row) bool {
+	if len(exprs) == 0 {
+		return nil
+	}
+	d := e.DS.Dict
+	return func(row engine.Row) bool {
+		b := make(sparql.Binding, len(schema))
+		for i, name := range schema {
+			if i < len(row) && row[i] != engine.Null {
+				b[name] = d.Decode(row[i])
+			}
+		}
+		for _, f := range exprs {
+			if !f.Eval(b) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func joinedSchema(left, right []string) []string {
+	out := append([]string{}, left...)
+	for _, name := range right {
+		if indexOf(out, name) < 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func varsSubset(vars, schema []string) bool {
+	for _, v := range vars {
+		if indexOf(schema, v) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func indexOf(s []string, v string) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"s2rdf/internal/dict"
+	"s2rdf/internal/engine"
+	"s2rdf/internal/sparql"
+	"s2rdf/internal/store"
+)
+
+// ptView lazily wraps the property table as a columnar store table so the
+// regular Scan operator can read it: column "s" plus one column per
+// functional predicate (named "p<ID>").
+type ptView struct {
+	table  *store.Table
+	colOf  map[dict.ID]string
+	built  bool
+	triple int // rows * width, the scan weight of the unified table
+}
+
+func ptCol(p dict.ID) string { return fmt.Sprintf("p%d", p) }
+
+func (e *Engine) ptTable() *ptView {
+	if e.pt == nil {
+		e.pt = &ptView{}
+	}
+	v := e.pt
+	if v.built {
+		return v
+	}
+	pt := e.DS.PT
+	cols := []string{"s"}
+	data := [][]dict.ID{pt.Subjects}
+	v.colOf = make(map[dict.ID]string, len(pt.Columns))
+	preds := make([]dict.ID, 0, len(pt.Columns))
+	for p := range pt.Columns {
+		preds = append(preds, p)
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+	for _, p := range preds {
+		name := ptCol(p)
+		v.colOf[p] = name
+		cols = append(cols, name)
+		data = append(data, pt.Columns[p])
+	}
+	v.table = &store.Table{Name: "PT", Cols: cols, Data: data}
+	v.triple = pt.NumRows() * (len(cols) - 1)
+	v.built = true
+	return v
+}
+
+// evalBGPPT plans a BGP the way Sempala does (paper Sec. 3.2): patterns
+// whose predicate is stored as a property-table column are grouped by
+// subject and answered with a single scan of the unified table (no joins
+// within a star); multi-valued and unbound-predicate patterns fall back to
+// the auxiliary (VP) tables and are joined in.
+func (e *Engine) evalBGPPT(bgp []sparql.TriplePattern, res *Result) (*engine.Relation, error) {
+	pt := e.DS.PT
+	if pt == nil {
+		return nil, fmt.Errorf("core: property table not built (layout.Options.BuildPT)")
+	}
+	view := e.ptTable()
+
+	type unit struct {
+		rel  *engine.Relation
+		vars []string
+		rows int
+	}
+	var units []unit
+	addPlan := func(pattern, table string, rows int) {
+		res.Plan = append(res.Plan, PatternPlan{Pattern: pattern, Table: table, Rows: rows, SF: 1})
+	}
+
+	// Group PT-answerable patterns by subject node.
+	groups := make(map[string][]sparql.TriplePattern)
+	var order []string
+	var fallback []sparql.TriplePattern
+	for _, tp := range bgp {
+		ok := false
+		if !tp.P.IsVar() {
+			p := e.DS.Dict.Lookup(tp.P.Term)
+			if p != dict.NoID && pt.IsFunctional(p) {
+				ok = true
+			}
+		}
+		if !ok {
+			fallback = append(fallback, tp)
+			continue
+		}
+		key := tp.S.String()
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], tp)
+	}
+
+	// Compile each star group as one wide-table scan.
+	for _, key := range order {
+		star := groups[key]
+		var projs []engine.ScanProjection
+		var conds []engine.ScanCondition
+		var nullChecks []string
+		var vars []string
+		subj := star[0].S
+		if subj.IsVar() {
+			projs = append(projs, engine.ScanProjection{Col: "s", As: subj.Var})
+			vars = append(vars, subj.Var)
+		} else {
+			id := e.DS.Dict.Lookup(subj.Term)
+			if id == dict.NoID {
+				res.StatsOnly = true
+				return e.emptyRelation(bgp), nil
+			}
+			conds = append(conds, engine.ScanCondition{Col: "s", Value: id})
+		}
+		desc := ""
+		for _, tp := range star {
+			p := e.DS.Dict.Lookup(tp.P.Term)
+			col := view.colOf[p]
+			if tp.O.IsVar() {
+				projs = append(projs, engine.ScanProjection{Col: col, As: tp.O.Var})
+				nullChecks = append(nullChecks, tp.O.Var)
+				vars = joinedSchema(vars, []string{tp.O.Var})
+			} else {
+				id := e.DS.Dict.Lookup(tp.O.Term)
+				if id == dict.NoID {
+					res.StatsOnly = true
+					return e.emptyRelation(bgp), nil
+				}
+				conds = append(conds, engine.ScanCondition{Col: col, Value: id})
+			}
+			desc += tp.String() + "; "
+		}
+		rel := e.Cluster.Scan(view.table, projs, conds)
+		// A property-table scan touches the full width of the unified
+		// table; meter the extra cells the narrow Scan did not count.
+		extra := int64(view.triple - pt.NumRows())
+		if extra > 0 {
+			e.Cluster.Metrics.RowsScanned.Add(extra)
+		}
+		// Required patterns must have a value: drop Null cells.
+		if len(nullChecks) > 0 {
+			idxs := make([]int, 0, len(nullChecks))
+			for _, v := range nullChecks {
+				if i := rel.ColIndex(v); i >= 0 {
+					idxs = append(idxs, i)
+				}
+			}
+			rel = e.Cluster.Filter(rel, func(row engine.Row) bool {
+				for _, i := range idxs {
+					if row[i] == engine.Null {
+						return false
+					}
+				}
+				return true
+			})
+		}
+		addPlan(desc, "PT", pt.NumRows())
+		units = append(units, unit{rel: rel, vars: vars, rows: rel.NumRows()})
+	}
+
+	// Compile fallback patterns over VP/TT (auxiliary tables).
+	for _, tp := range fallback {
+		sel := e.selectTableVP(tp)
+		addPlan(tp.String(), sel.name, sel.rows)
+		if sel.empty {
+			res.StatsOnly = true
+			return e.emptyRelation(bgp), nil
+		}
+		scan, ok := e.compilePattern(tp, sel)
+		if !ok {
+			res.StatsOnly = true
+			return e.emptyRelation(bgp), nil
+		}
+		units = append(units, unit{rel: scan, vars: tp.Vars(), rows: scan.NumRows()})
+	}
+
+	if len(units) == 0 {
+		return e.unitRelation(), nil
+	}
+
+	// Join the units smallest-first, avoiding cross joins.
+	sort.SliceStable(units, func(i, j int) bool { return units[i].rows < units[j].rows })
+	rel := units[0].rel
+	bound := units[0].vars
+	remaining := units[1:]
+	for len(remaining) > 0 {
+		next := -1
+		for i, u := range remaining {
+			if !overlap(bound, u.vars) {
+				continue
+			}
+			if next < 0 || u.rows < remaining[next].rows {
+				next = i
+			}
+		}
+		if next < 0 {
+			next = 0
+		}
+		u := remaining[next]
+		remaining = append(remaining[:next:next], remaining[next+1:]...)
+		rel = e.Cluster.Join(rel, u.rel)
+		bound = joinedSchema(bound, u.vars)
+	}
+	return rel, nil
+}
+
+// selectTableVP is table selection restricted to VP/TT (for PT fallbacks).
+func (e *Engine) selectTableVP(tp sparql.TriplePattern) selection {
+	if tp.P.IsVar() {
+		return selection{table: e.DS.TT, name: "TT", rows: e.DS.TT.NumRows(), sf: 1, tt: true}
+	}
+	p := e.DS.Dict.Lookup(tp.P.Term)
+	if p == dict.NoID || e.DS.VP[p] == nil {
+		return selection{empty: true, name: "∅(unknown predicate)"}
+	}
+	vp := e.DS.VP[p]
+	return selection{table: vp, name: vp.Name, rows: vp.NumRows(), sf: 1}
+}
+
+func overlap(a, b []string) bool {
+	for _, v := range b {
+		if indexOf(a, v) >= 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+// Package dict implements the global term dictionary used by the S2RDF
+// reproduction. Every distinct RDF term is mapped to a dense uint32 ID so
+// that all relational tables store fixed-width integer columns, mirroring
+// the dictionary encoding Parquet applies in the paper's setup.
+package dict
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"s2rdf/internal/rdf"
+)
+
+// ID is a dictionary-encoded term identifier. IDs are dense, starting at 0.
+type ID = uint32
+
+// NoID is returned by Lookup for unknown terms.
+const NoID = ^uint32(0)
+
+// Dict is a bidirectional, concurrency-safe term dictionary.
+type Dict struct {
+	mu    sync.RWMutex
+	ids   map[rdf.Term]ID
+	terms []rdf.Term
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{ids: make(map[rdf.Term]ID)}
+}
+
+// Encode returns the ID for term, assigning a fresh one if necessary.
+func (d *Dict) Encode(term rdf.Term) ID {
+	d.mu.RLock()
+	id, ok := d.ids[term]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[term]; ok {
+		return id
+	}
+	id = ID(len(d.terms))
+	d.ids[term] = id
+	d.terms = append(d.terms, term)
+	return id
+}
+
+// Lookup returns the ID for term without assigning; NoID if unknown.
+func (d *Dict) Lookup(term rdf.Term) ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id, ok := d.ids[term]; ok {
+		return id
+	}
+	return NoID
+}
+
+// Decode returns the term for id. It panics on out-of-range IDs, which
+// indicate internal corruption rather than user error.
+func (d *Dict) Decode(id ID) rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms[id]
+}
+
+// Len returns the number of distinct terms.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// EncodeTriple encodes all three components of t.
+func (d *Dict) EncodeTriple(t rdf.Triple) (s, p, o ID) {
+	return d.Encode(t.S), d.Encode(t.P), d.Encode(t.O)
+}
+
+// DecodeTriple reverses EncodeTriple.
+func (d *Dict) DecodeTriple(s, p, o ID) rdf.Triple {
+	return rdf.Triple{S: d.Decode(s), P: d.Decode(p), O: d.Decode(o)}
+}
+
+// Save writes the dictionary (one term per line, in ID order).
+func (d *Dict) Save(w io.Writer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	for _, t := range d.terms {
+		if _, err := fmt.Fprintln(bw, string(t)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a dictionary previously written by Save.
+func Load(r io.Reader) (*Dict, error) {
+	d := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		term := rdf.Term(sc.Text())
+		id := ID(len(d.terms))
+		d.ids[term] = id
+		d.terms = append(d.terms, term)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SortedIDs returns the given IDs sorted by their decoded term text. Used to
+// produce deterministic ORDER BY output for terms.
+func (d *Dict) SortedIDs(ids []ID) []ID {
+	out := make([]ID, len(ids))
+	copy(out, ids)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return d.terms[out[i]] < d.terms[out[j]] })
+	return out
+}

@@ -1,0 +1,75 @@
+package engine
+
+import "s2rdf/internal/dict"
+
+// Broadcast joins. The paper's evaluation runs Spark with broadcast joins
+// disabled (Sec. 7 setup); this engine supports them behind a threshold so
+// the choice can be reproduced and ablated. When one join side is smaller
+// than BroadcastThreshold rows, it is replicated to every partition of the
+// other side instead of shuffling both sides by the join key.
+
+// SetBroadcastThreshold enables broadcast joins for build sides of at most
+// n rows (0 disables them, the paper's configuration).
+func (c *Cluster) SetBroadcastThreshold(n int) { c.broadcastThreshold = n }
+
+// broadcastJoin joins left and right where small is the side to replicate.
+// leftSmall says whether the small side is the left one.
+func (c *Cluster) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation {
+	leftSmall := left.NumRows() <= right.NumRows()
+	small, big := left, right
+	sIdx, bIdx := lIdx, rIdx
+	if !leftSmall {
+		small, big = right, left
+		sIdx, bIdx = rIdx, lIdx
+	}
+	srows := small.Rows()
+	// Replicating the small side to every partition is the broadcast cost.
+	c.Metrics.RowsShuffled.Add(int64(len(srows)) * int64(len(big.Parts)))
+
+	outSchema := joinSchema(left.Schema, right.Schema, rIdx)
+	out := newRelation(outSchema, len(big.Parts))
+	out.keyCol = big.keyCol
+	if len(srows) == 0 {
+		return out
+	}
+
+	ht := make(map[dict.ID][]Row, len(srows))
+	for _, row := range srows {
+		ht[row[sIdx[0]]] = append(ht[row[sIdx[0]]], row)
+	}
+	rightDup := dupMask(len(srows[0]), sIdx)
+	if !leftSmall {
+		// Small side is right: dup mask over right rows (already sIdx).
+		rightDup = dupMask(len(srows[0]), sIdx)
+	}
+	c.parallel(len(big.Parts), func(p int) {
+		var rows []Row
+		var comparisons int64
+		for _, brow := range big.Parts[p] {
+			cands := ht[brow[bIdx[0]]]
+			comparisons += int64(len(cands))
+		cand:
+			for _, srow := range cands {
+				for k := 1; k < len(bIdx); k++ {
+					if brow[bIdx[k]] != srow[sIdx[k]] {
+						continue cand
+					}
+				}
+				var lrow, rrow Row
+				if leftSmall {
+					lrow, rrow = srow, brow
+					// Output schema drops the *right* side's join
+					// columns; recompute the mask over the big row.
+					rows = append(rows, concatRows(lrow, rrow, dupMask(len(rrow), bIdx)))
+				} else {
+					lrow, rrow = brow, srow
+					rows = append(rows, concatRows(lrow, rrow, rightDup))
+				}
+			}
+		}
+		c.Metrics.JoinComparisons.Add(comparisons)
+		out.Parts[p] = rows
+	})
+	c.Metrics.RowsOutput.Add(int64(out.NumRows()))
+	return out
+}

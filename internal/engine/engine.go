@@ -1,0 +1,773 @@
+// Package engine implements a hash-partitioned, multi-worker relational
+// engine: the stand-in for Spark SQL in the S2RDF reproduction.
+//
+// Relations are horizontally partitioned collections of fixed-width rows of
+// dictionary IDs. Joins repartition ("shuffle") both inputs by the hash of
+// the join key and then run per-partition hash joins on a pool of worker
+// goroutines. The engine meters the quantities the paper's argument rests
+// on: rows scanned, rows shuffled and join comparisons. Input-size
+// reduction (what ExtVP buys) therefore translates directly into lower
+// metered cost and lower wall time, just as on Spark.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"s2rdf/internal/dict"
+	"s2rdf/internal/store"
+)
+
+// Null marks an unbound value in a row (produced by OPTIONAL and UNION).
+const Null = dict.NoID
+
+// Row is one tuple of dictionary IDs.
+type Row []dict.ID
+
+// Metrics counts the work performed by a cluster. All fields are updated
+// atomically and may be read concurrently.
+type Metrics struct {
+	RowsScanned     atomic.Int64
+	RowsShuffled    atomic.Int64
+	JoinComparisons atomic.Int64
+	RowsOutput      atomic.Int64
+	Tasks           atomic.Int64
+}
+
+// Snapshot returns a plain-struct copy of the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		RowsScanned:     m.RowsScanned.Load(),
+		RowsShuffled:    m.RowsShuffled.Load(),
+		JoinComparisons: m.JoinComparisons.Load(),
+		RowsOutput:      m.RowsOutput.Load(),
+		Tasks:           m.Tasks.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (m *Metrics) Reset() {
+	m.RowsScanned.Store(0)
+	m.RowsShuffled.Store(0)
+	m.JoinComparisons.Store(0)
+	m.RowsOutput.Store(0)
+	m.Tasks.Store(0)
+}
+
+// MetricsSnapshot is a point-in-time copy of Metrics.
+type MetricsSnapshot struct {
+	RowsScanned     int64
+	RowsShuffled    int64
+	JoinComparisons int64
+	RowsOutput      int64
+	Tasks           int64
+}
+
+// Sub returns the difference s - other, for metering a single query.
+func (s MetricsSnapshot) Sub(other MetricsSnapshot) MetricsSnapshot {
+	return MetricsSnapshot{
+		RowsScanned:     s.RowsScanned - other.RowsScanned,
+		RowsShuffled:    s.RowsShuffled - other.RowsShuffled,
+		JoinComparisons: s.JoinComparisons - other.JoinComparisons,
+		RowsOutput:      s.RowsOutput - other.RowsOutput,
+		Tasks:           s.Tasks - other.Tasks,
+	}
+}
+
+// Cluster models the executor pool: a number of partitions (parallel tasks
+// per stage) and a worker limit.
+type Cluster struct {
+	partitions int
+	workers    int
+	// broadcastThreshold enables broadcast joins for sides of at most this
+	// many rows; 0 disables them (the paper's Spark configuration).
+	broadcastThreshold int
+	Metrics            Metrics
+}
+
+// NewCluster returns a cluster with the given number of partitions per
+// relation. partitions <= 0 selects GOMAXPROCS.
+func NewCluster(partitions int) *Cluster {
+	if partitions <= 0 {
+		partitions = runtime.GOMAXPROCS(0)
+	}
+	return &Cluster{partitions: partitions, workers: runtime.GOMAXPROCS(0)}
+}
+
+// Partitions returns the partition count.
+func (c *Cluster) Partitions() int { return c.partitions }
+
+// parallel runs fn(p) for p in [0, n) on the worker pool and waits.
+func (c *Cluster) parallel(n int, fn func(p int)) {
+	c.Metrics.Tasks.Add(int64(n))
+	workers := c.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for p := 0; p < n; p++ {
+			fn(p)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= n {
+					return
+				}
+				fn(p)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Relation is a horizontally partitioned table with named columns.
+type Relation struct {
+	Schema []string
+	Parts  [][]Row
+	// keyCol is the column index the relation is hash-partitioned by,
+	// or -1 when the partitioning is arbitrary (e.g. block-partitioned
+	// scan output). Joins use it to skip redundant shuffles.
+	keyCol int
+}
+
+// NumRows returns the total row count across partitions.
+func (r *Relation) NumRows() int {
+	n := 0
+	for _, p := range r.Parts {
+		n += len(p)
+	}
+	return n
+}
+
+// ColIndex returns the index of the named column, or -1.
+func (r *Relation) ColIndex(name string) int {
+	for i, c := range r.Schema {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rows gathers all rows into one slice (coordinator-side collect).
+func (r *Relation) Rows() []Row {
+	out := make([]Row, 0, r.NumRows())
+	for _, p := range r.Parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// newRelation allocates an empty relation with n partitions.
+func newRelation(schema []string, n int) *Relation {
+	return &Relation{Schema: schema, Parts: make([][]Row, n), keyCol: -1}
+}
+
+// FromRows builds a relation from a row slice, block-partitioned.
+func (c *Cluster) FromRows(schema []string, rows []Row) *Relation {
+	rel := newRelation(schema, c.partitions)
+	if len(rows) == 0 {
+		return rel
+	}
+	chunk := (len(rows) + c.partitions - 1) / c.partitions
+	for p := 0; p < c.partitions; p++ {
+		lo := p * chunk
+		if lo >= len(rows) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		rel.Parts[p] = rows[lo:hi]
+	}
+	return rel
+}
+
+// ScanCondition restricts a scanned column to a constant.
+type ScanCondition struct {
+	Col   string
+	Value dict.ID
+}
+
+// ScanProjection renames a stored column to an output variable.
+type ScanProjection struct {
+	Col string // column name in the stored table
+	As  string // output variable name
+}
+
+// Scan reads a stored table, applies constant conditions, projects and
+// renames columns, and produces a block-partitioned relation. This is the
+// compiled form of one SPARQL triple pattern (paper Algorithm 2).
+//
+// If two projections reference the same source column position implicitly
+// via equal variable names (e.g. pattern ?x p ?x), rows where the columns
+// differ are dropped and the duplicate column is projected once.
+func (c *Cluster) Scan(t *store.Table, projs []ScanProjection, conds []ScanCondition) *Relation {
+	n := t.NumRows()
+	c.Metrics.RowsScanned.Add(int64(n))
+
+	condIdx := make([]int, len(conds))
+	for i, cd := range conds {
+		condIdx[i] = t.ColIndex(cd.Col)
+	}
+	// Deduplicate projections that target the same output variable.
+	type proj struct{ src int }
+	var outSchema []string
+	var outProj []proj
+	var equal [][2]int // pairs of source columns that must be equal
+	seen := map[string]int{}
+	for _, pr := range projs {
+		src := t.ColIndex(pr.Col)
+		if prev, ok := seen[pr.As]; ok {
+			equal = append(equal, [2]int{outProj[prev].src, src})
+			continue
+		}
+		seen[pr.As] = len(outProj)
+		outSchema = append(outSchema, pr.As)
+		outProj = append(outProj, proj{src: src})
+	}
+
+	rel := newRelation(outSchema, c.partitions)
+	if n == 0 {
+		return rel
+	}
+	chunk := (n + c.partitions - 1) / c.partitions
+	c.parallel(c.partitions, func(p int) {
+		lo := p * chunk
+		if lo >= n {
+			return
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		var out []Row
+	rows:
+		for i := lo; i < hi; i++ {
+			for k, cd := range conds {
+				if ci := condIdx[k]; ci < 0 || t.Data[ci][i] != cd.Value {
+					continue rows
+				}
+			}
+			for _, eq := range equal {
+				if t.Data[eq[0]][i] != t.Data[eq[1]][i] {
+					continue rows
+				}
+			}
+			row := make(Row, len(outProj))
+			for j, pr := range outProj {
+				row[j] = t.Data[pr.src][i]
+			}
+			out = append(out, row)
+		}
+		rel.Parts[p] = out
+	})
+	c.Metrics.RowsOutput.Add(int64(rel.NumRows()))
+	return rel
+}
+
+// Filter keeps the rows satisfying pred.
+func (c *Cluster) Filter(r *Relation, pred func(Row) bool) *Relation {
+	out := newRelation(r.Schema, len(r.Parts))
+	out.keyCol = r.keyCol
+	c.parallel(len(r.Parts), func(p int) {
+		var kept []Row
+		for _, row := range r.Parts[p] {
+			if pred(row) {
+				kept = append(kept, row)
+			}
+		}
+		out.Parts[p] = kept
+	})
+	return out
+}
+
+// Project keeps the named columns, in order.
+func (c *Cluster) Project(r *Relation, cols []string) *Relation {
+	idx := make([]int, len(cols))
+	for i, name := range cols {
+		idx[i] = r.ColIndex(name)
+	}
+	out := newRelation(cols, len(r.Parts))
+	c.parallel(len(r.Parts), func(p int) {
+		rows := make([]Row, len(r.Parts[p]))
+		for i, row := range r.Parts[p] {
+			nr := make(Row, len(idx))
+			for j, ci := range idx {
+				if ci < 0 {
+					nr[j] = Null
+				} else {
+					nr[j] = row[ci]
+				}
+			}
+			rows[i] = nr
+		}
+		out.Parts[p] = rows
+	})
+	return out
+}
+
+func hashID(v dict.ID) uint32 {
+	// Fibonacci hashing: good spread for dense dictionary IDs.
+	return uint32(uint64(v) * 0x9E3779B97F4A7C15 >> 32)
+}
+
+// shuffle repartitions r by the hash of column key. It meters every moved
+// row. When the relation is already partitioned by that column the shuffle
+// is skipped (mirroring Spark's co-partitioning optimization).
+func (c *Cluster) shuffle(r *Relation, key int) *Relation {
+	if r.keyCol == key && len(r.Parts) == c.partitions {
+		return r
+	}
+	n := len(r.Parts)
+	// Each source partition builds per-target buckets; then targets are
+	// assembled in parallel.
+	buckets := make([][][]Row, n)
+	c.parallel(n, func(p int) {
+		local := make([][]Row, c.partitions)
+		for _, row := range r.Parts[p] {
+			t := int(hashID(row[key])) % c.partitions
+			local[t] = append(local[t], row)
+		}
+		buckets[p] = local
+	})
+	c.Metrics.RowsShuffled.Add(int64(r.NumRows()))
+	out := newRelation(r.Schema, c.partitions)
+	out.keyCol = key
+	c.parallel(c.partitions, func(t int) {
+		var rows []Row
+		for p := 0; p < n; p++ {
+			rows = append(rows, buckets[p][t]...)
+		}
+		out.Parts[t] = rows
+	})
+	return out
+}
+
+// sharedCols returns the positions of columns common to both schemas.
+func sharedCols(left, right []string) (lIdx, rIdx []int) {
+	for i, name := range left {
+		for j, rname := range right {
+			if name == rname {
+				lIdx = append(lIdx, i)
+				rIdx = append(rIdx, j)
+				break
+			}
+		}
+	}
+	return lIdx, rIdx
+}
+
+// Join computes the natural join of left and right on all shared columns.
+// With no shared columns it degenerates to a cross join (metered but
+// discouraged; the query planner avoids it).
+func (c *Cluster) Join(left, right *Relation) *Relation {
+	lIdx, rIdx := sharedCols(left.Schema, right.Schema)
+	if len(lIdx) == 0 {
+		return c.cross(left, right)
+	}
+	if n := c.broadcastThreshold; n > 0 {
+		small := left.NumRows()
+		if r := right.NumRows(); r < small {
+			small = r
+		}
+		if small <= n {
+			return c.broadcastJoin(left, right, lIdx, rIdx)
+		}
+	}
+	// Shuffle both sides by the first join column; remaining join columns
+	// are checked during the probe.
+	l := c.shuffle(left, lIdx[0])
+	r := c.shuffle(right, rIdx[0])
+
+	outSchema := joinSchema(left.Schema, right.Schema, rIdx)
+	out := newRelation(outSchema, c.partitions)
+	out.keyCol = lIdx[0]
+	c.parallel(c.partitions, func(p int) {
+		out.Parts[p] = c.hashJoinPartition(l.Parts[p], r.Parts[p], lIdx, rIdx, false)
+	})
+	c.Metrics.RowsOutput.Add(int64(out.NumRows()))
+	return out
+}
+
+// LeftJoin computes the left outer join (SPARQL OPTIONAL): unmatched left
+// rows survive with Null in the right-only columns. An optional post-join
+// predicate (the OPTIONAL group's filter) is applied to matched rows.
+func (c *Cluster) LeftJoin(left, right *Relation, pred func(Row) bool) *Relation {
+	lIdx, rIdx := sharedCols(left.Schema, right.Schema)
+	outSchema := joinSchema(left.Schema, right.Schema, rIdx)
+	if len(lIdx) == 0 {
+		// Cross-style OPTIONAL: every left row pairs with every right row;
+		// if right is empty, left rows survive padded.
+		cross := c.cross(left, right)
+		if pred != nil {
+			cross = c.Filter(cross, pred)
+		}
+		if cross.NumRows() > 0 {
+			return cross
+		}
+		return c.padRight(left, outSchema)
+	}
+	l := c.shuffle(left, lIdx[0])
+	r := c.shuffle(right, rIdx[0])
+	out := newRelation(outSchema, c.partitions)
+	out.keyCol = lIdx[0]
+	rightOnly := len(outSchema) - len(left.Schema)
+	c.parallel(c.partitions, func(p int) {
+		matched := c.hashJoinPartitionOuter(l.Parts[p], r.Parts[p], lIdx, rIdx, rightOnly, pred)
+		out.Parts[p] = matched
+	})
+	c.Metrics.RowsOutput.Add(int64(out.NumRows()))
+	return out
+}
+
+// SemiJoin keeps the left rows that have at least one match in right on the
+// shared columns. This is the engine primitive ExtVP construction uses.
+func (c *Cluster) SemiJoin(left, right *Relation) *Relation {
+	lIdx, rIdx := sharedCols(left.Schema, right.Schema)
+	if len(lIdx) == 0 {
+		if right.NumRows() > 0 {
+			return left
+		}
+		return newRelation(left.Schema, len(left.Parts))
+	}
+	l := c.shuffle(left, lIdx[0])
+	r := c.shuffle(right, rIdx[0])
+	out := newRelation(left.Schema, c.partitions)
+	out.keyCol = lIdx[0]
+	c.parallel(c.partitions, func(p int) {
+		out.Parts[p] = c.hashJoinPartition(l.Parts[p], r.Parts[p], lIdx, rIdx, true)
+	})
+	c.Metrics.RowsOutput.Add(int64(out.NumRows()))
+	return out
+}
+
+// hashJoinPartition joins one co-partition pair. When semi is true it emits
+// each matching left row once instead of concatenated rows.
+func (c *Cluster) hashJoinPartition(lrows, rrows []Row, lIdx, rIdx []int, semi bool) []Row {
+	if len(lrows) == 0 || len(rrows) == 0 {
+		return nil
+	}
+	// Build on the smaller side unless emitting semi-join output, which
+	// must preserve left rows.
+	build, probe := rrows, lrows
+	bIdx, pIdx := rIdx, lIdx
+	swapped := false
+	if !semi && len(lrows) < len(rrows) {
+		build, probe = lrows, rrows
+		bIdx, pIdx = lIdx, rIdx
+		swapped = true
+	}
+	ht := make(map[dict.ID][]Row, len(build))
+	for _, row := range build {
+		k := row[bIdx[0]]
+		ht[k] = append(ht[k], row)
+	}
+	var out []Row
+	var comparisons int64
+	rightDup := dupMask(len(build[0]), bIdx)
+	if swapped {
+		rightDup = dupMask(len(probe[0]), pIdx)
+	}
+	for _, prow := range probe {
+		cands := ht[prow[pIdx[0]]]
+		comparisons += int64(len(cands))
+	cand:
+		for _, brow := range cands {
+			for k := 1; k < len(pIdx); k++ {
+				if prow[pIdx[k]] != brow[bIdx[k]] {
+					continue cand
+				}
+			}
+			if semi {
+				out = append(out, prow)
+				break cand
+			}
+			var lrow, rrow Row
+			if swapped {
+				lrow, rrow = brow, prow
+			} else {
+				lrow, rrow = prow, brow
+			}
+			out = append(out, concatRows(lrow, rrow, rightDup))
+		}
+	}
+	c.Metrics.JoinComparisons.Add(comparisons)
+	return out
+}
+
+// hashJoinPartitionOuter is the left-outer variant.
+func (c *Cluster) hashJoinPartitionOuter(lrows, rrows []Row, lIdx, rIdx []int, rightOnly int, pred func(Row) bool) []Row {
+	ht := make(map[dict.ID][]Row, len(rrows))
+	for _, row := range rrows {
+		ht[row[rIdx[0]]] = append(ht[row[rIdx[0]]], row)
+	}
+	var rightDup []bool
+	if len(rrows) > 0 {
+		rightDup = dupMask(len(rrows[0]), rIdx)
+	}
+	var out []Row
+	var comparisons int64
+	for _, lrow := range lrows {
+		cands := ht[lrow[lIdx[0]]]
+		comparisons += int64(len(cands))
+		matched := false
+	cand:
+		for _, rrow := range cands {
+			for k := 1; k < len(lIdx); k++ {
+				if lrow[lIdx[k]] != rrow[rIdx[k]] {
+					continue cand
+				}
+			}
+			joined := concatRows(lrow, rrow, rightDup)
+			if pred != nil && !pred(joined) {
+				continue cand
+			}
+			matched = true
+			out = append(out, joined)
+		}
+		if !matched {
+			padded := make(Row, len(lrow)+rightOnly)
+			copy(padded, lrow)
+			for i := len(lrow); i < len(padded); i++ {
+				padded[i] = Null
+			}
+			out = append(out, padded)
+		}
+	}
+	c.Metrics.JoinComparisons.Add(comparisons)
+	return out
+}
+
+// dupMask marks the right-side columns that also appear in the join key
+// (and are therefore dropped from the output).
+func dupMask(n int, rIdx []int) []bool {
+	mask := make([]bool, n)
+	for _, i := range rIdx {
+		mask[i] = true
+	}
+	return mask
+}
+
+func concatRows(l, r Row, rightDup []bool) Row {
+	out := make(Row, 0, len(l)+len(r)-countTrue(rightDup))
+	out = append(out, l...)
+	for i, v := range r {
+		if !rightDup[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func countTrue(b []bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func joinSchema(left, right []string, rIdx []int) []string {
+	dup := dupMask(len(right), rIdx)
+	out := make([]string, 0, len(left)+len(right)-countTrue(dup))
+	out = append(out, left...)
+	for i, name := range right {
+		if !dup[i] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// cross computes the cartesian product.
+func (c *Cluster) cross(left, right *Relation) *Relation {
+	outSchema := append(append([]string{}, left.Schema...), right.Schema...)
+	rrows := right.Rows()
+	c.Metrics.RowsShuffled.Add(int64(len(rrows)) * int64(len(left.Parts)))
+	out := newRelation(outSchema, len(left.Parts))
+	c.parallel(len(left.Parts), func(p int) {
+		var rows []Row
+		for _, lrow := range left.Parts[p] {
+			for _, rrow := range rrows {
+				nr := make(Row, 0, len(lrow)+len(rrow))
+				nr = append(nr, lrow...)
+				nr = append(nr, rrow...)
+				rows = append(rows, nr)
+			}
+		}
+		out.Parts[p] = rows
+	})
+	c.Metrics.JoinComparisons.Add(int64(left.NumRows()) * int64(len(rrows)))
+	c.Metrics.RowsOutput.Add(int64(out.NumRows()))
+	return out
+}
+
+// padRight extends every left row with Nulls to match outSchema.
+func (c *Cluster) padRight(left *Relation, outSchema []string) *Relation {
+	out := newRelation(outSchema, len(left.Parts))
+	c.parallel(len(left.Parts), func(p int) {
+		rows := make([]Row, len(left.Parts[p]))
+		for i, lrow := range left.Parts[p] {
+			nr := make(Row, len(outSchema))
+			copy(nr, lrow)
+			for j := len(lrow); j < len(nr); j++ {
+				nr[j] = Null
+			}
+			rows[i] = nr
+		}
+		out.Parts[p] = rows
+	})
+	return out
+}
+
+// Union concatenates two relations, aligning columns by name; columns
+// missing on one side become Null.
+func (c *Cluster) Union(a, b *Relation) *Relation {
+	schema := append([]string{}, a.Schema...)
+	for _, name := range b.Schema {
+		if indexOf(schema, name) < 0 {
+			schema = append(schema, name)
+		}
+	}
+	align := func(r *Relation) *Relation {
+		if equalSchema(r.Schema, schema) {
+			return r
+		}
+		return c.Project(r, schema)
+	}
+	a2, b2 := align(a), align(b)
+	out := newRelation(schema, len(a2.Parts)+len(b2.Parts))
+	copy(out.Parts, a2.Parts)
+	copy(out.Parts[len(a2.Parts):], b2.Parts)
+	return out
+}
+
+// Distinct removes duplicate rows (hash-shuffled on the first column so
+// deduplication runs partition-parallel).
+func (c *Cluster) Distinct(r *Relation) *Relation {
+	if len(r.Schema) == 0 {
+		// Degenerate: at most one empty row.
+		out := newRelation(r.Schema, 1)
+		if r.NumRows() > 0 {
+			out.Parts[0] = []Row{{}}
+		}
+		return out
+	}
+	s := c.shuffle(r, 0)
+	out := newRelation(r.Schema, len(s.Parts))
+	out.keyCol = 0
+	c.parallel(len(s.Parts), func(p int) {
+		seen := make(map[string]struct{}, len(s.Parts[p]))
+		var rows []Row
+		for _, row := range s.Parts[p] {
+			k := rowKey(row)
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			seen[k] = struct{}{}
+			rows = append(rows, row)
+		}
+		out.Parts[p] = rows
+	})
+	return out
+}
+
+func rowKey(row Row) string {
+	b := make([]byte, 0, len(row)*4)
+	for _, v := range row {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// OrderBy gathers all rows and sorts them with less (coordinator-side, as
+// Spark does for a global ORDER BY without range partitioning).
+func (c *Cluster) OrderBy(r *Relation, less func(a, b Row) bool) *Relation {
+	rows := r.Rows()
+	mergeSortRows(rows, less)
+	out := newRelation(r.Schema, 1)
+	out.Parts[0] = rows
+	return out
+}
+
+// Limit returns at most n rows after skipping offset rows.
+func (c *Cluster) Limit(r *Relation, offset, n int) *Relation {
+	rows := r.Rows()
+	if offset > len(rows) {
+		offset = len(rows)
+	}
+	rows = rows[offset:]
+	if n >= 0 && n < len(rows) {
+		rows = rows[:n]
+	}
+	out := newRelation(r.Schema, 1)
+	out.Parts[0] = rows
+	return out
+}
+
+func indexOf(s []string, v string) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func equalSchema(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeSortRows is a stable merge sort (stdlib sort.SliceStable would be
+// fine; a hand-rolled version keeps allocation predictable on big results).
+func mergeSortRows(rows []Row, less func(a, b Row) bool) {
+	if len(rows) < 2 {
+		return
+	}
+	tmp := make([]Row, len(rows))
+	var sortRange func(lo, hi int)
+	sortRange = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		mid := (lo + hi) / 2
+		sortRange(lo, mid)
+		sortRange(mid, hi)
+		i, j, k := lo, mid, lo
+		for i < mid && j < hi {
+			if less(rows[j], rows[i]) {
+				tmp[k] = rows[j]
+				j++
+			} else {
+				tmp[k] = rows[i]
+				i++
+			}
+			k++
+		}
+		copy(tmp[k:], rows[i:mid])
+		copy(tmp[k+mid-i:hi], rows[j:hi])
+		copy(rows[lo:hi], tmp[lo:hi])
+	}
+	sortRange(0, len(rows))
+}

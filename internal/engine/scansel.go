@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"s2rdf/internal/bitvec"
+	"s2rdf/internal/store"
+)
+
+// ScanSel is Scan restricted to the rows whose bit is set in sel — the scan
+// operator for the bit-vector ExtVP representation: the base VP table is
+// read through a selection vector instead of reading a materialized
+// reduction. Only selected rows are metered as scanned, mirroring the I/O
+// a materialized reduction of the same size would cost.
+func (c *Cluster) ScanSel(t *store.Table, sel *bitvec.Bitset, projs []ScanProjection, conds []ScanCondition) *Relation {
+	if sel == nil {
+		return c.Scan(t, projs, conds)
+	}
+	n := t.NumRows()
+	c.Metrics.RowsScanned.Add(int64(sel.Count()))
+
+	condIdx := make([]int, len(conds))
+	for i, cd := range conds {
+		condIdx[i] = t.ColIndex(cd.Col)
+	}
+	type proj struct{ src int }
+	var outSchema []string
+	var outProj []proj
+	var equal [][2]int
+	seen := map[string]int{}
+	for _, pr := range projs {
+		src := t.ColIndex(pr.Col)
+		if prev, ok := seen[pr.As]; ok {
+			equal = append(equal, [2]int{outProj[prev].src, src})
+			continue
+		}
+		seen[pr.As] = len(outProj)
+		outSchema = append(outSchema, pr.As)
+		outProj = append(outProj, proj{src: src})
+	}
+
+	rel := newRelation(outSchema, c.partitions)
+	if n == 0 {
+		return rel
+	}
+	chunk := (n + c.partitions - 1) / c.partitions
+	c.parallel(c.partitions, func(p int) {
+		lo := p * chunk
+		if lo >= n {
+			return
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		var out []Row
+	rows:
+		for i := lo; i < hi; i++ {
+			if !sel.Get(i) {
+				continue
+			}
+			for k, cd := range conds {
+				if ci := condIdx[k]; ci < 0 || t.Data[ci][i] != cd.Value {
+					continue rows
+				}
+			}
+			for _, eq := range equal {
+				if t.Data[eq[0]][i] != t.Data[eq[1]][i] {
+					continue rows
+				}
+			}
+			row := make(Row, len(outProj))
+			for j, pr := range outProj {
+				row[j] = t.Data[pr.src][i]
+			}
+			out = append(out, row)
+		}
+		rel.Parts[p] = out
+	})
+	c.Metrics.RowsOutput.Add(int64(rel.NumRows()))
+	return rel
+}

@@ -1,0 +1,401 @@
+// Package layout implements the relational mappings for RDF data that the
+// paper compares (Sec. 4) and contributes (Sec. 5): the Triples Table (TT),
+// Vertical Partitioning (VP), Property Tables (PT) and the paper's novel
+// Extended Vertical Partitioning (ExtVP) with its SS/OS/SO semi-join
+// reductions, selectivity statistics and SF threshold.
+package layout
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"s2rdf/internal/bitvec"
+	"s2rdf/internal/dict"
+	"s2rdf/internal/rdf"
+	"s2rdf/internal/store"
+)
+
+// Correlation identifies the join-correlation kind between two triple
+// patterns (paper Fig. 9).
+type Correlation uint8
+
+const (
+	// SS is a subject-subject correlation (star joins).
+	SS Correlation = iota
+	// OS is an object-subject correlation (forward path joins).
+	OS
+	// SO is a subject-object correlation (backward path joins).
+	SO
+	// OO is an object-object correlation; the paper chooses not to
+	// materialize these (Sec. 5.2). Supported for the ablation experiment.
+	OO
+)
+
+// String returns the correlation name as used in table names.
+func (c Correlation) String() string {
+	switch c {
+	case SS:
+		return "SS"
+	case OS:
+		return "OS"
+	case SO:
+		return "SO"
+	case OO:
+		return "OO"
+	}
+	return fmt.Sprintf("Correlation(%d)", int(c))
+}
+
+// ExtKey identifies one ExtVP table: the reduction of VP[P1] against VP[P2]
+// under the given correlation.
+type ExtKey struct {
+	Kind   Correlation
+	P1, P2 dict.ID
+}
+
+// TableInfo records the statistics S2RDF keeps for every candidate ExtVP
+// table, including the ones that were not materialized because they are
+// empty, equal to VP, or above the SF threshold (paper Sec. 5.2/5.3).
+type TableInfo struct {
+	Rows         int
+	SF           float64
+	Materialized bool
+}
+
+// Options configures dataset construction.
+type Options struct {
+	// Threshold is the SF threshold: ExtVP tables with SF >= Threshold are
+	// not materialized. 1.0 (the default via DefaultOptions) keeps every
+	// non-trivial table, matching "no threshold" in the paper (SF<1 tables
+	// are always kept; SF=1 tables never are, they equal VP).
+	Threshold float64
+	// BuildExtVP controls whether the ExtVP tables are computed.
+	BuildExtVP bool
+	// BuildOO additionally materializes OO reductions (ablation only).
+	BuildOO bool
+	// BuildPT builds the Sempala-style property table.
+	BuildPT bool
+	// BitVectors stores ExtVP reductions as selection bit vectors over the
+	// VP tables instead of materialized row copies — the compact
+	// representation the paper proposes as future work (Sec. 8). One
+	// reduction then costs |VP_p1|/8 bytes, and several reductions of the
+	// same pattern can be intersected with a word-wise AND.
+	BitVectors bool
+	// Workers bounds build parallelism; <=0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions enables ExtVP with no SF threshold.
+func DefaultOptions() Options {
+	return Options{Threshold: 1.0, BuildExtVP: true}
+}
+
+// Dataset is a fully loaded RDF dataset in all requested layouts, sharing
+// one term dictionary.
+type Dataset struct {
+	Dict *dict.Dict
+	// TT is the triples table (columns s, p, o), sorted by (p, s, o).
+	TT *store.Table
+	// VP maps predicate ID to its two-column table (columns s, o), sorted
+	// by (s, o).
+	VP map[dict.ID]*store.Table
+	// VPRows caches VP table sizes.
+	VPRows map[dict.ID]int
+	// ExtVP holds the materialized semi-join reductions (row copies).
+	ExtVP map[ExtKey]*store.Table
+	// ExtBits holds the reductions in bit-vector form when the dataset was
+	// built with Options.BitVectors: bit i marks row i of VP[key.P1].
+	ExtBits map[ExtKey]*bitvec.Bitset
+	// Info holds statistics for every candidate ExtVP table (materialized
+	// or not). Missing entries mean the reduction equals VP (SF = 1).
+	Info map[ExtKey]TableInfo
+	// PT is the Sempala-style unified property table (nil unless built).
+	PT *PropertyTable
+	// Predicates lists all predicate IDs, sorted.
+	Predicates []dict.ID
+	// Threshold is the SF threshold the ExtVP tables were built with.
+	Threshold float64
+}
+
+// NumTriples returns the dataset size |G|.
+func (d *Dataset) NumTriples() int { return d.TT.NumRows() }
+
+// Build constructs a dataset from triples according to opts.
+func Build(triples []rdf.Triple, opts Options) *Dataset {
+	d := dict.New()
+	return BuildEncoded(Encode(triples, d), d, opts)
+}
+
+// Encode dictionary-encodes triples into a TT table sorted by (p, s, o).
+func Encode(triples []rdf.Triple, d *dict.Dict) *store.Table {
+	type enc struct{ s, p, o dict.ID }
+	rows := make([]enc, len(triples))
+	for i, t := range triples {
+		s, p, o := d.EncodeTriple(t)
+		rows[i] = enc{s, p, o}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].p != rows[j].p {
+			return rows[i].p < rows[j].p
+		}
+		if rows[i].s != rows[j].s {
+			return rows[i].s < rows[j].s
+		}
+		return rows[i].o < rows[j].o
+	})
+	tt := store.NewTable("TT", "s", "p", "o")
+	tt.Data[0] = make([]dict.ID, len(rows))
+	tt.Data[1] = make([]dict.ID, len(rows))
+	tt.Data[2] = make([]dict.ID, len(rows))
+	for i, r := range rows {
+		tt.Data[0][i] = r.s
+		tt.Data[1][i] = r.p
+		tt.Data[2][i] = r.o
+	}
+	return tt
+}
+
+// BuildEncoded constructs a dataset from an already-encoded triples table.
+func BuildEncoded(tt *store.Table, d *dict.Dict, opts Options) *Dataset {
+	if opts.Threshold <= 0 {
+		opts.Threshold = 1.0
+	}
+	ds := &Dataset{
+		Dict:      d,
+		TT:        tt,
+		VP:        make(map[dict.ID]*store.Table),
+		VPRows:    make(map[dict.ID]int),
+		ExtVP:     make(map[ExtKey]*store.Table),
+		ExtBits:   make(map[ExtKey]*bitvec.Bitset),
+		Info:      make(map[ExtKey]TableInfo),
+		Threshold: opts.Threshold,
+	}
+	ds.buildVP()
+	if opts.BuildExtVP {
+		ds.buildExtVP(opts)
+	}
+	if opts.BuildPT {
+		ds.PT = buildPT(ds)
+	}
+	return ds
+}
+
+// buildVP slices the (p,s,o)-sorted TT into one table per predicate.
+func (ds *Dataset) buildVP() {
+	n := ds.TT.NumRows()
+	ps := ds.TT.Data[1]
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && ps[j] == ps[i] {
+			j++
+		}
+		p := ps[i]
+		t := store.NewTable(VPName(ds.Dict, p), "s", "o")
+		t.Data[0] = ds.TT.Data[0][i:j]
+		t.Data[1] = ds.TT.Data[2][i:j]
+		ds.VP[p] = t
+		ds.VPRows[p] = j - i
+		ds.Predicates = append(ds.Predicates, p)
+		i = j
+	}
+	sort.Slice(ds.Predicates, func(i, j int) bool { return ds.Predicates[i] < ds.Predicates[j] })
+}
+
+// idSet is a hash set of IDs.
+type idSet map[dict.ID]struct{}
+
+func columnSet(col []dict.ID) idSet {
+	s := make(idSet, len(col))
+	for _, v := range col {
+		s[v] = struct{}{}
+	}
+	return s
+}
+
+// buildExtVP computes the semi-join reductions of every VP table pair for
+// the SS, OS and SO correlations (and OO when requested), in parallel.
+// This is the preprocessing the paper performs at load time (Sec. 5.2).
+func (ds *Dataset) buildExtVP(opts Options) {
+	preds := ds.Predicates
+	subjects := make(map[dict.ID]idSet, len(preds))
+	objects := make(map[dict.ID]idSet, len(preds))
+	for _, p := range preds {
+		subjects[p] = columnSet(ds.VP[p].Data[0])
+		objects[p] = columnSet(ds.VP[p].Data[1])
+	}
+
+	type task struct{ key ExtKey }
+	var tasks []task
+	for _, p1 := range preds {
+		for _, p2 := range preds {
+			if p1 != p2 {
+				tasks = append(tasks, task{ExtKey{SS, p1, p2}})
+			}
+			tasks = append(tasks, task{ExtKey{OS, p1, p2}})
+			tasks = append(tasks, task{ExtKey{SO, p1, p2}})
+			if opts.BuildOO && p1 != p2 {
+				tasks = append(tasks, task{ExtKey{OO, p1, p2}})
+			}
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan task, len(tasks))
+	for _, t := range tasks {
+		next <- t
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				tbl, bits, info := ds.reduce(t.key, subjects, objects, opts)
+				mu.Lock()
+				if info.SF < 1 { // SF = 1 tables are not recorded: VP is used
+					ds.Info[t.key] = info
+					if tbl != nil {
+						ds.ExtVP[t.key] = tbl
+					}
+					if bits != nil {
+						ds.ExtBits[t.key] = bits
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// reduce computes one semi-join reduction. The returned table (or bitset,
+// with Options.BitVectors) is nil when the reduction is empty, equal to VP,
+// or above the SF threshold.
+func (ds *Dataset) reduce(key ExtKey, subjects, objects map[dict.ID]idSet, opts Options) (*store.Table, *bitvec.Bitset, TableInfo) {
+	threshold := opts.Threshold
+	vp := ds.VP[key.P1]
+	var filter idSet
+	var col []dict.ID
+	switch key.Kind {
+	case SS:
+		filter, col = subjects[key.P2], vp.Data[0]
+	case OS:
+		filter, col = subjects[key.P2], vp.Data[1]
+	case SO:
+		filter, col = objects[key.P2], vp.Data[0]
+	case OO:
+		filter, col = objects[key.P2], vp.Data[1]
+	}
+	// Count matches first: most tables are empty or full, so this avoids
+	// allocating in the common cases.
+	matches := 0
+	for _, v := range col {
+		if _, ok := filter[v]; ok {
+			matches++
+		}
+	}
+	total := len(col)
+	sf := float64(matches) / float64(total)
+	info := TableInfo{Rows: matches, SF: sf}
+	if matches == 0 || matches == total || sf >= threshold {
+		return nil, nil, info
+	}
+	info.Materialized = true
+	if opts.BitVectors {
+		bits := bitvec.New(total)
+		for i, v := range col {
+			if _, ok := filter[v]; ok {
+				bits.Set(i)
+			}
+		}
+		return nil, bits, info
+	}
+	t := store.NewTable(ExtVPName(ds.Dict, key), "s", "o")
+	t.Data[0] = make([]dict.ID, 0, matches)
+	t.Data[1] = make([]dict.ID, 0, matches)
+	for i, v := range col {
+		if _, ok := filter[v]; ok {
+			t.Data[0] = append(t.Data[0], vp.Data[0][i])
+			t.Data[1] = append(t.Data[1], vp.Data[1][i])
+		}
+	}
+	return t, nil, info
+}
+
+// ExtInfo returns the statistics for an ExtVP candidate table. When the
+// table was never computed (reduction equals VP) it reports SF = 1.
+func (ds *Dataset) ExtInfo(key ExtKey) TableInfo {
+	if info, ok := ds.Info[key]; ok {
+		return info
+	}
+	return TableInfo{Rows: ds.VPRows[key.P1], SF: 1}
+}
+
+// VPName renders a VP table name, e.g. "VP:wsdbm:follows".
+func VPName(d *dict.Dict, p dict.ID) string {
+	return "VP:" + shrink(d, p)
+}
+
+// ExtVPName renders an ExtVP table name, e.g. "ExtVP:OS:follows|likes".
+func ExtVPName(d *dict.Dict, key ExtKey) string {
+	return "ExtVP:" + key.Kind.String() + ":" + shrink(d, key.P1) + "|" + shrink(d, key.P2)
+}
+
+func shrink(d *dict.Dict, p dict.ID) string {
+	return rdf.CommonPrefixes().Shrink(d.Decode(p))
+}
+
+// SizeSummary aggregates layout sizes for the load-time experiment
+// (paper Table 2 / Table 6).
+type SizeSummary struct {
+	Triples     int // |G| = tuples in TT and in VP
+	VPTables    int
+	ExtTables   int // materialized ExtVP tables (0 < SF < threshold)
+	ExtEmpty    int // candidate tables with SF = 0
+	ExtEqualVP  int // candidate tables with SF = 1 (not stored)
+	ExtCut      int // candidate tables cut by the SF threshold
+	ExtTuples   int // total tuples across materialized ExtVP tables
+	TotalTuples int // VP + ExtVP tuples
+	// ExtBitBytes is the in-memory size of the bit-vector representation
+	// (0 unless built with Options.BitVectors).
+	ExtBitBytes int
+}
+
+// Sizes computes the dataset's size summary.
+func (ds *Dataset) Sizes() SizeSummary {
+	s := SizeSummary{
+		Triples:  ds.NumTriples(),
+		VPTables: len(ds.VP),
+	}
+	k := len(ds.Predicates)
+	candidates := 2*k*k + k*(k-1) // OS + SO for all pairs, SS for p1 != p2
+	counted := 0
+	for key, info := range ds.Info {
+		if key.Kind == OO {
+			continue // ablation-only tables are not part of the schema
+		}
+		counted++
+		switch {
+		case info.Materialized:
+			s.ExtTables++
+			s.ExtTuples += info.Rows
+		case info.Rows == 0:
+			s.ExtEmpty++
+		default:
+			s.ExtCut++
+		}
+	}
+	s.ExtEqualVP = candidates - counted
+	s.TotalTuples = s.Triples + s.ExtTuples
+	for _, bits := range ds.ExtBits {
+		s.ExtBitBytes += bits.Bytes()
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package layout
+
+import (
+	"sync"
+
+	"s2rdf/internal/dict"
+	"s2rdf/internal/store"
+)
+
+// Lazy ExtVP ("pay as you go", paper Sec. 7): instead of precomputing every
+// reduction at load time, compute a reduction the first time a query needs
+// it and cache it for later queries. There is no initial loading overhead
+// at the cost of a warm-up slowdown until the system converges.
+
+// LazyExtVP wraps a dataset built without ExtVP and materializes
+// reductions on demand. It is safe for concurrent use.
+type LazyExtVP struct {
+	ds *Dataset
+	mu sync.Mutex
+	// cached column sets, computed once per predicate.
+	subjects map[dict.ID]idSet
+	objects  map[dict.ID]idSet
+	// computed marks reductions already attempted (even if empty/equal).
+	computed map[ExtKey]bool
+	// Computed counts reductions materialized so far (monitoring).
+	Computed int
+}
+
+// NewLazyExtVP returns a lazy wrapper over ds. The dataset's ExtVP/Info
+// maps are extended in place as reductions are computed, so the regular
+// query compiler picks them up transparently.
+func NewLazyExtVP(ds *Dataset) *LazyExtVP {
+	return &LazyExtVP{
+		ds:       ds,
+		subjects: make(map[dict.ID]idSet),
+		objects:  make(map[dict.ID]idSet),
+		computed: make(map[ExtKey]bool),
+	}
+}
+
+// Dataset returns the wrapped dataset.
+func (l *LazyExtVP) Dataset() *Dataset { return l.ds }
+
+// Ensure computes (and caches) the reduction for key if it has not been
+// attempted yet. It returns the reduction's statistics.
+func (l *LazyExtVP) Ensure(key ExtKey) TableInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.computed[key] {
+		return l.ds.ExtInfo(key)
+	}
+	l.computed[key] = true
+	if l.ds.VP[key.P1] == nil || l.ds.VP[key.P2] == nil {
+		return TableInfo{}
+	}
+	l.ensureSet(l.subjects, key.P2, 0)
+	l.ensureSet(l.objects, key.P2, 1)
+	tbl, bits, info := l.ds.reduce(key, l.subjects, l.objects, Options{Threshold: l.ds.Threshold})
+	if info.SF < 1 {
+		l.ds.Info[key] = info
+		if tbl != nil {
+			l.ds.ExtVP[key] = tbl
+			l.Computed++
+		}
+		_ = bits // lazy mode always materializes row copies
+	}
+	return l.ds.ExtInfo(key)
+}
+
+// ensureSet lazily fills the column-set cache for one predicate
+// (col 0 = subjects, 1 = objects). Must hold l.mu.
+func (l *LazyExtVP) ensureSet(cache map[dict.ID]idSet, p dict.ID, col int) {
+	if _, ok := cache[p]; !ok {
+		cache[p] = columnSet(l.ds.VP[p].Data[col])
+	}
+}
+
+// EnsureTable is Ensure plus the materialized table (nil when the
+// reduction is empty, equal to VP, or cut by the threshold).
+func (l *LazyExtVP) EnsureTable(key ExtKey) (*store.Table, TableInfo) {
+	info := l.Ensure(key)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ds.ExtVP[key], info
+}

@@ -1,0 +1,78 @@
+package layout
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLazyEnsureComputesOnDemand(t *testing.T) {
+	ds := Build(g1(), Options{BuildExtVP: false})
+	lazy := NewLazyExtVP(ds)
+	if lazy.Dataset() != ds {
+		t.Fatal("Dataset accessor wrong")
+	}
+	f, l := pid(ds, "follows"), pid(ds, "likes")
+
+	// Nothing computed yet.
+	if len(ds.ExtVP) != 0 {
+		t.Fatal("dataset pre-populated")
+	}
+	// Ensure the paper's ExtVP_OS follows|likes = {(B,C)}, SF 0.25.
+	key := ExtKey{OS, f, l}
+	info := lazy.Ensure(key)
+	if info.Rows != 1 || info.SF != 0.25 || !info.Materialized {
+		t.Errorf("info = %+v", info)
+	}
+	tbl, _ := lazy.EnsureTable(key)
+	if tbl == nil || tbl.NumRows() != 1 {
+		t.Errorf("table = %v", tbl)
+	}
+	if lazy.Computed != 1 {
+		t.Errorf("Computed = %d", lazy.Computed)
+	}
+	// Second Ensure is a cache hit.
+	lazy.Ensure(key)
+	if lazy.Computed != 1 {
+		t.Errorf("Computed after repeat = %d", lazy.Computed)
+	}
+	// Empty reductions recorded too (SO follows|likes is empty in G1).
+	if info := lazy.Ensure(ExtKey{SO, f, l}); info.Rows != 0 || info.SF != 0 {
+		t.Errorf("empty reduction info = %+v", info)
+	}
+	// Equal-to-VP reductions stay unmaterialized with SF 1.
+	if info := lazy.Ensure(ExtKey{SS, l, f}); info.SF != 1 || info.Materialized {
+		t.Errorf("SF-1 reduction info = %+v", info)
+	}
+}
+
+func TestLazyEnsureUnknownPredicate(t *testing.T) {
+	ds := Build(g1(), Options{BuildExtVP: false})
+	lazy := NewLazyExtVP(ds)
+	info := lazy.Ensure(ExtKey{OS, 999, 998})
+	if info.SF != 0 || info.Materialized {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestLazyConcurrentEnsure(t *testing.T) {
+	ds := Build(g1(), Options{BuildExtVP: false})
+	lazy := NewLazyExtVP(ds)
+	f, l := pid(ds, "follows"), pid(ds, "likes")
+	keys := []ExtKey{
+		{OS, f, l}, {OS, f, f}, {SO, f, f}, {SS, f, l}, {SO, l, f},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, k := range keys {
+				lazy.Ensure(k)
+			}
+		}()
+	}
+	wg.Wait()
+	if lazy.Computed != 5 {
+		t.Errorf("Computed = %d, want 5", lazy.Computed)
+	}
+}

@@ -1,0 +1,225 @@
+package layout
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"s2rdf/internal/bitvec"
+	"s2rdf/internal/dict"
+	"s2rdf/internal/rdf"
+	"s2rdf/internal/store"
+)
+
+// persisted metadata: the dictionary lives in dict.txt, tables in *.tbl via
+// store.Dir, and meta.json records the schema (which predicates and ExtVP
+// reductions exist, with their statistics).
+
+type metaFile struct {
+	Threshold  float64     `json:"threshold"`
+	Predicates []string    `json:"predicates"` // predicate terms
+	Ext        []metaEntry `json:"ext"`
+}
+
+type metaEntry struct {
+	Kind         string  `json:"kind"`
+	P1           string  `json:"p1"`
+	P2           string  `json:"p2"`
+	Rows         int     `json:"rows"`
+	SF           float64 `json:"sf"`
+	Materialized bool    `json:"materialized"`
+	// BitVec marks reductions stored as bit vectors (Options.BitVectors);
+	// the bits live in a companion "...#bits" table of split uint64 words.
+	BitVec bool `json:"bitvec,omitempty"`
+}
+
+func corrFromString(s string) (Correlation, error) {
+	switch s {
+	case "SS":
+		return SS, nil
+	case "OS":
+		return OS, nil
+	case "SO":
+		return SO, nil
+	case "OO":
+		return OO, nil
+	}
+	return 0, fmt.Errorf("layout: unknown correlation %q", s)
+}
+
+// Save persists the dataset (dictionary, TT, VP, materialized ExtVP tables
+// and all statistics) to dir.
+func Save(ds *Dataset, dir string) error {
+	d, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "dict.txt"))
+	if err != nil {
+		return err
+	}
+	if err := ds.Dict.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	if _, err := d.SaveTable(ds.TT, 1); err != nil {
+		return err
+	}
+	for _, tbl := range ds.VP {
+		if _, err := d.SaveTable(tbl, 1); err != nil {
+			return err
+		}
+	}
+	meta := metaFile{Threshold: ds.Threshold}
+	for _, p := range ds.Predicates {
+		meta.Predicates = append(meta.Predicates, string(ds.Dict.Decode(p)))
+	}
+	for key, info := range ds.Info {
+		entry := metaEntry{
+			Kind:         key.Kind.String(),
+			P1:           string(ds.Dict.Decode(key.P1)),
+			P2:           string(ds.Dict.Decode(key.P2)),
+			Rows:         info.Rows,
+			SF:           info.SF,
+			Materialized: info.Materialized,
+		}
+		if bits, ok := ds.ExtBits[key]; ok {
+			entry.BitVec = true
+			if _, err := d.SaveTable(bitsToTable(ExtVPName(ds.Dict, key)+"#bits", bits), info.SF); err != nil {
+				return err
+			}
+		} else if info.Materialized {
+			if _, err := d.SaveTable(ds.ExtVP[key], info.SF); err != nil {
+				return err
+			}
+		}
+		meta.Ext = append(meta.Ext, entry)
+	}
+	raw, err := json.MarshalIndent(&meta, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), raw, 0o644); err != nil {
+		return err
+	}
+	return d.Flush()
+}
+
+// Load reads a dataset previously written by Save. The property table is
+// rebuilt from the VP tables when buildPT is true.
+func Load(dir string, withPT bool) (*Dataset, error) {
+	f, err := os.Open(filepath.Join(dir, "dict.txt"))
+	if err != nil {
+		return nil, err
+	}
+	dc, err := dict.Load(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, err
+	}
+	var meta metaFile
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, fmt.Errorf("layout: corrupt meta.json: %w", err)
+	}
+	d, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	ds := &Dataset{
+		Dict:      dc,
+		VP:        make(map[dict.ID]*store.Table),
+		VPRows:    make(map[dict.ID]int),
+		ExtVP:     make(map[ExtKey]*store.Table),
+		ExtBits:   make(map[ExtKey]*bitvec.Bitset),
+		Info:      make(map[ExtKey]TableInfo),
+		Threshold: meta.Threshold,
+	}
+	ds.TT, err = d.LoadTable("TT")
+	if err != nil {
+		return nil, err
+	}
+	for _, pterm := range meta.Predicates {
+		p := dc.Lookup(rdf.Term(pterm))
+		if p == dict.NoID {
+			return nil, fmt.Errorf("layout: predicate %q missing from dictionary", pterm)
+		}
+		tbl, err := d.LoadTable(VPName(dc, p))
+		if err != nil {
+			return nil, err
+		}
+		ds.VP[p] = tbl
+		ds.VPRows[p] = tbl.NumRows()
+		ds.Predicates = append(ds.Predicates, p)
+	}
+	for _, entry := range meta.Ext {
+		kind, err := corrFromString(entry.Kind)
+		if err != nil {
+			return nil, err
+		}
+		key := ExtKey{
+			Kind: kind,
+			P1:   dc.Lookup(rdf.Term(entry.P1)),
+			P2:   dc.Lookup(rdf.Term(entry.P2)),
+		}
+		if key.P1 == dict.NoID || key.P2 == dict.NoID {
+			return nil, fmt.Errorf("layout: ExtVP entry references unknown predicate")
+		}
+		ds.Info[key] = TableInfo{Rows: entry.Rows, SF: entry.SF, Materialized: entry.Materialized}
+		switch {
+		case entry.BitVec:
+			tbl, err := d.LoadTable(ExtVPName(dc, key) + "#bits")
+			if err != nil {
+				return nil, err
+			}
+			ds.ExtBits[key] = tableToBits(tbl, ds.VPRows[key.P1])
+		case entry.Materialized:
+			tbl, err := d.LoadTable(ExtVPName(dc, key))
+			if err != nil {
+				return nil, err
+			}
+			ds.ExtVP[key] = tbl
+		}
+	}
+	if withPT {
+		ds.PT = buildPT(ds)
+	}
+	return ds, nil
+}
+
+// bitsToTable encodes a bitset as a two-column table of split uint64 words.
+func bitsToTable(name string, bits *bitvec.Bitset) *store.Table {
+	t := store.NewTable(name, "lo", "hi")
+	for _, w := range bits.Words() {
+		t.Append(dict.ID(w), dict.ID(w>>32))
+	}
+	return t
+}
+
+// tableToBits reverses bitsToTable; n is the bitset length (the base VP
+// table's row count).
+func tableToBits(t *store.Table, n int) *bitvec.Bitset {
+	words := make([]uint64, t.NumRows())
+	for i := range words {
+		words[i] = uint64(t.Data[0][i]) | uint64(t.Data[1][i])<<32
+	}
+	return bitvec.FromWords(n, words)
+}
+
+// DiskBytes sums the persisted size of all tables in dir.
+func DiskBytes(dir string) (int64, error) {
+	d, err := store.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	return d.TotalBytes(), nil
+}

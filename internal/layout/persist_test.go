@@ -1,0 +1,172 @@
+package layout
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"s2rdf/internal/bitvec"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ds := Build(g1(), DefaultOptions())
+	if err := Save(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTriples() != ds.NumTriples() {
+		t.Errorf("triples = %d, want %d", got.NumTriples(), ds.NumTriples())
+	}
+	if len(got.VP) != len(ds.VP) || len(got.ExtVP) != len(ds.ExtVP) {
+		t.Errorf("tables: VP %d/%d, ExtVP %d/%d",
+			len(got.VP), len(ds.VP), len(got.ExtVP), len(ds.ExtVP))
+	}
+	// Statistics must survive, including empties.
+	for key, info := range ds.Info {
+		gi := got.ExtInfo(key)
+		if gi.Rows != info.Rows || gi.SF != info.SF || gi.Materialized != info.Materialized {
+			t.Errorf("%v: info %+v, want %+v", key, gi, info)
+		}
+	}
+	// Table contents must be identical.
+	for key, tbl := range ds.ExtVP {
+		g := got.ExtVP[key]
+		if g == nil || g.NumRows() != tbl.NumRows() {
+			t.Fatalf("%v: table missing or wrong size", key)
+		}
+		for c := range tbl.Data {
+			for r := range tbl.Data[c] {
+				if g.Data[c][r] != tbl.Data[c][r] {
+					t.Fatalf("%v: cell (%d,%d) differs", key, c, r)
+				}
+			}
+		}
+	}
+}
+
+func TestSaveLoadBitVectors(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.BitVectors = true
+	ds := Build(g1(), opts)
+	if len(ds.ExtBits) == 0 {
+		t.Fatal("no bitsets built")
+	}
+	if err := Save(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.ExtBits) != len(ds.ExtBits) {
+		t.Fatalf("bitsets = %d, want %d", len(got.ExtBits), len(ds.ExtBits))
+	}
+	for key, bits := range ds.ExtBits {
+		g := got.ExtBits[key]
+		if g == nil || g.Len() != bits.Len() || g.Count() != bits.Count() {
+			t.Fatalf("%v: bitset mismatch", key)
+		}
+		for i := 0; i < bits.Len(); i++ {
+			if g.Get(i) != bits.Get(i) {
+				t.Fatalf("%v: bit %d differs", key, i)
+			}
+		}
+	}
+}
+
+func TestSaveLoadWithPT(t *testing.T) {
+	dir := t.TempDir()
+	ds := Build(g1(), DefaultOptions())
+	if err := Save(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PT == nil {
+		t.Fatal("PT not rebuilt on load")
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope"), false); err == nil {
+		t.Error("expected error for missing store")
+	}
+}
+
+func TestLoadCorruptMeta(t *testing.T) {
+	dir := t.TempDir()
+	ds := Build(g1(), DefaultOptions())
+	if err := Save(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := osWrite(filepath.Join(dir, "meta.json"), "{broken"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, false); err == nil {
+		t.Error("expected corrupt-meta error")
+	}
+}
+
+func TestDiskBytesNonzero(t *testing.T) {
+	dir := t.TempDir()
+	ds := Build(g1(), DefaultOptions())
+	if err := Save(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	n, err := DiskBytes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("DiskBytes = 0")
+	}
+}
+
+func TestBitsTableRoundTripUnit(t *testing.T) {
+	ds := Build(g1(), DefaultOptions())
+	_ = ds
+	b := bitsFixture()
+	tbl := bitsToTable("x#bits", b)
+	got := tableToBits(tbl, b.Len())
+	if got.Count() != b.Count() {
+		t.Fatalf("count = %d, want %d", got.Count(), b.Count())
+	}
+	for i := 0; i < b.Len(); i++ {
+		if got.Get(i) != b.Get(i) {
+			t.Fatalf("bit %d differs", i)
+		}
+	}
+}
+
+func TestCorrFromString(t *testing.T) {
+	for _, s := range []string{"SS", "OS", "SO", "OO"} {
+		c, err := corrFromString(s)
+		if err != nil || c.String() != s {
+			t.Errorf("corrFromString(%q) = %v, %v", s, c, err)
+		}
+	}
+	if _, err := corrFromString("XX"); err == nil {
+		t.Error("expected error for unknown correlation")
+	}
+}
+
+func osWrite(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// bitsFixture builds a bitset spanning multiple words with high bits set,
+// exercising the uint64 split in bitsToTable.
+func bitsFixture() *bitvec.Bitset {
+	b := bitvec.New(150)
+	for _, i := range []int{0, 31, 32, 63, 64, 95, 96, 127, 128, 149} {
+		b.Set(i)
+	}
+	return b
+}

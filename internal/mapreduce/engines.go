@@ -1,0 +1,625 @@
+package mapreduce
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"s2rdf/internal/rdf"
+	"s2rdf/internal/sparql"
+)
+
+// Result is a query answer from a MapReduce engine.
+type Result struct {
+	Vars []string
+	Rows [][]rdf.Term
+	// Jobs is the number of MapReduce jobs the query needed.
+	Jobs int
+	// Wall is the measured execution time.
+	Wall time.Duration
+	// Simulated adds Jobs × JobOverhead: the latency a real Hadoop
+	// cluster would exhibit (paper Sec. 7.2 discussion of SHARD and
+	// PigSPARQL latencies).
+	Simulated time.Duration
+}
+
+// Len returns the row count.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// --- binding line codec ---
+// A binding line is "var\x01term\tvar\x01term..." with vars sorted.
+
+type binding map[string]rdf.Term
+
+func (b binding) encode() string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "\x01" + string(b[k])
+	}
+	return strings.Join(parts, "\t")
+}
+
+func decodeBinding(line string) binding {
+	b := make(binding)
+	if line == "" {
+		return b
+	}
+	for _, part := range strings.Split(line, "\t") {
+		k, v, ok := strings.Cut(part, "\x01")
+		if ok {
+			b[k] = rdf.Term(v)
+		}
+	}
+	return b
+}
+
+// merge unions two bindings; ok is false on conflicting values.
+func (b binding) merge(other binding) (binding, bool) {
+	out := make(binding, len(b)+len(other))
+	for k, v := range b {
+		out[k] = v
+	}
+	for k, v := range other {
+		if prev, exists := out[k]; exists && prev != v {
+			return nil, false
+		}
+		out[k] = v
+	}
+	return out, true
+}
+
+// joinKey renders the values of vars (which must all be bound) as a key.
+func (b binding) joinKey(vars []string) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = string(b[v])
+	}
+	return strings.Join(parts, "\x01")
+}
+
+// matchPattern matches a triple against a pattern, returning the variable
+// bindings; ok is false when the triple does not match.
+func matchPattern(tp sparql.TriplePattern, s, p, o rdf.Term) (binding, bool) {
+	b := make(binding, 3)
+	bind := func(n sparql.Node, t rdf.Term) bool {
+		if !n.IsVar() {
+			return n.Term == t
+		}
+		if prev, exists := b[n.Var]; exists {
+			return prev == t
+		}
+		b[n.Var] = t
+		return true
+	}
+	if !bind(tp.S, s) || !bind(tp.P, p) || !bind(tp.O, o) {
+		return nil, false
+	}
+	return b, true
+}
+
+func sharedVars(a []string, tp sparql.TriplePattern) []string {
+	var out []string
+	for _, v := range tp.Vars() {
+		for _, w := range a {
+			if v == w {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// parseTripleLine splits a "s\tp\to" data line.
+func parseTripleLine(line string) (s, p, o rdf.Term, ok bool) {
+	a, rest, ok1 := strings.Cut(line, "\t")
+	b, c, ok2 := strings.Cut(rest, "\t")
+	if !ok1 || !ok2 {
+		return "", "", "", false
+	}
+	return rdf.Term(a), rdf.Term(b), rdf.Term(c), true
+}
+
+// WriteTriplesFile writes triples as tab-separated lines (the "HDFS file"
+// both engines read).
+func WriteTriplesFile(path string, triples []rdf.Triple) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	lines := make([]string, 0, len(triples))
+	for _, t := range triples {
+		lines = append(lines, string(t.S)+"\t"+string(t.P)+"\t"+string(t.O))
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return writeLines(path, lines)
+}
+
+// finalize sorts, projects, applies filters/modifiers and decodes rows.
+func finalize(q *sparql.Query, bindings []binding) *Result {
+	for _, f := range q.Where.Filters {
+		kept := bindings[:0]
+		for _, b := range bindings {
+			if f.Eval(sparql.Binding(b)) {
+				kept = append(kept, b)
+			}
+		}
+		bindings = kept
+	}
+	vars := q.SelectVars()
+	rows := make([][]rdf.Term, 0, len(bindings))
+	for _, b := range bindings {
+		row := make([]rdf.Term, len(vars))
+		for i, v := range vars {
+			row[i] = b[v]
+		}
+		rows = append(rows, row)
+	}
+	if q.Distinct {
+		seen := map[string]bool{}
+		dedup := rows[:0]
+		for _, row := range rows {
+			k := ""
+			for _, t := range row {
+				k += string(t) + "\x00"
+			}
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, row)
+			}
+		}
+		rows = dedup
+	}
+	if len(q.OrderBy) > 0 {
+		idx := map[string]int{}
+		for i, v := range vars {
+			idx[v] = i
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, k := range q.OrderBy {
+				ci, ok := idx[k.Var]
+				if !ok {
+					continue
+				}
+				a, b := rows[i][ci], rows[j][ci]
+				if a == b {
+					continue
+				}
+				less := a < b
+				if k.Desc {
+					less = !less
+				}
+				return less
+			}
+			return false
+		})
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+	return &Result{Vars: vars, Rows: rows}
+}
+
+func bgpOnly(q *sparql.Query) error {
+	if len(q.Where.Optionals) > 0 || len(q.Where.Unions) > 0 {
+		return fmt.Errorf("mapreduce: engine supports basic graph patterns only")
+	}
+	return nil
+}
+
+// --- SHARD ---
+
+// SHARD is the Clause-Iteration engine of Rohloff & Schantz: RDF stored as
+// one flat file, one MapReduce job per triple pattern, each job joining the
+// running bindings with the pattern's matches (a left-deep plan).
+type SHARD struct {
+	fw   *Framework
+	data string
+}
+
+// NewSHARD materializes the triples file and returns the engine.
+func NewSHARD(fw *Framework, triples []rdf.Triple) (*SHARD, error) {
+	path := filepath.Join(fw.Dir, "shard-triples.tsv")
+	if err := WriteTriplesFile(path, triples); err != nil {
+		return nil, err
+	}
+	return &SHARD{fw: fw, data: path}, nil
+}
+
+// Query runs a SPARQL BGP query.
+func (s *SHARD) Query(src string) (*Result, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := bgpOnly(q); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	jobs0 := s.fw.Stats().Jobs
+
+	var bound []string
+	var bindingsFile string
+	for i, tp := range q.Where.Triples {
+		tp := tp
+		shared := sharedVars(bound, tp)
+		inputs := []string{s.data}
+		if bindingsFile != "" {
+			inputs = append(inputs, bindingsFile)
+		}
+		first := bindingsFile == ""
+		out, err := s.fw.Run(Job{
+			Name:   fmt.Sprintf("shard-clause-%d", i),
+			Inputs: inputs,
+			Map: func(srcIdx int, line string, emit func(k, v string)) {
+				if srcIdx == 0 {
+					sT, pT, oT, ok := parseTripleLine(line)
+					if !ok {
+						return
+					}
+					b, ok := matchPattern(tp, sT, pT, oT)
+					if !ok {
+						return
+					}
+					emit(b.joinKey(shared), "T\x02"+b.encode())
+				} else {
+					b := decodeBinding(line)
+					emit(b.joinKey(shared), "B\x02"+b.encode())
+				}
+			},
+			Reduce: func(key string, values []string, emit func(line string)) {
+				var ts, bs []binding
+				for _, v := range values {
+					tag, body, _ := strings.Cut(v, "\x02")
+					if tag == "T" {
+						ts = append(ts, decodeBinding(body))
+					} else {
+						bs = append(bs, decodeBinding(body))
+					}
+				}
+				if first {
+					for _, t := range ts {
+						emit(t.encode())
+					}
+					return
+				}
+				for _, b := range bs {
+					for _, t := range ts {
+						if m, ok := b.merge(t); ok {
+							emit(m.encode())
+						}
+					}
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		bindingsFile = out
+		bound = unionVars(bound, tp.Vars())
+	}
+
+	bindings, err := readBindings(bindingsFile, len(q.Where.Triples) > 0)
+	if err != nil {
+		return nil, err
+	}
+	res := finalize(q, bindings)
+	res.Jobs = s.fw.Stats().Jobs - jobs0
+	res.Wall = time.Since(start)
+	res.Simulated = res.Wall + time.Duration(res.Jobs)*s.fw.JobOverhead
+	return res, nil
+}
+
+// --- PigSPARQL ---
+
+// PigSPARQL stores RDF vertically partitioned (one file per predicate) and
+// compiles a BGP into a sequence of multi-joins: all patterns sharing a
+// join variable are processed in a single job, so a star needs one job
+// instead of one per pattern (paper Sec. 3.2 / 7.2).
+type PigSPARQL struct {
+	fw    *Framework
+	vp    map[rdf.Term]string // predicate -> file
+	data  string              // full triples file for unbound predicates
+	count int
+}
+
+// NewPigSPARQL materializes the VP files and returns the engine.
+func NewPigSPARQL(fw *Framework, triples []rdf.Triple) (*PigSPARQL, error) {
+	e := &PigSPARQL{fw: fw, vp: make(map[rdf.Term]string)}
+	byPred := map[rdf.Term][]string{}
+	for _, t := range triples {
+		byPred[t.P] = append(byPred[t.P], string(t.S)+"\t"+string(t.P)+"\t"+string(t.O))
+	}
+	i := 0
+	for p, lines := range byPred {
+		path := filepath.Join(fw.Dir, fmt.Sprintf("pig-vp-%d.tsv", i))
+		if err := writeLines(path, lines); err != nil {
+			return nil, err
+		}
+		e.vp[p] = path
+		i++
+	}
+	e.data = filepath.Join(fw.Dir, "pig-triples.tsv")
+	if err := WriteTriplesFile(e.data, triples); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// inputFor returns the file holding a pattern's candidate triples.
+func (e *PigSPARQL) inputFor(tp sparql.TriplePattern) (string, bool) {
+	if tp.P.IsVar() {
+		return e.data, true
+	}
+	path, ok := e.vp[tp.P.Term]
+	return path, ok
+}
+
+// Query runs a SPARQL BGP query.
+func (e *PigSPARQL) Query(src string) (*Result, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := bgpOnly(q); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	jobs0 := e.fw.Stats().Jobs
+
+	groups := joinGroups(q.Where.Triples)
+
+	// Phase 1: one multi-join job per group.
+	type groupResult struct {
+		file string
+		vars []string
+	}
+	var results []groupResult
+	empty := false
+	for gi, g := range groups {
+		inputs := make([]string, len(g.patterns))
+		missing := false
+		for i, tp := range g.patterns {
+			path, ok := e.inputFor(tp)
+			if !ok {
+				missing = true
+				break
+			}
+			inputs[i] = path
+		}
+		if missing {
+			empty = true
+			break
+		}
+		g := g
+		out, err := e.fw.Run(Job{
+			Name:   fmt.Sprintf("pig-stargroup-%d", gi),
+			Inputs: inputs,
+			Map: func(srcIdx int, line string, emit func(k, v string)) {
+				sT, pT, oT, ok := parseTripleLine(line)
+				if !ok {
+					return
+				}
+				b, ok := matchPattern(g.patterns[srcIdx], sT, pT, oT)
+				if !ok {
+					return
+				}
+				emit(string(b[g.joinVar]), fmt.Sprintf("%d\x02%s", srcIdx, b.encode()))
+			},
+			Reduce: func(key string, values []string, emit func(line string)) {
+				buckets := make([][]binding, len(g.patterns))
+				for _, v := range values {
+					tag, body, _ := strings.Cut(v, "\x02")
+					idx := 0
+					fmt.Sscanf(tag, "%d", &idx)
+					buckets[idx] = append(buckets[idx], decodeBinding(body))
+				}
+				for _, b := range buckets {
+					if len(b) == 0 {
+						return
+					}
+				}
+				// Cross-combine all pattern matches for this key,
+				// checking compatibility on any additional shared vars.
+				acc := []binding{{}}
+				for _, bucket := range buckets {
+					var next []binding
+					for _, a := range acc {
+						for _, b := range bucket {
+							if m, ok := a.merge(b); ok {
+								next = append(next, m)
+							}
+						}
+					}
+					acc = next
+					if len(acc) == 0 {
+						return
+					}
+				}
+				for _, b := range acc {
+					emit(b.encode())
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, groupResult{file: out, vars: g.vars})
+	}
+
+	var bindings []binding
+	if !empty {
+		// Phase 2: join the group results pairwise.
+		for len(results) > 1 {
+			a, b := results[0], results[1]
+			shared := intersectVars(a.vars, b.vars)
+			out, err := e.fw.Run(Job{
+				Name:   fmt.Sprintf("pig-join-%d", len(results)),
+				Inputs: []string{a.file, b.file},
+				Map: func(srcIdx int, line string, emit func(k, v string)) {
+					bd := decodeBinding(line)
+					emit(bd.joinKey(shared), fmt.Sprintf("%d\x02%s", srcIdx, line))
+				},
+				Reduce: func(key string, values []string, emit func(line string)) {
+					var ls, rs []binding
+					for _, v := range values {
+						tag, body, _ := strings.Cut(v, "\x02")
+						if tag == "0" {
+							ls = append(ls, decodeBinding(body))
+						} else {
+							rs = append(rs, decodeBinding(body))
+						}
+					}
+					for _, l := range ls {
+						for _, r := range rs {
+							if m, ok := l.merge(r); ok {
+								emit(m.encode())
+							}
+						}
+					}
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			merged := groupResult{file: out, vars: unionVars(a.vars, b.vars)}
+			results = append([]groupResult{merged}, results[2:]...)
+		}
+		if len(results) == 1 {
+			bindings, err = readBindings(results[0].file, true)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res := finalize(q, bindings)
+	res.Jobs = e.fw.Stats().Jobs - jobs0
+	res.Wall = time.Since(start)
+	res.Simulated = res.Wall + time.Duration(res.Jobs)*e.fw.JobOverhead
+	return res, nil
+}
+
+// joinGroup is a set of patterns sharing one join variable, processed in a
+// single multi-join job.
+type joinGroup struct {
+	joinVar  string
+	patterns []sparql.TriplePattern
+	vars     []string
+}
+
+// joinGroups partitions a BGP into multi-join groups: repeatedly take the
+// variable occurring in the most remaining patterns and group them.
+func joinGroups(bgp []sparql.TriplePattern) []joinGroup {
+	remaining := append([]sparql.TriplePattern{}, bgp...)
+	var groups []joinGroup
+	for len(remaining) > 0 {
+		counts := map[string]int{}
+		for _, tp := range remaining {
+			for _, v := range tp.Vars() {
+				counts[v]++
+			}
+		}
+		bestVar, bestCount := "", 0
+		var varNames []string
+		for v := range counts {
+			varNames = append(varNames, v)
+		}
+		sort.Strings(varNames) // deterministic choice
+		for _, v := range varNames {
+			if counts[v] > bestCount {
+				bestVar, bestCount = v, counts[v]
+			}
+		}
+		var g joinGroup
+		g.joinVar = bestVar
+		var rest []sparql.TriplePattern
+		for _, tp := range remaining {
+			in := false
+			if bestVar != "" {
+				for _, v := range tp.Vars() {
+					if v == bestVar {
+						in = true
+						break
+					}
+				}
+			}
+			if in || bestVar == "" && len(g.patterns) == 0 {
+				g.patterns = append(g.patterns, tp)
+				g.vars = unionVars(g.vars, tp.Vars())
+			} else {
+				rest = append(rest, tp)
+			}
+		}
+		groups = append(groups, g)
+		remaining = rest
+	}
+	return groups
+}
+
+func unionVars(a, b []string) []string {
+	out := append([]string{}, a...)
+	for _, v := range b {
+		found := false
+		for _, w := range out {
+			if v == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func intersectVars(a, b []string) []string {
+	var out []string
+	for _, v := range a {
+		for _, w := range b {
+			if v == w {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func readBindings(path string, expect bool) ([]binding, error) {
+	if path == "" {
+		if expect {
+			return nil, nil
+		}
+		return []binding{{}}, nil
+	}
+	lines, err := readLines(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]binding, 0, len(lines))
+	for _, l := range lines {
+		out = append(out, decodeBinding(l))
+	}
+	return out, nil
+}

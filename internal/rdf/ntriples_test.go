@@ -1,0 +1,170 @@
+package rdf
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTripleBasic(t *testing.T) {
+	tr, ok, err := ParseTriple(`<http://a> <http://p> <http://b> .`)
+	if err != nil || !ok {
+		t.Fatalf("parse failed: %v %v", ok, err)
+	}
+	want := Triple{NewIRI("http://a"), NewIRI("http://p"), NewIRI("http://b")}
+	if tr != want {
+		t.Errorf("got %v, want %v", tr, want)
+	}
+}
+
+func TestParseTripleLiteralForms(t *testing.T) {
+	lines := []struct {
+		in   string
+		want Term
+	}{
+		{`<a> <p> "plain" .`, NewLiteral("plain")},
+		{`<a> <p> "tagged"@en-US .`, Term(`"tagged"@en-US`)},
+		{`<a> <p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .`, NewInteger(42)},
+		{`<a> <p> "esc \" quote" .`, NewLiteral(`esc " quote`)},
+		{`<a> <p> _:b1 .`, NewBlank("b1")},
+	}
+	for _, c := range lines {
+		tr, ok, err := ParseTriple(c.in)
+		if err != nil || !ok {
+			t.Fatalf("%q: parse failed: %v %v", c.in, ok, err)
+		}
+		if tr.O != c.want {
+			t.Errorf("%q: object = %q, want %q", c.in, tr.O, c.want)
+		}
+	}
+}
+
+func TestParseTripleCommentsAndBlanks(t *testing.T) {
+	for _, line := range []string{"", "   ", "# a comment"} {
+		_, ok, err := ParseTriple(line)
+		if ok || err != nil {
+			t.Errorf("ParseTriple(%q) = %v, %v; want skip", line, ok, err)
+		}
+	}
+}
+
+func TestParseTripleErrors(t *testing.T) {
+	bad := []string{
+		`<a> <p>`,
+		`<a <p> <b> .`,
+		`<a> <p> "unterminated .`,
+		`<a> <p> <b> extra .`,
+		`junk <p> <b> .`,
+		`<a> <p> "x"^^<unterminated .`,
+		`_ <p> <b> .`,
+	}
+	for _, line := range bad {
+		if _, ok, err := ParseTriple(line); err == nil && ok {
+			t.Errorf("ParseTriple(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestReaderWriterRoundTrip(t *testing.T) {
+	triples := []Triple{
+		{NewIRI("http://a"), NewIRI("http://p"), NewLiteral("hello world")},
+		{NewIRI("http://b"), NewIRI("http://q"), NewInteger(7)},
+		{NewBlank("n1"), NewIRI("http://p"), NewLangLiteral("bonjour", "fr")},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, tr := range triples {
+		if err := w.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(triples) {
+		t.Fatalf("got %d triples, want %d", len(got), len(triples))
+	}
+	for i := range got {
+		if got[i] != triples[i] {
+			t.Errorf("triple %d: got %v, want %v", i, got[i], triples[i])
+		}
+	}
+}
+
+func TestReaderReportsLine(t *testing.T) {
+	in := "<a> <p> <b> .\nbogus line\n"
+	r := NewReader(strings.NewReader(in))
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Read()
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want line-2 error, got %v", err)
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader("# only a comment\n"))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("want io.EOF, got %v", err)
+	}
+}
+
+func TestPrefixesExpandShrink(t *testing.T) {
+	p := CommonPrefixes()
+	term, ok := p.Expand("wsdbm:follows")
+	if !ok {
+		t.Fatal("Expand failed")
+	}
+	if term != NewIRI("http://db.uwaterloo.ca/~galuc/wsdbm/follows") {
+		t.Errorf("Expand = %q", term)
+	}
+	if got := p.Shrink(term); got != "wsdbm:follows" {
+		t.Errorf("Shrink = %q", got)
+	}
+	if _, ok := p.Expand("nosuch:x"); ok {
+		t.Error("Expand of unknown prefix succeeded")
+	}
+	if _, ok := p.Expand("noprefix"); ok {
+		t.Error("Expand without colon succeeded")
+	}
+	lit := NewLiteral("x")
+	if got := p.Shrink(lit); got != string(lit) {
+		t.Errorf("Shrink(literal) = %q", got)
+	}
+	unknown := NewIRI("urn:zzz:1")
+	if got := p.Shrink(unknown); got != string(unknown) {
+		t.Errorf("Shrink(unknown IRI) = %q", got)
+	}
+}
+
+func TestWriterParserRoundTripProperty(t *testing.T) {
+	// Any literal value written as a triple object must survive a
+	// serialize-parse round trip.
+	f := func(s string) bool {
+		// Scanner-based reader is line-oriented; escaping handles \n.
+		tr := Triple{NewIRI("http://s"), NewIRI("http://p"), NewLiteral(s)}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(tr); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return got[0].O.Value() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Aggregation support — the SPARQL 1.1 subset the paper names as future
+// work (Sec. 6.1: "S2RDF does currently not support the additional features
+// introduced in SPARQL 1.1, e.g. subqueries and aggregations").
+//
+// Supported: SELECT (COUNT(*) AS ?c), COUNT/SUM/AVG/MIN/MAX over a
+// variable (optionally DISTINCT), mixed with plain grouping variables, and
+// GROUP BY.
+
+// AggFunc identifies an aggregate function.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SPARQL keyword.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	}
+	return fmt.Sprintf("AggFunc(%d)", int(f))
+}
+
+// Aggregate is one aggregated projection, e.g. (COUNT(DISTINCT ?x) AS ?n).
+type Aggregate struct {
+	Func AggFunc
+	// Var is the aggregated variable; "" means COUNT(*).
+	Var      string
+	Distinct bool
+	// As is the output variable name.
+	As string
+}
+
+// HasAggregates reports whether the query projects any aggregates.
+func (q *Query) HasAggregates() bool { return len(q.Aggregates) > 0 }
+
+var aggFuncs = map[string]AggFunc{
+	"count": AggCount, "sum": AggSum, "avg": AggAvg, "min": AggMin, "max": AggMax,
+}
+
+// parseAggProjection parses one "(FUNC(...) AS ?v)" projection item; the
+// opening parenthesis has been consumed.
+func (p *parser) parseAggProjection() (Aggregate, error) {
+	var agg Aggregate
+	if p.tok.kind != tokIdent {
+		return agg, p.errorf("expected aggregate function, got %s", p.tok)
+	}
+	fn, ok := aggFuncs[strings.ToLower(p.tok.text)]
+	if !ok {
+		return agg, p.errorf("unknown aggregate %q", p.tok.text)
+	}
+	agg.Func = fn
+	if err := p.advance(); err != nil {
+		return agg, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return agg, err
+	}
+	if p.acceptIdent("DISTINCT") {
+		agg.Distinct = true
+	}
+	switch {
+	case p.tok.kind == tokVar:
+		agg.Var = p.tok.text
+		if err := p.advance(); err != nil {
+			return agg, err
+		}
+	case p.tok.kind == tokOp && p.tok.text == "*" && agg.Func == AggCount:
+		if err := p.advance(); err != nil {
+			return agg, err
+		}
+	default:
+		return agg, p.errorf("expected variable or * in aggregate, got %s", p.tok)
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return agg, err
+	}
+	if !p.acceptIdent("AS") {
+		return agg, p.errorf("expected AS in aggregate projection")
+	}
+	if p.tok.kind != tokVar {
+		return agg, p.errorf("expected output variable after AS")
+	}
+	agg.As = p.tok.text
+	if err := p.advance(); err != nil {
+		return agg, err
+	}
+	return agg, p.expectPunct(")")
+}
+
+// validateAggregates enforces the grouping rules: with aggregates present,
+// every plain projected variable must appear in GROUP BY.
+func (q *Query) validateAggregates() error {
+	if !q.HasAggregates() {
+		if len(q.GroupBy) > 0 {
+			return fmt.Errorf("sparql: GROUP BY without aggregate projection")
+		}
+		return nil
+	}
+	for _, v := range q.Vars {
+		if indexOf(q.GroupBy, v) < 0 {
+			return fmt.Errorf("sparql: projected variable ?%s is neither aggregated nor grouped", v)
+		}
+	}
+	for _, a := range q.Aggregates {
+		if a.Func != AggCount && a.Var == "" {
+			return fmt.Errorf("sparql: %v requires a variable argument", a.Func)
+		}
+	}
+	return nil
+}

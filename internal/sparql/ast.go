@@ -1,0 +1,186 @@
+// Package sparql implements a SPARQL 1.0 parser and algebra for the subset
+// the paper supports: SELECT queries with basic graph patterns, FILTER,
+// OPTIONAL, UNION, DISTINCT, ORDER BY and LIMIT/OFFSET.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"s2rdf/internal/rdf"
+)
+
+// Node is one position of a triple pattern: either a variable or a bound
+// RDF term.
+type Node struct {
+	Var  string   // variable name without '?', or "" when bound
+	Term rdf.Term // bound term when Var == ""
+}
+
+// IsVar reports whether the node is a variable.
+func (n Node) IsVar() bool { return n.Var != "" }
+
+// String renders the node in SPARQL-ish syntax.
+func (n Node) String() string {
+	if n.IsVar() {
+		return "?" + n.Var
+	}
+	return string(n.Term)
+}
+
+// Variable returns a variable node.
+func Variable(name string) Node { return Node{Var: name} }
+
+// Bound returns a bound-term node.
+func Bound(t rdf.Term) Node { return Node{Term: t} }
+
+// TriplePattern is one pattern of a BGP.
+type TriplePattern struct {
+	S, P, O Node
+}
+
+// Vars returns the distinct variable names in the pattern.
+func (tp TriplePattern) Vars() []string {
+	var out []string
+	add := func(n Node) {
+		if n.IsVar() && indexOf(out, n.Var) < 0 {
+			out = append(out, n.Var)
+		}
+	}
+	add(tp.S)
+	add(tp.P)
+	add(tp.O)
+	return out
+}
+
+// BoundCount returns the number of bound (non-variable) positions; the join
+// order optimizer executes more-bound patterns first (paper Sec. 6.2).
+func (tp TriplePattern) BoundCount() int {
+	n := 0
+	for _, node := range []Node{tp.S, tp.P, tp.O} {
+		if !node.IsVar() {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the pattern.
+func (tp TriplePattern) String() string {
+	return fmt.Sprintf("%s %s %s", tp.S, tp.P, tp.O)
+}
+
+// Group is a SPARQL group graph pattern: a BGP plus filters, OPTIONAL
+// sub-groups and UNION alternatives.
+type Group struct {
+	Triples   []TriplePattern
+	Filters   []Expression
+	Optionals []*Group
+	Unions    []*Union
+}
+
+// Union is a set of alternative groups combined with the UNION keyword.
+type Union struct {
+	Alternatives []*Group
+}
+
+// Vars returns every variable mentioned anywhere in the group.
+func (g *Group) Vars() []string {
+	var out []string
+	add := func(vs []string) {
+		for _, v := range vs {
+			if indexOf(out, v) < 0 {
+				out = append(out, v)
+			}
+		}
+	}
+	for _, tp := range g.Triples {
+		add(tp.Vars())
+	}
+	for _, opt := range g.Optionals {
+		add(opt.Vars())
+	}
+	for _, u := range g.Unions {
+		for _, alt := range u.Alternatives {
+			add(alt.Vars())
+		}
+	}
+	return out
+}
+
+// OrderKey is one ORDER BY sort key.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// Query is a parsed SELECT or ASK query.
+type Query struct {
+	Prefixes rdf.Prefixes
+	// Ask marks an ASK query: the answer is whether any solution exists.
+	Ask bool
+	// Vars holds the projected plain variables; nil means SELECT * (when
+	// no aggregates are projected).
+	Vars []string
+	// Aggregates holds aggregate projections like (COUNT(?x) AS ?n).
+	Aggregates []Aggregate
+	// GroupBy lists the grouping variables.
+	GroupBy  []string
+	Distinct bool
+	Where    *Group
+	OrderBy  []OrderKey
+	// Limit is -1 when absent.
+	Limit  int
+	Offset int
+}
+
+// SelectVars resolves the projection: explicit variables (plus aggregate
+// aliases), or every variable in the WHERE clause for SELECT *.
+func (q *Query) SelectVars() []string {
+	if q.HasAggregates() {
+		out := append([]string{}, q.Vars...)
+		for _, a := range q.Aggregates {
+			out = append(out, a.As)
+		}
+		return out
+	}
+	if q.Vars != nil {
+		return q.Vars
+	}
+	return q.Where.Vars()
+}
+
+// String renders a compact description of the query for logs and errors.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if q.Vars == nil {
+		b.WriteString("*")
+	} else {
+		for i, v := range q.Vars {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString("?" + v)
+		}
+	}
+	b.WriteString(" WHERE { ")
+	for _, tp := range q.Where.Triples {
+		b.WriteString(tp.String())
+		b.WriteString(" . ")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func indexOf(s []string, v string) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

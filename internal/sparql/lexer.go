@@ -1,0 +1,251 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVar     // ?name or $name
+	tokIRI     // <...>
+	tokPName   // prefix:local or prefix:
+	tokString  // "..." with optional @lang or ^^<iri>
+	tokNumber  // integer or decimal
+	tokPunct   // { } ( ) . ; , *
+	tokOp      // = != < <= > >= && || ! + - /
+	tokComment // skipped internally
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string { return fmt.Sprintf("%q", t.text) }
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	line := 1 + strings.Count(l.src[:min(pos, len(l.src))], "\n")
+	return fmt.Errorf("sparql: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '?' || c == '$':
+		l.pos++
+		for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start+1 {
+			return token{}, l.errorf(start, "empty variable name")
+		}
+		return token{kind: tokVar, text: l.src[start+1 : l.pos], pos: start}, nil
+
+	case c == '<':
+		// IRIREF if it closes without whitespace; otherwise a comparison.
+		if end := l.scanIRI(); end > 0 {
+			tok := token{kind: tokIRI, text: l.src[start+1 : end], pos: start}
+			l.pos = end + 1
+			return tok, nil
+		}
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "<=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: "<", pos: start}, nil
+
+	case c == '"' || c == '\'':
+		return l.scanString(c)
+
+	case c >= '0' && c <= '9':
+		return l.scanNumber(), nil
+
+	case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		return l.scanNumber(), nil
+
+	case strings.ContainsRune("{}().;,*+/", rune(c)):
+		l.pos++
+		if c == '*' || c == '+' || c == '/' {
+			return token{kind: tokOp, text: string(c), pos: start}, nil
+		}
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: "!", pos: start}, nil
+
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokOp, text: ">", pos: start}, nil
+
+	case c == '&' || c == '|':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == c {
+			l.pos += 2
+			return token{kind: tokOp, text: string(c) + string(c), pos: start}, nil
+		}
+		return token{}, l.errorf(start, "unexpected %q", c)
+
+	case c == '-':
+		l.pos++
+		return token{kind: tokOp, text: "-", pos: start}, nil
+
+	case c == '_' && strings.HasPrefix(l.src[l.pos:], "_:"):
+		l.pos += 2
+		for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokPName, text: l.src[start:l.pos], pos: start}, nil
+
+	case isNameStart(c):
+		for l.pos < len(l.src) && (isNameChar(l.src[l.pos]) || l.src[l.pos] == ':' ||
+			l.src[l.pos] == '.' && l.pos+1 < len(l.src) && isNameChar(l.src[l.pos+1])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if strings.Contains(text, ":") {
+			return token{kind: tokPName, text: text, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	}
+	return token{}, l.errorf(start, "unexpected character %q", c)
+}
+
+// scanIRI returns the index of the closing '>' when the current '<' starts a
+// valid IRIREF (no whitespace inside), or 0 otherwise. Does not advance.
+func (l *lexer) scanIRI() int {
+	for i := l.pos + 1; i < len(l.src); i++ {
+		c := l.src[i]
+		switch {
+		case c == '>':
+			return i
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '<' || c == '"':
+			return 0
+		}
+	}
+	return 0
+}
+
+func (l *lexer) scanString(quote byte) (token, error) {
+	start := l.pos
+	i := l.pos + 1
+	for i < len(l.src) {
+		switch l.src[i] {
+		case '\\':
+			i += 2
+		case quote:
+			body := l.src[start+1 : i]
+			i++
+			suffix := ""
+			// Optional language tag or datatype.
+			if i < len(l.src) && l.src[i] == '@' {
+				j := i + 1
+				for j < len(l.src) && (isAlnumByte(l.src[j]) || l.src[j] == '-') {
+					j++
+				}
+				suffix = l.src[i:j]
+				i = j
+			} else if strings.HasPrefix(l.src[i:], "^^<") {
+				j := strings.IndexByte(l.src[i:], '>')
+				if j < 0 {
+					return token{}, l.errorf(start, "unterminated datatype IRI")
+				}
+				suffix = l.src[i : i+j+1]
+				i += j + 1
+			}
+			if quote == '\'' {
+				// Normalize to the double-quoted N-Triples form.
+				body = strings.ReplaceAll(body, `\'`, `'`)
+				body = strings.ReplaceAll(body, `"`, `\"`)
+			}
+			l.pos = i
+			return token{kind: tokString, text: `"` + body + `"` + suffix, pos: start}, nil
+		default:
+			i++
+		}
+	}
+	return token{}, l.errorf(start, "unterminated string literal")
+}
+
+func (l *lexer) scanNumber() token {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+		// A '.' not followed by a digit terminates the statement instead.
+		if l.src[l.pos] == '.' &&
+			(l.pos+1 >= len(l.src) || l.src[l.pos+1] < '0' || l.src[l.pos+1] > '9') {
+			break
+		}
+		l.pos++
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+		c >= 0x80 || unicode.IsLetter(rune(c))
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-'
+}
+
+func isAlnumByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

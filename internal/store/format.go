@@ -1,0 +1,297 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"s2rdf/internal/dict"
+)
+
+// File format ("parquet-lite"): a little-endian binary layout per table.
+//
+//	magic "S2TB" | version u32 | ncols u32 | nrows u64
+//	per column: name-len u32 | name | nruns u64 | runs (value uvarint, length uvarint)
+//
+// Columns are run-length encoded; dictionary encoding already happened via
+// the global term dictionary, so values are uint32 IDs.
+
+const (
+	magic   = "S2TB"
+	version = 1
+)
+
+// WriteTable serializes t to w. It returns the number of bytes written.
+func WriteTable(w io.Writer, t *Table) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	buf := make([]byte, binary.MaxVarintLen64)
+
+	if _, err := cw.Write([]byte(magic)); err != nil {
+		return cw.n, err
+	}
+	writeU32(cw, version)
+	writeU32(cw, uint32(len(t.Cols)))
+	writeU64(cw, uint64(t.NumRows()))
+	for c, name := range t.Cols {
+		writeU32(cw, uint32(len(name)))
+		if _, err := cw.Write([]byte(name)); err != nil {
+			return cw.n, err
+		}
+		runs := rleEncode(t.Data[c])
+		writeU64(cw, uint64(len(runs)))
+		for _, r := range runs {
+			n := binary.PutUvarint(buf, uint64(r.value))
+			if _, err := cw.Write(buf[:n]); err != nil {
+				return cw.n, err
+			}
+			n = binary.PutUvarint(buf, uint64(r.length))
+			if _, err := cw.Write(buf[:n]); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, cw.err
+}
+
+// ReadTable deserializes a table written by WriteTable.
+func ReadTable(r io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("store: bad magic %q", head)
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("store: unsupported version %d", ver)
+	}
+	ncols, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	nrows, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{}
+	for c := uint32(0); c < ncols; c++ {
+		nameLen, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		t.Cols = append(t.Cols, string(name))
+		nruns, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		col := make([]dict.ID, 0, nrows)
+		for i := uint64(0); i < nruns; i++ {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			length, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			for j := uint64(0); j < length; j++ {
+				col = append(col, dict.ID(v))
+			}
+		}
+		if uint64(len(col)) != nrows {
+			return nil, fmt.Errorf("store: column %q has %d rows, want %d",
+				string(name), len(col), nrows)
+		}
+		t.Data = append(t.Data, col)
+	}
+	return t, nil
+}
+
+type run struct {
+	value  dict.ID
+	length uint32
+}
+
+func rleEncode(col []dict.ID) []run {
+	var runs []run
+	for i := 0; i < len(col); {
+		j := i + 1
+		for j < len(col) && col[j] == col[i] {
+			j++
+		}
+		runs = append(runs, run{value: col[i], length: uint32(j - i)})
+		i = j
+	}
+	return runs
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+func writeU32(w io.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU64(w io.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Dir is an on-disk table store: one file per table plus a JSON manifest and
+// the serialized term dictionary. It corresponds to the HDFS directory that
+// holds the Parquet files in the paper's deployment.
+type Dir struct {
+	path     string
+	manifest map[string]Stats
+}
+
+// Open opens (or creates) a table store at path.
+func Open(path string) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Dir{path: path, manifest: make(map[string]Stats)}
+	raw, err := os.ReadFile(filepath.Join(path, "manifest.json"))
+	if err == nil {
+		if err := json.Unmarshal(raw, &d.manifest); err != nil {
+			return nil, fmt.Errorf("store: corrupt manifest: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Path returns the directory path.
+func (d *Dir) Path() string { return d.path }
+
+// SaveTable persists t and records its stats. sf is the selectivity factor
+// relative to the base VP table (1 for base tables).
+func (d *Dir) SaveTable(t *Table, sf float64) (Stats, error) {
+	f, err := os.Create(d.tablePath(t.Name))
+	if err != nil {
+		return Stats{}, err
+	}
+	n, werr := WriteTable(f, t)
+	cerr := f.Close()
+	if werr != nil {
+		return Stats{}, werr
+	}
+	if cerr != nil {
+		return Stats{}, cerr
+	}
+	st := Stats{Name: t.Name, Rows: t.NumRows(), SF: sf, Bytes: n}
+	d.manifest[t.Name] = st
+	return st, nil
+}
+
+// RecordStats records statistics for a table that is not materialized
+// (empty ExtVP tables, or tables filtered out by the SF threshold).
+func (d *Dir) RecordStats(name string, rows int, sf float64) {
+	d.manifest[name] = Stats{Name: name, Rows: rows, SF: sf}
+}
+
+// LoadTable reads a table back from disk.
+func (d *Dir) LoadTable(name string) (*Table, error) {
+	f, err := os.Open(d.tablePath(name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := ReadTable(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: table %q: %w", name, err)
+	}
+	t.Name = name
+	return t, nil
+}
+
+// Stats returns the recorded stats for name.
+func (d *Dir) Stats(name string) (Stats, bool) {
+	st, ok := d.manifest[name]
+	return st, ok
+}
+
+// AllStats returns stats for every known table, sorted by name.
+func (d *Dir) AllStats() []Stats {
+	out := make([]Stats, 0, len(d.manifest))
+	for _, st := range d.manifest {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TotalBytes sums the on-disk bytes of all persisted tables.
+func (d *Dir) TotalBytes() int64 {
+	var n int64
+	for _, st := range d.manifest {
+		n += st.Bytes
+	}
+	return n
+}
+
+// Flush writes the manifest to disk.
+func (d *Dir) Flush() error {
+	raw, err := json.MarshalIndent(d.manifest, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(d.path, "manifest.json"), raw, 0o644)
+}
+
+// tablePath maps a table name to a file name, escaping separators.
+func (d *Dir) tablePath(name string) string {
+	enc := strings.NewReplacer("/", "_", ":", "-", "|", "+").Replace(name)
+	return filepath.Join(d.path, enc+".tbl")
+}

@@ -1,0 +1,91 @@
+// Package store implements the columnar storage layer of the S2RDF
+// reproduction. It plays the role HDFS + Parquet play in the paper: tables
+// are stored column-major with dictionary-encoded values, compressed with
+// run-length encoding, and persisted to a directory with a manifest that
+// preserves each table's schema and statistics.
+package store
+
+import (
+	"fmt"
+
+	"s2rdf/internal/dict"
+)
+
+// Table is an in-memory columnar table of dictionary IDs.
+type Table struct {
+	// Name identifies the table (e.g. "VP:follows", "ExtVP:OS:follows|likes").
+	Name string
+	// Cols holds the column names ("s", "o", and "p" for the triples table).
+	Cols []string
+	// Data is column-major: Data[c][row].
+	Data [][]dict.ID
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(name string, cols ...string) *Table {
+	data := make([][]dict.ID, len(cols))
+	return &Table{Name: name, Cols: cols, Data: data}
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return len(t.Data[0])
+}
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// Append adds one row. The number of values must match the schema.
+func (t *Table) Append(row ...dict.ID) {
+	if len(row) != len(t.Cols) {
+		panic(fmt.Sprintf("store: table %s has %d columns, got %d values",
+			t.Name, len(t.Cols), len(row)))
+	}
+	for c, v := range row {
+		t.Data[c] = append(t.Data[c], v)
+	}
+}
+
+// Col returns the named column, or nil when absent.
+func (t *Table) Col(name string) []dict.ID {
+	for i, c := range t.Cols {
+		if c == name {
+			return t.Data[i]
+		}
+	}
+	return nil
+}
+
+// ColIndex returns the index of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row materializes one row (allocates).
+func (t *Table) Row(i int) []dict.ID {
+	row := make([]dict.ID, len(t.Data))
+	for c := range t.Data {
+		row[c] = t.Data[c][i]
+	}
+	return row
+}
+
+// Stats summarizes a stored table; the query compiler uses these to pick
+// tables and order joins without touching the data.
+type Stats struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	// SF is the selectivity factor |table| / |base VP table|; 1 for VP
+	// tables themselves, 0 for empty (unmaterialized) tables.
+	SF float64 `json:"sf"`
+	// Bytes is the on-disk size after compression (0 if never persisted).
+	Bytes int64 `json:"bytes"`
+}

@@ -1,0 +1,336 @@
+package triplestore
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"s2rdf/internal/dict"
+	"s2rdf/internal/rdf"
+	"s2rdf/internal/sparql"
+)
+
+// Mode selects which baseline system the engine models.
+type Mode int
+
+const (
+	// Virtuoso models the centralized RDF store: every query runs locally
+	// over the clustered indexes.
+	Virtuoso Mode = iota
+	// H2RDFPlus models the adaptive engine: queries whose cardinality
+	// estimate stays under CentralizedThreshold run centralized; larger
+	// ones are executed as distributed sort-merge joins with MapReduce
+	// job latency (simulated).
+	H2RDFPlus
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Virtuoso {
+		return "Virtuoso"
+	}
+	return "H2RDF+"
+}
+
+// Engine runs SPARQL BGP queries over the sextuple-index store.
+type Engine struct {
+	St   *Store
+	Mode Mode
+	// CentralizedThreshold is the input-size estimate above which
+	// H2RDF+ switches to MapReduce execution.
+	CentralizedThreshold int
+	// JobOverhead is the per-MapReduce-job latency charged when the
+	// adaptive engine goes distributed.
+	JobOverhead time.Duration
+}
+
+// NewEngine returns an engine with the paper-calibrated defaults.
+func NewEngine(st *Store, mode Mode) *Engine {
+	return &Engine{
+		St:                   st,
+		Mode:                 mode,
+		CentralizedThreshold: 20000,
+		JobOverhead:          10 * time.Second,
+	}
+}
+
+// Result is a query answer.
+type Result struct {
+	Vars []string
+	Rows [][]rdf.Term
+	// Distributed is true when the adaptive engine chose MapReduce.
+	Distributed bool
+	// Jobs is the number of simulated MapReduce jobs (0 when centralized).
+	Jobs int
+	Wall time.Duration
+	// Simulated adds Jobs × JobOverhead on top of Wall.
+	Simulated time.Duration
+}
+
+// Len returns the row count.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// Query parses and executes a SPARQL BGP query.
+func (e *Engine) Query(src string) (*Result, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Where.Optionals) > 0 || len(q.Where.Unions) > 0 {
+		return nil, fmt.Errorf("triplestore: engine supports basic graph patterns only")
+	}
+	start := time.Now()
+
+	ordered, estimates, known := e.plan(q.Where.Triples)
+	res := &Result{}
+	if e.Mode == H2RDFPlus {
+		// Adaptive decision on the pattern-input estimates (paper Sec. 3.2:
+		// H2RDF+ decides centralized vs MapReduce from index statistics).
+		total := 0
+		for _, est := range estimates {
+			total += est
+		}
+		if total > e.CentralizedThreshold {
+			res.Distributed = true
+			res.Jobs = len(ordered) - 1
+			if res.Jobs < 1 {
+				res.Jobs = 1
+			}
+		}
+	}
+
+	var bindings []map[string]dict.ID
+	if known {
+		e.evalINLJ(ordered, 0, map[string]dict.ID{}, &bindings)
+	}
+	rows := e.finalize(q, bindings)
+
+	res.Vars = q.SelectVars()
+	res.Rows = rows
+	res.Wall = time.Since(start)
+	res.Simulated = res.Wall + time.Duration(res.Jobs)*e.JobOverhead
+	return res, nil
+}
+
+// plan encodes and orders the patterns by estimated input size, preferring
+// patterns connected to already-bound variables (classic INLJ ordering).
+// known is false when a bound term is absent from the dictionary, which
+// proves the result empty.
+func (e *Engine) plan(bgp []sparql.TriplePattern) ([]sparql.TriplePattern, []int, bool) {
+	type cand struct {
+		tp  sparql.TriplePattern
+		est int
+	}
+	cands := make([]cand, 0, len(bgp))
+	for _, tp := range bgp {
+		pat, ok := e.encode(tp, nil)
+		if !ok {
+			return nil, nil, false
+		}
+		cands = append(cands, cand{tp: tp, est: e.St.CountEstimate(pat)})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].est < cands[j].est })
+
+	var ordered []sparql.TriplePattern
+	var estimates []int
+	var bound []string
+	for len(cands) > 0 {
+		next := -1
+		for i, c := range cands {
+			if len(bound) > 0 && !shares(bound, c.tp) {
+				continue
+			}
+			if next < 0 || c.est < cands[next].est {
+				next = i
+			}
+		}
+		if next < 0 {
+			next = 0
+		}
+		c := cands[next]
+		cands = append(cands[:next:next], cands[next+1:]...)
+		ordered = append(ordered, c.tp)
+		estimates = append(estimates, c.est)
+		for _, v := range c.tp.Vars() {
+			if indexOf(bound, v) < 0 {
+				bound = append(bound, v)
+			}
+		}
+	}
+	return ordered, estimates, true
+}
+
+// encode translates a pattern to an index pattern under the given partial
+// binding. ok is false when a bound term is unknown to the dictionary.
+func (e *Engine) encode(tp sparql.TriplePattern, b map[string]dict.ID) (pattern, bool) {
+	var pat pattern
+	set := func(dst **dict.ID, n sparql.Node) bool {
+		if n.IsVar() {
+			if id, ok := b[n.Var]; ok {
+				v := id
+				*dst = &v
+			}
+			return true
+		}
+		id := e.St.Dict.Lookup(n.Term)
+		if id == dict.NoID {
+			return false
+		}
+		v := id
+		*dst = &v
+		return true
+	}
+	if !set(&pat.s, tp.S) || !set(&pat.p, tp.P) || !set(&pat.o, tp.O) {
+		return pattern{}, false
+	}
+	return pat, true
+}
+
+// evalINLJ is the index nested loop join: for each solution of the prefix,
+// range-scan the next pattern with the known constants substituted.
+func (e *Engine) evalINLJ(ordered []sparql.TriplePattern, i int, b map[string]dict.ID, out *[]map[string]dict.ID) {
+	if i == len(ordered) {
+		cp := make(map[string]dict.ID, len(b))
+		for k, v := range b {
+			cp[k] = v
+		}
+		*out = append(*out, cp)
+		return
+	}
+	tp := ordered[i]
+	pat, ok := e.encode(tp, b)
+	if !ok {
+		return
+	}
+	for _, t := range e.St.scan(pat) {
+		// Extend the binding, checking repeated variables.
+		var added []string
+		okRow := true
+		extend := func(n sparql.Node, v dict.ID) {
+			if !okRow || !n.IsVar() {
+				return
+			}
+			if prev, exists := b[n.Var]; exists {
+				if prev != v {
+					okRow = false
+				}
+				return
+			}
+			b[n.Var] = v
+			added = append(added, n.Var)
+		}
+		extend(tp.S, t.s)
+		extend(tp.P, t.p)
+		extend(tp.O, t.o)
+		if okRow {
+			e.evalINLJ(ordered, i+1, b, out)
+		}
+		for _, v := range added {
+			delete(b, v)
+		}
+	}
+}
+
+// finalize applies filters and solution modifiers and decodes.
+func (e *Engine) finalize(q *sparql.Query, bindings []map[string]dict.ID) [][]rdf.Term {
+	d := e.St.Dict
+	if len(q.Where.Filters) > 0 {
+		kept := bindings[:0]
+		for _, b := range bindings {
+			sb := make(sparql.Binding, len(b))
+			for k, v := range b {
+				sb[k] = d.Decode(v)
+			}
+			pass := true
+			for _, f := range q.Where.Filters {
+				if !f.Eval(sb) {
+					pass = false
+					break
+				}
+			}
+			if pass {
+				kept = append(kept, b)
+			}
+		}
+		bindings = kept
+	}
+	vars := q.SelectVars()
+	rows := make([][]rdf.Term, 0, len(bindings))
+	for _, b := range bindings {
+		row := make([]rdf.Term, len(vars))
+		for i, v := range vars {
+			if id, ok := b[v]; ok {
+				row[i] = d.Decode(id)
+			}
+		}
+		rows = append(rows, row)
+	}
+	if q.Distinct {
+		seen := map[string]bool{}
+		dedup := rows[:0]
+		for _, row := range rows {
+			k := ""
+			for _, t := range row {
+				k += string(t) + "\x00"
+			}
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, row)
+			}
+		}
+		rows = dedup
+	}
+	if len(q.OrderBy) > 0 {
+		idx := map[string]int{}
+		for i, v := range vars {
+			idx[v] = i
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, k := range q.OrderBy {
+				ci, ok := idx[k.Var]
+				if !ok {
+					continue
+				}
+				a, b := rows[i][ci], rows[j][ci]
+				if a == b {
+					continue
+				}
+				less := a < b
+				if k.Desc {
+					less = !less
+				}
+				return less
+			}
+			return false
+		})
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+	return rows
+}
+
+func shares(bound []string, tp sparql.TriplePattern) bool {
+	for _, v := range tp.Vars() {
+		if indexOf(bound, v) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func indexOf(s []string, v string) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,196 @@
+// Package triplestore implements a centralized triple store with all six
+// triple-permutation indexes (à la Hexastore/RDF-3X) and an index-nested-
+// loop query engine. It models the two centralized baselines of the paper's
+// evaluation: Virtuoso (always centralized) and H2RDF+ (adaptive: cheap
+// queries run centralized over its clustered indexes, expensive ones fall
+// back to MapReduce).
+package triplestore
+
+import (
+	"sort"
+
+	"s2rdf/internal/dict"
+	"s2rdf/internal/rdf"
+)
+
+// enc is an encoded triple.
+type enc struct{ s, p, o dict.ID }
+
+// order identifies one of the six permutations.
+type order int
+
+const (
+	oSPO order = iota
+	oSOP
+	oPSO
+	oPOS
+	oOSP
+	oOPS
+)
+
+var orderNames = [...]string{"SPO", "SOP", "PSO", "POS", "OSP", "OPS"}
+
+// key returns the triple's components in index order.
+func (t enc) key(ord order) (a, b, c dict.ID) {
+	switch ord {
+	case oSPO:
+		return t.s, t.p, t.o
+	case oSOP:
+		return t.s, t.o, t.p
+	case oPSO:
+		return t.p, t.s, t.o
+	case oPOS:
+		return t.p, t.o, t.s
+	case oOSP:
+		return t.o, t.s, t.p
+	default:
+		return t.o, t.p, t.s
+	}
+}
+
+// Store holds the six sorted indexes.
+type Store struct {
+	Dict *dict.Dict
+	idx  [6][]enc
+	// Lookups counts index range scans (for cost reporting).
+	Lookups int64
+	// RowsScanned counts triples touched by range scans.
+	RowsScanned int64
+}
+
+// New builds a store (and its six indexes) from triples, sharing the given
+// dictionary. A nil dict allocates a fresh one.
+func New(triples []rdf.Triple, d *dict.Dict) *Store {
+	if d == nil {
+		d = dict.New()
+	}
+	st := &Store{Dict: d}
+	base := make([]enc, len(triples))
+	for i, t := range triples {
+		s, p, o := d.EncodeTriple(t)
+		base[i] = enc{s, p, o}
+	}
+	for ord := order(0); ord < 6; ord++ {
+		ord := ord
+		idx := make([]enc, len(base))
+		copy(idx, base)
+		sort.Slice(idx, func(i, j int) bool {
+			ai, bi, ci := idx[i].key(ord)
+			aj, bj, cj := idx[j].key(ord)
+			if ai != aj {
+				return ai < aj
+			}
+			if bi != bj {
+				return bi < bj
+			}
+			return ci < cj
+		})
+		st.idx[ord] = idx
+	}
+	return st
+}
+
+// NumTriples returns |G|.
+func (st *Store) NumTriples() int { return len(st.idx[0]) }
+
+// pattern is an encoded triple pattern; nil components are wildcards.
+type pattern struct{ s, p, o *dict.ID }
+
+// chooseOrder picks the index whose prefix covers the bound components.
+func (p pattern) chooseOrder() order {
+	switch {
+	case p.s != nil && p.p != nil:
+		return oSPO
+	case p.s != nil && p.o != nil:
+		return oSOP
+	case p.s != nil:
+		return oSPO
+	case p.p != nil && p.o != nil:
+		return oPOS
+	case p.p != nil:
+		return oPSO
+	case p.o != nil:
+		return oOSP
+	default:
+		return oSPO
+	}
+}
+
+// prefix returns the bound prefix values for the chosen order.
+func (p pattern) prefix(ord order) []dict.ID {
+	var out []dict.ID
+	push := func(v *dict.ID) bool {
+		if v == nil {
+			return false
+		}
+		out = append(out, *v)
+		return true
+	}
+	switch ord {
+	case oSPO:
+		_ = push(p.s) && push(p.p) && push(p.o)
+	case oSOP:
+		_ = push(p.s) && push(p.o) && push(p.p)
+	case oPSO:
+		_ = push(p.p) && push(p.s) && push(p.o)
+	case oPOS:
+		_ = push(p.p) && push(p.o) && push(p.s)
+	case oOSP:
+		_ = push(p.o) && push(p.s) && push(p.p)
+	default:
+		_ = push(p.o) && push(p.p) && push(p.s)
+	}
+	return out
+}
+
+// scan returns the index range matching the pattern's bound prefix; the
+// caller must still verify non-prefix bound components.
+func (st *Store) scan(p pattern) []enc {
+	ord := p.chooseOrder()
+	prefix := p.prefix(ord)
+	idx := st.idx[ord]
+	st.Lookups++
+
+	cmpPrefix := func(t enc) int {
+		a, b, c := t.key(ord)
+		comps := [3]dict.ID{a, b, c}
+		for i, want := range prefix {
+			if comps[i] < want {
+				return -1
+			}
+			if comps[i] > want {
+				return 1
+			}
+		}
+		return 0
+	}
+	lo := sort.Search(len(idx), func(i int) bool { return cmpPrefix(idx[i]) >= 0 })
+	hi := sort.Search(len(idx), func(i int) bool { return cmpPrefix(idx[i]) > 0 })
+	st.RowsScanned += int64(hi - lo)
+	return idx[lo:hi]
+}
+
+// CountEstimate returns the size of the index range a pattern would scan,
+// the cardinality estimate H2RDF+ derives from its aggregated index
+// statistics.
+func (st *Store) CountEstimate(p pattern) int {
+	ord := p.chooseOrder()
+	prefix := p.prefix(ord)
+	idx := st.idx[ord]
+	cmpPrefix := func(t enc) int {
+		a, b, c := t.key(ord)
+		comps := [3]dict.ID{a, b, c}
+		for i, want := range prefix {
+			if comps[i] < want {
+				return -1
+			}
+			if comps[i] > want {
+				return 1
+			}
+		}
+		return 0
+	}
+	lo := sort.Search(len(idx), func(i int) bool { return cmpPrefix(idx[i]) >= 0 })
+	hi := sort.Search(len(idx), func(i int) bool { return cmpPrefix(idx[i]) > 0 })
+	return hi - lo
+}

@@ -1,0 +1,224 @@
+package triplestore
+
+import (
+	"testing"
+	"time"
+
+	"s2rdf/internal/dict"
+	"s2rdf/internal/rdf"
+)
+
+func g1() []rdf.Triple {
+	iri := rdf.NewIRI
+	follows, likes := iri("urn:follows"), iri("urn:likes")
+	return []rdf.Triple{
+		{S: iri("urn:A"), P: follows, O: iri("urn:B")},
+		{S: iri("urn:B"), P: follows, O: iri("urn:C")},
+		{S: iri("urn:B"), P: follows, O: iri("urn:D")},
+		{S: iri("urn:C"), P: follows, O: iri("urn:D")},
+		{S: iri("urn:A"), P: likes, O: iri("urn:I1")},
+		{S: iri("urn:A"), P: likes, O: iri("urn:I2")},
+		{S: iri("urn:C"), P: likes, O: iri("urn:I2")},
+	}
+}
+
+const q1 = `SELECT * WHERE {
+	?x <urn:likes> ?w . ?x <urn:follows> ?y .
+	?y <urn:follows> ?z . ?z <urn:likes> ?w
+}`
+
+func TestStoreIndexesSorted(t *testing.T) {
+	st := New(g1(), nil)
+	if st.NumTriples() != 7 {
+		t.Fatalf("NumTriples = %d", st.NumTriples())
+	}
+	for ord := order(0); ord < 6; ord++ {
+		idx := st.idx[ord]
+		for i := 1; i < len(idx); i++ {
+			a1, b1, c1 := idx[i-1].key(ord)
+			a2, b2, c2 := idx[i].key(ord)
+			if a1 > a2 || a1 == a2 && (b1 > b2 || b1 == b2 && c1 > c2) {
+				t.Errorf("index %s not sorted at %d", orderNames[ord], i)
+			}
+		}
+	}
+}
+
+func TestScanByPrefix(t *testing.T) {
+	st := New(g1(), nil)
+	b := st.Dict.Lookup(rdf.NewIRI("urn:B"))
+	follows := st.Dict.Lookup(rdf.NewIRI("urn:follows"))
+
+	// (B, follows, ?) — two triples.
+	res := st.scan(pattern{s: &b, p: &follows})
+	if len(res) != 2 {
+		t.Errorf("scan(B,follows,?) = %d rows, want 2", len(res))
+	}
+	// (?, follows, ?) — four triples.
+	res = st.scan(pattern{p: &follows})
+	if len(res) != 4 {
+		t.Errorf("scan(?,follows,?) = %d rows, want 4", len(res))
+	}
+	// (?, ?, ?) — all.
+	res = st.scan(pattern{})
+	if len(res) != 7 {
+		t.Errorf("scan(?,?,?) = %d rows, want 7", len(res))
+	}
+	// (?, ?, D) — two.
+	d := st.Dict.Lookup(rdf.NewIRI("urn:D"))
+	res = st.scan(pattern{o: &d})
+	if len(res) != 2 {
+		t.Errorf("scan(?,?,D) = %d rows, want 2", len(res))
+	}
+	if st.Lookups == 0 || st.RowsScanned == 0 {
+		t.Error("lookup metrics not counted")
+	}
+}
+
+func TestCountEstimateMatchesScan(t *testing.T) {
+	st := New(g1(), nil)
+	follows := st.Dict.Lookup(rdf.NewIRI("urn:follows"))
+	pat := pattern{p: &follows}
+	if est := st.CountEstimate(pat); est != len(st.scan(pat)) {
+		t.Errorf("estimate %d != scan size", est)
+	}
+}
+
+func TestVirtuosoQ1(t *testing.T) {
+	e := NewEngine(New(g1(), nil), Virtuoso)
+	res, err := e.Query(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", res.Len())
+	}
+	if res.Distributed || res.Jobs != 0 {
+		t.Error("Virtuoso must never go distributed")
+	}
+}
+
+func TestBoundQueries(t *testing.T) {
+	e := NewEngine(New(g1(), nil), Virtuoso)
+	res, err := e.Query(`SELECT ?y WHERE { <urn:B> <urn:follows> ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("rows = %d, want 2", res.Len())
+	}
+	res, err = e.Query(`SELECT ?p WHERE { <urn:A> ?p <urn:B> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0][0] != rdf.NewIRI("urn:follows") {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestUnknownTermEmpty(t *testing.T) {
+	e := NewEngine(New(g1(), nil), Virtuoso)
+	res, err := e.Query(`SELECT ?x WHERE { ?x <urn:likes> <urn:NOSUCH> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Errorf("rows = %d, want 0", res.Len())
+	}
+}
+
+func TestRepeatedVariable(t *testing.T) {
+	triples := append(g1(), rdf.Triple{
+		S: rdf.NewIRI("urn:E"), P: rdf.NewIRI("urn:follows"), O: rdf.NewIRI("urn:E")})
+	e := NewEngine(New(triples, nil), Virtuoso)
+	res, err := e.Query(`SELECT ?x WHERE { ?x <urn:follows> ?x }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0][0] != rdf.NewIRI("urn:E") {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestH2RDFAdaptiveSwitch(t *testing.T) {
+	st := New(g1(), nil)
+	e := NewEngine(st, H2RDFPlus)
+
+	// Small estimate: centralized.
+	e.CentralizedThreshold = 1000
+	res, err := e.Query(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distributed {
+		t.Error("tiny query should run centralized")
+	}
+	// Force the distributed path.
+	e.CentralizedThreshold = 0
+	e.JobOverhead = time.Second
+	res, err = e.Query(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Distributed || res.Jobs != 3 {
+		t.Errorf("distributed = %v, jobs = %d; want true, 3", res.Distributed, res.Jobs)
+	}
+	if res.Simulated-res.Wall != 3*time.Second {
+		t.Errorf("simulated overhead = %v, want 3s", res.Simulated-res.Wall)
+	}
+	if res.Len() != 1 {
+		t.Errorf("distributed execution changed the result: %d rows", res.Len())
+	}
+}
+
+func TestFiltersAndModifiers(t *testing.T) {
+	e := NewEngine(New(g1(), nil), Virtuoso)
+	res, err := e.Query(`SELECT ?s ?o WHERE {
+		?s <urn:follows> ?o . FILTER (?o != <urn:D>)
+	} ORDER BY ?s LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Rows[0][0] != rdf.NewIRI("urn:A") {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	res, err = e.Query(`SELECT DISTINCT ?x WHERE { ?x <urn:likes> ?w }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("distinct rows = %d, want 2", res.Len())
+	}
+	res, err = e.Query(`SELECT ?x WHERE { ?x <urn:likes> ?w } OFFSET 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("offset rows = %d, want 1", res.Len())
+	}
+}
+
+func TestOptionalRejected(t *testing.T) {
+	e := NewEngine(New(g1(), nil), Virtuoso)
+	if _, err := e.Query(`SELECT * WHERE { ?x <urn:likes> ?w OPTIONAL { ?x <urn:follows> ?y } }`); err == nil {
+		t.Error("OPTIONAL should be rejected")
+	}
+}
+
+func TestSharedDictionary(t *testing.T) {
+	d := dict.New()
+	d.Encode(rdf.NewIRI("urn:A"))
+	st := New(g1(), d)
+	if st.Dict != d {
+		t.Error("store did not adopt the shared dictionary")
+	}
+	if d.Lookup(rdf.NewIRI("urn:follows")) == dict.NoID {
+		t.Error("store did not extend the shared dictionary")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Virtuoso.String() != "Virtuoso" || H2RDFPlus.String() != "H2RDF+" {
+		t.Error("mode names wrong")
+	}
+}

@@ -1,0 +1,342 @@
+package watdiv
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Template is a WatDiv query template. Placeholders of the form %v1% are
+// instantiated with entities drawn uniformly from the mapped entity class,
+// exactly like the WatDiv query generator's "#mapping v1 wsdbm:Website
+// uniform" directive.
+type Template struct {
+	// Name is the query id used in the paper, e.g. "L1", "S3", "IL-2-7".
+	Name string
+	// Shape is the category: "L", "S", "F", "C" for Basic Testing;
+	// "ST" for selectivity testing; "IL-1".."IL-3" for incremental linear.
+	Shape string
+	// Text is the SPARQL text with %vN% placeholders.
+	Text string
+	// Mappings maps placeholder variables to entity classes.
+	Mappings map[string]string
+}
+
+// Instantiate substitutes every placeholder with a uniformly drawn entity.
+func (t Template) Instantiate(d *Data, rng *rand.Rand) string {
+	out := t.Text
+	for v, class := range t.Mappings {
+		pool := d.Entities(class)
+		ent := pool[rng.Intn(len(pool))]
+		out = strings.ReplaceAll(out, "%"+v+"%", string(ent))
+	}
+	return out
+}
+
+// HasPlaceholders reports whether the template needs instantiation.
+func (t Template) HasPlaceholders() bool { return len(t.Mappings) > 0 }
+
+// BasicTemplates returns the 20 predefined templates of the WatDiv Basic
+// Testing use case (paper Appendix A): linear (L), star (S), snowflake (F)
+// and complex (C).
+func BasicTemplates() []Template {
+	return []Template{
+		// --- Linear ---
+		{Name: "L1", Shape: "L", Mappings: map[string]string{"v1": "Website"}, Text: `
+			SELECT ?v0 ?v2 ?v3 WHERE {
+				?v0 wsdbm:subscribes %v1% .
+				?v2 sorg:caption ?v3 .
+				?v0 wsdbm:likes ?v2 .
+			}`},
+		{Name: "L2", Shape: "L", Mappings: map[string]string{"v0": "City"}, Text: `
+			SELECT ?v1 ?v2 WHERE {
+				%v0% gn:parentCountry ?v1 .
+				?v2 wsdbm:likes wsdbm:Product0 .
+				?v2 sorg:nationality ?v1 .
+			}`},
+		{Name: "L3", Shape: "L", Mappings: map[string]string{"v2": "Website"}, Text: `
+			SELECT ?v0 ?v1 WHERE {
+				?v0 wsdbm:likes ?v1 .
+				?v0 wsdbm:subscribes %v2% .
+			}`},
+		{Name: "L4", Shape: "L", Mappings: map[string]string{"v1": "Topic"}, Text: `
+			SELECT ?v0 ?v2 WHERE {
+				?v0 og:tag %v1% .
+				?v0 sorg:caption ?v2 .
+			}`},
+		{Name: "L5", Shape: "L", Mappings: map[string]string{"v2": "City"}, Text: `
+			SELECT ?v0 ?v1 ?v3 WHERE {
+				?v0 sorg:jobTitle ?v1 .
+				%v2% gn:parentCountry ?v3 .
+				?v0 sorg:nationality ?v3 .
+			}`},
+
+		// --- Star ---
+		{Name: "S1", Shape: "S", Mappings: map[string]string{"v2": "Retailer"}, Text: `
+			SELECT ?v0 ?v1 ?v3 ?v4 ?v5 ?v6 ?v7 ?v8 ?v9 WHERE {
+				?v0 gr:includes ?v1 .
+				%v2% gr:offers ?v0 .
+				?v0 gr:price ?v3 .
+				?v0 gr:serialNumber ?v4 .
+				?v0 gr:validFrom ?v5 .
+				?v0 gr:validThrough ?v6 .
+				?v0 sorg:eligibleQuantity ?v7 .
+				?v0 sorg:eligibleRegion ?v8 .
+				?v0 sorg:priceValidUntil ?v9 .
+			}`},
+		{Name: "S2", Shape: "S", Mappings: map[string]string{"v2": "Country"}, Text: `
+			SELECT ?v0 ?v1 ?v3 WHERE {
+				?v0 dc:Location ?v1 .
+				?v0 sorg:nationality %v2% .
+				?v0 wsdbm:gender ?v3 .
+				?v0 rdf:type wsdbm:Role2 .
+			}`},
+		{Name: "S3", Shape: "S", Mappings: map[string]string{"v1": "ProductCategory"}, Text: `
+			SELECT ?v0 ?v2 ?v3 ?v4 WHERE {
+				?v0 rdf:type %v1% .
+				?v0 sorg:caption ?v2 .
+				?v0 wsdbm:hasGenre ?v3 .
+				?v0 sorg:publisher ?v4 .
+			}`},
+		{Name: "S4", Shape: "S", Mappings: map[string]string{"v1": "AgeGroup"}, Text: `
+			SELECT ?v0 ?v2 ?v3 WHERE {
+				?v0 foaf:age %v1% .
+				?v0 foaf:familyName ?v2 .
+				?v3 mo:artist ?v0 .
+				?v0 sorg:nationality wsdbm:Country1 .
+			}`},
+		{Name: "S5", Shape: "S", Mappings: map[string]string{"v1": "ProductCategory"}, Text: `
+			SELECT ?v0 ?v2 ?v3 WHERE {
+				?v0 rdf:type %v1% .
+				?v0 sorg:description ?v2 .
+				?v0 sorg:keywords ?v3 .
+				?v0 sorg:language wsdbm:Language0 .
+			}`},
+		{Name: "S6", Shape: "S", Mappings: map[string]string{"v3": "SubGenre"}, Text: `
+			SELECT ?v0 ?v1 ?v2 WHERE {
+				?v0 mo:conductor ?v1 .
+				?v0 rdf:type ?v2 .
+				?v0 wsdbm:hasGenre %v3% .
+			}`},
+		{Name: "S7", Shape: "S", Mappings: map[string]string{"v3": "User"}, Text: `
+			SELECT ?v0 ?v1 ?v2 WHERE {
+				?v0 rdf:type ?v1 .
+				?v0 sorg:text ?v2 .
+				%v3% wsdbm:likes ?v0 .
+			}`},
+
+		// --- Snowflake ---
+		{Name: "F1", Shape: "F", Mappings: map[string]string{"v1": "Topic"}, Text: `
+			SELECT ?v0 ?v2 ?v3 ?v4 ?v5 WHERE {
+				?v0 og:tag %v1% .
+				?v0 rdf:type ?v2 .
+				?v3 sorg:trailer ?v4 .
+				?v3 sorg:keywords ?v5 .
+				?v3 wsdbm:hasGenre ?v0 .
+				?v3 rdf:type wsdbm:ProductCategory2 .
+			}`},
+		{Name: "F2", Shape: "F", Mappings: map[string]string{"v8": "SubGenre"}, Text: `
+			SELECT ?v0 ?v1 ?v2 ?v4 ?v5 ?v6 ?v7 WHERE {
+				?v0 foaf:homepage ?v1 .
+				?v0 og:title ?v2 .
+				?v0 rdf:type ?v3 .
+				?v0 sorg:caption ?v4 .
+				?v0 sorg:description ?v5 .
+				?v1 sorg:url ?v6 .
+				?v1 wsdbm:hits ?v7 .
+				?v0 wsdbm:hasGenre %v8% .
+			}`},
+		{Name: "F3", Shape: "F", Mappings: map[string]string{"v3": "SubGenre"}, Text: `
+			SELECT ?v0 ?v1 ?v2 ?v4 ?v5 ?v6 WHERE {
+				?v0 sorg:contentRating ?v1 .
+				?v0 sorg:contentSize ?v2 .
+				?v0 wsdbm:hasGenre %v3% .
+				?v4 wsdbm:makesPurchase ?v5 .
+				?v5 wsdbm:purchaseDate ?v6 .
+				?v5 wsdbm:purchaseFor ?v0 .
+			}`},
+		{Name: "F4", Shape: "F", Mappings: map[string]string{"v3": "Topic"}, Text: `
+			SELECT ?v0 ?v1 ?v2 ?v4 ?v5 ?v6 ?v7 ?v8 WHERE {
+				?v0 foaf:homepage ?v1 .
+				?v2 gr:includes ?v0 .
+				?v0 og:tag %v3% .
+				?v0 sorg:description ?v4 .
+				?v0 sorg:contentSize ?v8 .
+				?v1 sorg:url ?v5 .
+				?v1 wsdbm:hits ?v6 .
+				?v1 sorg:language wsdbm:Language0 .
+				?v7 wsdbm:likes ?v0 .
+			}`},
+		{Name: "F5", Shape: "F", Mappings: map[string]string{"v2": "Retailer"}, Text: `
+			SELECT ?v0 ?v1 ?v3 ?v4 ?v5 ?v6 WHERE {
+				?v0 gr:includes ?v1 .
+				%v2% gr:offers ?v0 .
+				?v0 gr:price ?v3 .
+				?v0 gr:validThrough ?v4 .
+				?v1 og:title ?v5 .
+				?v1 rdf:type ?v6 .
+			}`},
+
+		// --- Complex ---
+		{Name: "C1", Shape: "C", Text: `
+			SELECT ?v0 ?v4 ?v6 ?v7 WHERE {
+				?v0 sorg:caption ?v1 .
+				?v0 sorg:text ?v2 .
+				?v0 sorg:contentRating ?v3 .
+				?v0 rev:hasReview ?v4 .
+				?v4 rev:title ?v5 .
+				?v4 rev:reviewer ?v6 .
+				?v7 sorg:actor ?v6 .
+				?v7 sorg:language ?v8 .
+			}`},
+		{Name: "C2", Shape: "C", Text: `
+			SELECT ?v0 ?v3 ?v4 ?v8 WHERE {
+				?v0 sorg:legalName ?v1 .
+				?v0 gr:offers ?v2 .
+				?v2 sorg:eligibleRegion wsdbm:Country5 .
+				?v2 gr:includes ?v3 .
+				?v4 sorg:jobTitle ?v5 .
+				?v4 foaf:homepage ?v6 .
+				?v4 wsdbm:makesPurchase ?v7 .
+				?v7 wsdbm:purchaseFor ?v3 .
+				?v3 rev:hasReview ?v8 .
+				?v8 rev:totalVotes ?v9 .
+			}`},
+		{Name: "C3", Shape: "C", Text: `
+			SELECT ?v0 WHERE {
+				?v0 wsdbm:likes ?v1 .
+				?v0 wsdbm:friendOf ?v2 .
+				?v0 dc:Location ?v3 .
+				?v0 foaf:age ?v4 .
+				?v0 wsdbm:gender ?v5 .
+				?v0 foaf:givenName ?v6 .
+			}`},
+	}
+}
+
+// STTemplates returns the Selectivity Testing workload (paper Appendix B)
+// the authors designed to probe the effect of ExtVP table selectivity.
+func STTemplates() []Template {
+	mk := func(name, text string) Template {
+		return Template{Name: name, Shape: "ST", Text: text}
+	}
+	return []Template{
+		// B.1 Varying OS selectivity.
+		mk("ST-1-1", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 wsdbm:friendOf ?v1 . ?v1 sorg:email ?v2 . }`),
+		mk("ST-1-2", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 wsdbm:friendOf ?v1 . ?v1 foaf:age ?v2 . }`),
+		mk("ST-1-3", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 wsdbm:friendOf ?v1 . ?v1 sorg:jobTitle ?v2 . }`),
+		mk("ST-2-1", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 rev:reviewer ?v1 . ?v1 sorg:email ?v2 . }`),
+		mk("ST-2-2", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 rev:reviewer ?v1 . ?v1 foaf:age ?v2 . }`),
+		mk("ST-2-3", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 rev:reviewer ?v1 . ?v1 sorg:jobTitle ?v2 . }`),
+		// B.2 Varying SO selectivity.
+		mk("ST-3-1", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 wsdbm:follows ?v1 . ?v1 wsdbm:friendOf ?v2 . }`),
+		mk("ST-3-2", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 rev:reviewer ?v1 . ?v1 wsdbm:friendOf ?v2 . }`),
+		mk("ST-3-3", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 sorg:author ?v1 . ?v1 wsdbm:friendOf ?v2 . }`),
+		mk("ST-4-1", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 wsdbm:follows ?v1 . ?v1 wsdbm:likes ?v2 . }`),
+		mk("ST-4-2", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 rev:reviewer ?v1 . ?v1 wsdbm:likes ?v2 . }`),
+		mk("ST-4-3", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 sorg:author ?v1 . ?v1 wsdbm:likes ?v2 . }`),
+		// B.3 Varying SS selectivity.
+		mk("ST-5-1", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 wsdbm:friendOf ?v1 . ?v0 sorg:email ?v2 . }`),
+		mk("ST-5-2", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 wsdbm:friendOf ?v1 . ?v0 wsdbm:follows ?v2 . }`),
+		// B.4 High selectivity queries.
+		mk("ST-6-1", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 wsdbm:likes ?v1 . ?v1 sorg:trailer ?v2 . }`),
+		mk("ST-6-2", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 sorg:email ?v1 . ?v0 sorg:faxNumber ?v2 . }`),
+		// B.5 OS vs SO selectivity.
+		mk("ST-7-1", `SELECT ?v0 ?v1 ?v2 ?v3 WHERE {
+			?v0 wsdbm:friendOf ?v1 . ?v1 wsdbm:follows ?v2 . ?v2 foaf:homepage ?v3 . }`),
+		mk("ST-7-2", `SELECT ?v0 ?v1 ?v2 ?v3 WHERE {
+			?v0 mo:artist ?v1 . ?v1 wsdbm:friendOf ?v2 . ?v2 wsdbm:follows ?v3 . }`),
+		// B.6 Empty result queries.
+		mk("ST-8-1", `SELECT ?v0 ?v1 ?v2 WHERE { ?v0 wsdbm:friendOf ?v1 . ?v1 sorg:language ?v2 . }`),
+		mk("ST-8-2", `SELECT ?v0 ?v1 ?v2 ?v3 WHERE {
+			?v0 wsdbm:friendOf ?v1 . ?v1 wsdbm:follows ?v2 . ?v2 sorg:language ?v3 . }`),
+	}
+}
+
+// ilSteps lists the chain of (predicate, next-variable) hops per IL query
+// type; diameter-k queries use the first k hops (paper Appendix C).
+var ilSteps = map[string][]string{
+	"IL-1": {
+		"wsdbm:follows", "wsdbm:likes", "rev:hasReview", "rev:reviewer",
+		"wsdbm:friendOf", "wsdbm:makesPurchase", "wsdbm:purchaseFor",
+		"sorg:author", "dc:Location", "gn:parentCountry",
+	},
+	"IL-2": {
+		"gr:offers", "gr:includes", "sorg:director", "wsdbm:friendOf",
+		"wsdbm:friendOf", "wsdbm:likes", "sorg:editor",
+		"wsdbm:makesPurchase", "wsdbm:purchaseFor", "sorg:caption",
+	},
+	"IL-3": {
+		"gr:offers", "gr:includes", "rev:hasReview", "rev:reviewer",
+		"wsdbm:friendOf", "wsdbm:likes", "sorg:author", "wsdbm:follows",
+		"foaf:homepage", "sorg:language",
+	},
+}
+
+// ILTemplate builds one Incremental Linear query: ilType is "IL-1" (user
+// bound), "IL-2" (retailer bound) or "IL-3" (unbound); size is the number
+// of triple patterns (5..10).
+func ILTemplate(ilType string, size int) Template {
+	steps := ilSteps[ilType]
+	if steps == nil || size < 1 || size > len(steps) {
+		panic("watdiv: bad IL template request")
+	}
+	var b strings.Builder
+	b.WriteString("SELECT")
+	start := 1
+	if ilType == "IL-3" {
+		start = 0
+	}
+	for i := start; i <= size; i++ {
+		b.WriteString(" ?v")
+		b.WriteString(itoa(i))
+	}
+	b.WriteString(" WHERE {\n")
+	for i, pred := range steps[:size] {
+		var subj string
+		if i == 0 && ilType != "IL-3" {
+			subj = "%v0%"
+		} else {
+			subj = "?v" + itoa(i)
+		}
+		b.WriteString("\t" + subj + " " + pred + " ?v" + itoa(i+1) + " .\n")
+	}
+	b.WriteString("}")
+	t := Template{
+		Name:  ilType + "-" + itoa(size),
+		Shape: ilType,
+		Text:  b.String(),
+	}
+	switch ilType {
+	case "IL-1":
+		t.Mappings = map[string]string{"v0": "User"}
+	case "IL-2":
+		t.Mappings = map[string]string{"v0": "Retailer"}
+	}
+	return t
+}
+
+// ILTemplates returns the full Incremental Linear use case: all three
+// query types at diameters 5 through 10.
+func ILTemplates() []Template {
+	var out []Template
+	for _, typ := range []string{"IL-1", "IL-2", "IL-3"} {
+		for size := 5; size <= 10; size++ {
+			out = append(out, ILTemplate(typ, size))
+		}
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

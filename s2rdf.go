@@ -1,0 +1,184 @@
+// Package s2rdf is a Go reproduction of "S2RDF: RDF Querying with SPARQL on
+// Spark" (Schätzle et al., VLDB 2016).
+//
+// It loads RDF data into the paper's Extended Vertical Partitioning
+// (ExtVP) layout — the vertical-partitioning tables plus precomputed
+// semi-join reductions for every SS/OS/SO predicate correlation — and
+// answers SPARQL queries by compiling them to relational plans over a
+// partitioned, parallel, in-memory engine that plays the role of Spark SQL.
+//
+// Quick start:
+//
+//	st, err := s2rdf.LoadFile("data.nt")
+//	if err != nil { ... }
+//	res, err := st.Query(`SELECT ?who WHERE { ?who wsdbm:follows wsdbm:User0 }`)
+//	for _, b := range res.Bindings() { fmt.Println(b["who"]) }
+//
+// The same store can execute queries against the baseline layouts the
+// paper compares (plain vertical partitioning, a triples table, and a
+// Sempala-style property table) via QueryMode, which the benchmark harness
+// uses to regenerate the paper's experiments.
+package s2rdf
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"s2rdf/internal/core"
+	"s2rdf/internal/layout"
+	"s2rdf/internal/rdf"
+)
+
+// Mode selects the storage layout a query runs against.
+type Mode = core.Mode
+
+// Execution modes.
+const (
+	// ModeExtVP is the paper's contribution: statistics-driven selection
+	// over semi-join-reduced tables.
+	ModeExtVP = core.ModeExtVP
+	// ModeVP is the plain vertical-partitioning baseline.
+	ModeVP = core.ModeVP
+	// ModeTT scans a single triples table.
+	ModeTT = core.ModeTT
+	// ModePT is the Sempala-style unified property table.
+	ModePT = core.ModePT
+)
+
+// Result is a solved query; see core.Result.
+type Result = core.Result
+
+// Triple is an RDF statement.
+type Triple = rdf.Triple
+
+// Term is an RDF term in N-Triples surface syntax.
+type Term = rdf.Term
+
+// Options configures loading.
+type Options struct {
+	// Threshold is the ExtVP selectivity-factor threshold: tables with
+	// SF >= Threshold are not materialized. 0 (or 1) keeps every useful
+	// table; the paper recommends 0.25 as the sweet spot (Sec. 7.4).
+	Threshold float64
+	// DisableExtVP skips the semi-join preprocessing (VP-only store).
+	DisableExtVP bool
+	// BuildPropertyTable additionally builds the Sempala-style layout so
+	// ModePT queries work.
+	BuildPropertyTable bool
+	// JoinOrderOptimization toggles the size-driven join ordering of the
+	// paper's Algorithm 4 (on by default via Load).
+	JoinOrderOptimization bool
+	// BitVectors stores ExtVP reductions as bit vectors over the VP tables
+	// instead of materialized copies — the compact representation the
+	// paper proposes as future work (Sec. 8). Cuts the ExtVP storage
+	// overhead from O(tuples) to |VP|/8 bytes per reduction.
+	BitVectors bool
+	// UnifyCorrelations additionally intersects all applicable reductions
+	// per triple pattern (requires BitVectors) — the paper's proposed
+	// unification strategy, giving strictly better input selectivity.
+	UnifyCorrelations bool
+	// Lazy enables "pay as you go" loading (paper Sec. 7): no ExtVP
+	// preprocessing at load time; reductions are computed the first time a
+	// query needs them and cached for later queries.
+	Lazy bool
+}
+
+// Store is a loaded RDF dataset queryable in all supported modes.
+type Store struct {
+	ds      *layout.Dataset
+	opts    Options
+	engines map[Mode]*core.Engine
+}
+
+// Load builds a store from triples.
+func Load(triples []Triple, opts Options) *Store {
+	lopts := layout.Options{
+		Threshold:  opts.Threshold,
+		BuildExtVP: !opts.DisableExtVP && !opts.Lazy,
+		BuildPT:    opts.BuildPropertyTable,
+		BitVectors: opts.BitVectors,
+	}
+	ds := layout.Build(triples, lopts)
+	return newStore(ds, opts)
+}
+
+// LoadReader builds a store from N-Triples input with default options.
+func LoadReader(r io.Reader, opts Options) (*Store, error) {
+	triples, err := rdf.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Load(triples, opts), nil
+}
+
+// LoadFile builds a store from an N-Triples file with default options.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadReader(f, Options{})
+}
+
+// Open reads a store previously persisted with Save.
+func Open(dir string, opts Options) (*Store, error) {
+	ds, err := layout.Load(dir, opts.BuildPropertyTable)
+	if err != nil {
+		return nil, err
+	}
+	return newStore(ds, opts), nil
+}
+
+// Save persists the store (dictionary, tables and statistics) to dir.
+func (s *Store) Save(dir string) error { return layout.Save(s.ds, dir) }
+
+func newStore(ds *layout.Dataset, opts Options) *Store {
+	s := &Store{ds: ds, opts: opts, engines: make(map[Mode]*core.Engine)}
+	var lazy *layout.LazyExtVP
+	if opts.Lazy && !opts.DisableExtVP {
+		lazy = layout.NewLazyExtVP(ds)
+	}
+	for _, m := range []Mode{ModeExtVP, ModeVP, ModeTT, ModePT} {
+		e := core.New(ds, m)
+		e.UnifyCorrelations = opts.UnifyCorrelations
+		if m == ModeExtVP {
+			e.Lazy = lazy
+		}
+		s.engines[m] = e
+	}
+	return s
+}
+
+// Query executes a SPARQL query in ExtVP mode (or VP when ExtVP was
+// disabled at load time).
+func (s *Store) Query(src string) (*Result, error) {
+	mode := ModeExtVP
+	if s.opts.DisableExtVP {
+		mode = ModeVP
+	}
+	return s.QueryMode(mode, src)
+}
+
+// QueryMode executes a SPARQL query against a specific layout.
+func (s *Store) QueryMode(mode Mode, src string) (*Result, error) {
+	e, ok := s.engines[mode]
+	if !ok {
+		return nil, fmt.Errorf("s2rdf: unknown mode %v", mode)
+	}
+	return e.Query(src)
+}
+
+// Engine exposes the underlying compiler/executor for a mode (used by the
+// benchmark harness and for EXPLAIN-style inspection).
+func (s *Store) Engine(mode Mode) *core.Engine { return s.engines[mode] }
+
+// Dataset exposes the loaded layouts and statistics.
+func (s *Store) Dataset() *layout.Dataset { return s.ds }
+
+// NumTriples returns |G|.
+func (s *Store) NumTriples() int { return s.ds.NumTriples() }
+
+// Sizes summarizes the layout sizes (paper Table 2 quantities).
+func (s *Store) Sizes() layout.SizeSummary { return s.ds.Sizes() }
