@@ -10,6 +10,7 @@
 //	-exp oo         Sec. 5.2 ablation (OO-correlation omission)
 //	-exp bitvec     Sec. 8 future work (bit-vector ExtVP + unification)
 //	-exp scaling    Table 4 scale axis (Basic means vs dataset size)
+//	-exp concurrent concurrent serving throughput on one shared engine
 //	-exp all        everything
 package main
 
@@ -26,7 +27,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchrun: ")
-	exp := flag.String("exp", "all", "experiment: load, st, basic, il, threshold, joinorder, oo, bitvec, scaling, all")
+	exp := flag.String("exp", "all", "experiment: load, st, basic, il, threshold, joinorder, oo, bitvec, scaling, concurrent, all")
 	scale := flag.Float64("scale", 0.2, "WatDiv scale factor (1 ≈ 10^5 triples)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	runs := flag.Int("runs", 3, "instantiations per query template")
@@ -75,6 +76,10 @@ func main() {
 	run("joinorder", func() error { _, err := bench.RunJoinOrder(cfg); return err })
 	run("oo", func() error { _, err := bench.RunOO(cfg); return err })
 	run("bitvec", func() error { _, err := bench.RunBitVec(cfg); return err })
+	run("concurrent", func() error {
+		_, err := bench.RunConcurrent(cfg, []int{1, 2, 4, 8, 16})
+		return err
+	})
 	run("scaling", func() error {
 		_, err := bench.RunScaling(cfg, []float64{*scale / 4, *scale / 2, *scale, *scale * 2})
 		return err

@@ -5,6 +5,7 @@
 //
 //	s2rdf load  -in data.nt -store ./storedir [-threshold 0.25]
 //	s2rdf query -store ./storedir [-mode ExtVP] [-explain] 'SELECT ...'
+//	s2rdf serve -store ./storedir [-addr :8080] [-mode ExtVP] [-workers 8]
 //	s2rdf stats -store ./storedir
 package main
 
@@ -31,6 +32,8 @@ func main() {
 		cmdLoad(os.Args[2:])
 	case "query":
 		cmdQuery(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
 	default:
@@ -42,6 +45,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   s2rdf load  -in data.nt -store DIR [-threshold T] [-novp]
   s2rdf query -store DIR [-mode ExtVP|VP|TT|PT] [-explain] 'SPARQL'
+  s2rdf serve -store DIR [-addr :8080] [-mode ExtVP|VP|TT|PT] [-workers N] [-pt]
   s2rdf stats -store DIR`)
 	os.Exit(2)
 }
@@ -99,17 +103,8 @@ func cmdQuery(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var m s2rdf.Mode
-	switch strings.ToUpper(*mode) {
-	case "EXTVP":
-		m = s2rdf.ModeExtVP
-	case "VP":
-		m = s2rdf.ModeVP
-	case "TT":
-		m = s2rdf.ModeTT
-	case "PT":
-		m = s2rdf.ModePT
-	default:
+	m, ok := s2rdf.ParseMode(*mode)
+	if !ok {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 	res, err := st.QueryMode(m, fs.Arg(0))
@@ -136,6 +131,37 @@ func cmdQuery(args []string) {
 	fmt.Fprintf(os.Stderr, "%d solutions in %v (scanned %d rows, shuffled %d)\n",
 		res.Len(), res.Duration.Round(time.Microsecond),
 		res.Metrics.RowsScanned, res.Metrics.RowsShuffled)
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dir := fs.String("store", "", "store directory")
+	addr := fs.String("addr", ":8080", "listen address")
+	mode := fs.String("mode", "ExtVP", "default execution mode: ExtVP, VP, TT or PT")
+	workers := fs.Int("workers", 0, "max concurrent queries (0 = GOMAXPROCS)")
+	pt := fs.Bool("pt", false, "also build the property table so mode=PT requests work")
+	fs.Parse(args)
+	if *dir == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	m, ok := s2rdf.ParseMode(*mode)
+	if !ok {
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	st, err := s2rdf.Open(*dir, s2rdf.Options{
+		BuildPropertyTable: *pt || m == s2rdf.ModePT,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d triples on %s (mode %s)\n", st.NumTriples(), *addr, m)
+	hint := *addr
+	if strings.HasPrefix(hint, ":") {
+		hint = "localhost" + hint
+	}
+	fmt.Printf("try: curl 'http://%s/sparql?query=SELECT...'\n", hint)
+	log.Fatal(st.Serve(*addr, s2rdf.ServerOptions{Mode: m, MaxConcurrent: *workers}))
 }
 
 func cmdStats(args []string) {

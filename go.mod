@@ -1,0 +1,3 @@
+module s2rdf
+
+go 1.24

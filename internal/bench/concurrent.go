@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"s2rdf/internal/core"
+	"s2rdf/internal/layout"
+	"s2rdf/internal/watdiv"
+)
+
+// ThroughputRow is one point of the concurrent-serving experiment: a worker
+// count and the rates one shared ExtVP engine sustained at it.
+type ThroughputRow struct {
+	Workers int
+	Queries int
+	Wall    time.Duration
+	// QPS is queries per second of wall time.
+	QPS float64
+	// MeanLatency is the mean per-query duration measured inside workers.
+	MeanLatency time.Duration
+	// RowsScanned is the total metered scan volume, which must match the
+	// sequential run exactly — concurrency changes throughput, not work.
+	RowsScanned int64
+}
+
+// RunConcurrent measures query throughput on one shared engine as the
+// client concurrency grows — the serving scenario the engine's per-query
+// Exec contexts make sound. Every worker issues instantiated Basic-workload
+// queries; per-query metrics are summed and cross-checked against the
+// cluster aggregate to demonstrate exact accounting under load.
+func RunConcurrent(cfg Config, workerCounts []int) ([]ThroughputRow, error) {
+	cfg.defaults()
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	data := watdiv.Generate(watdiv.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+	ds := layout.Build(data.Triples, layout.DefaultOptions())
+	eng := core.New(ds, core.ModeExtVP)
+
+	// One fixed batch of query instances, reused at every worker count so
+	// rows differ only by concurrency.
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	var queries []string
+	for _, tpl := range watdiv.BasicTemplates() {
+		for i := 0; i < cfg.Runs; i++ {
+			queries = append(queries, tpl.Instantiate(data, rng))
+		}
+	}
+
+	var rows []ThroughputRow
+	for _, workers := range workerCounts {
+		eng.Cluster.Metrics.Reset()
+		var next atomic.Int64
+		var latency atomic.Int64
+		var scanned atomic.Int64
+		var errMu sync.Mutex
+		var firstErr error
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(queries) {
+						return
+					}
+					res, err := eng.Query(queries[i])
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					latency.Add(int64(res.Duration))
+					scanned.Add(res.Metrics.RowsScanned)
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		if agg := eng.Cluster.Metrics.Snapshot().RowsScanned; agg != scanned.Load() {
+			return nil, fmt.Errorf("bench: aggregate scanned %d != per-query sum %d at %d workers",
+				agg, scanned.Load(), workers)
+		}
+		rows = append(rows, ThroughputRow{
+			Workers:     workers,
+			Queries:     len(queries),
+			Wall:        wall,
+			QPS:         float64(len(queries)) / wall.Seconds(),
+			MeanLatency: time.Duration(latency.Load() / int64(len(queries))),
+			RowsScanned: scanned.Load(),
+		})
+	}
+
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(cfg.Out, "\n=== E8: Concurrent serving throughput (shared ExtVP engine) ===")
+	fmt.Fprintln(tw, "workers\tqueries\twall\tQPS\tmean latency\trows scanned")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%.0f\t%s\t%d\n",
+			r.Workers, r.Queries, fmtDur(r.Wall), r.QPS, fmtDur(r.MeanLatency), r.RowsScanned)
+	}
+	tw.Flush()
+	return rows, nil
+}

@@ -14,7 +14,7 @@ import (
 // computes each aggregate projection per partition. Computed values are
 // encoded into the shared dictionary so the rest of the pipeline (ORDER BY,
 // LIMIT, decoding) is unchanged.
-func (e *Engine) aggregate(rel *engine.Relation, q *sparql.Query) *engine.Relation {
+func (e *Engine) aggregate(ex *engine.Exec, rel *engine.Relation, q *sparql.Query) *engine.Relation {
 	groupIdx := make([]int, len(q.GroupBy))
 	for i, v := range q.GroupBy {
 		groupIdx[i] = rel.ColIndex(v)
@@ -77,7 +77,7 @@ func (e *Engine) aggregate(rel *engine.Relation, q *sparql.Query) *engine.Relati
 		}
 		rows = append(rows, row)
 	}
-	return e.Cluster.FromRows(schema, rows)
+	return ex.FromRows(schema, rows)
 }
 
 func aggAliases(q *sparql.Query) []string {

@@ -152,7 +152,7 @@ func (e *Engine) selectTable(tp sparql.TriplePattern, bgp []sparql.TriplePattern
 // compilePattern is the paper's Algorithm 2 (TP2SQL): turn one triple
 // pattern plus its selected table into an engine scan with projections for
 // variables and conditions for bound positions.
-func (e *Engine) compilePattern(tp sparql.TriplePattern, sel selection) (*engine.Relation, bool) {
+func (e *Engine) compilePattern(ex *engine.Exec, tp sparql.TriplePattern, sel selection) (*engine.Relation, bool) {
 	var projs []engine.ScanProjection
 	var conds []engine.ScanCondition
 
@@ -181,18 +181,18 @@ func (e *Engine) compilePattern(tp sparql.TriplePattern, sel selection) (*engine
 		return nil, false
 	}
 	if sel.bits != nil {
-		return e.Cluster.ScanSel(sel.table, sel.bits, projs, conds), true
+		return ex.ScanSel(sel.table, sel.bits, projs, conds), true
 	}
-	return e.Cluster.Scan(sel.table, projs, conds), true
+	return ex.Scan(sel.table, projs, conds), true
 }
 
 // evalBGP compiles and executes a basic graph pattern: Algorithm 3 when
 // JoinOrderOpt is off, Algorithm 4 (order by bound values, then by selected
 // table size, avoiding cross joins) when on. ModePT routes to the
 // property-table planner.
-func (e *Engine) evalBGP(bgp []sparql.TriplePattern, res *Result) (*engine.Relation, error) {
+func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, res *Result) (*engine.Relation, error) {
 	if e.Mode == ModePT {
-		return e.evalBGPPT(bgp, res)
+		return e.evalBGPPT(ex, bgp, res)
 	}
 
 	type unit struct {
@@ -209,7 +209,7 @@ func (e *Engine) evalBGP(bgp []sparql.TriplePattern, res *Result) (*engine.Relat
 		if sel.empty {
 			// Statistics-only answer (paper Sec. 6.1): no execution at all.
 			res.StatsOnly = true
-			return e.emptyRelation(bgp), nil
+			return e.emptyRelation(ex, bgp), nil
 		}
 	}
 
@@ -254,31 +254,31 @@ func (e *Engine) evalBGP(bgp []sparql.TriplePattern, res *Result) (*engine.Relat
 		u := remaining[next]
 		remaining = append(remaining[:next:next], remaining[next+1:]...)
 
-		scan, ok := e.compilePattern(u.tp, u.sel)
+		scan, ok := e.compilePattern(ex, u.tp, u.sel)
 		if !ok {
 			res.StatsOnly = true
-			return e.emptyRelation(bgp), nil
+			return e.emptyRelation(ex, bgp), nil
 		}
 		if rel == nil {
 			rel = scan
 		} else {
-			rel = e.Cluster.Join(rel, scan)
+			rel = ex.Join(rel, scan)
 		}
 		bound = joinedSchema(bound, u.tp.Vars())
 	}
 	if rel == nil {
-		rel = e.unitRelation()
+		rel = e.unitRelation(ex)
 	}
 	return rel, nil
 }
 
 // emptyRelation returns a zero-row relation over all the BGP's variables.
-func (e *Engine) emptyRelation(bgp []sparql.TriplePattern) *engine.Relation {
+func (e *Engine) emptyRelation(ex *engine.Exec, bgp []sparql.TriplePattern) *engine.Relation {
 	var vars []string
 	for _, tp := range bgp {
 		vars = joinedSchema(vars, tp.Vars())
 	}
-	return e.Cluster.FromRows(vars, nil)
+	return ex.FromRows(vars, nil)
 }
 
 func sharesVar(bound []string, tp sparql.TriplePattern) bool {

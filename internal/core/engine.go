@@ -7,10 +7,17 @@
 // The same compiler also runs in VP, TT and PT modes, which serve as the
 // paper's baselines (S2RDF VP, a plain triples-table store, and the
 // Sempala-style property-table layout).
+//
+// An Engine is safe for concurrent use: every Exec call runs with its own
+// engine.Exec handle, so per-query metrics are exact even when many queries
+// are in flight, while Cluster.Metrics keeps the cluster-wide aggregate.
+// Parsed queries are cached in an LRU keyed on whitespace-normalized query
+// text, so repeated query strings skip the parser.
 package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"s2rdf/internal/dict"
@@ -51,6 +58,9 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
+// DefaultPlanCacheSize is the parsed-plan LRU capacity New configures.
+const DefaultPlanCacheSize = 128
+
 // Engine executes SPARQL queries over a dataset in one layout mode.
 type Engine struct {
 	DS      *layout.Dataset
@@ -70,18 +80,23 @@ type Engine struct {
 	// Effective only when the dataset was built with layout
 	// Options.BitVectors.
 	UnifyCorrelations bool
+	// Plans caches parsed queries by normalized text; nil disables caching.
+	Plans *PlanCache
 
 	// pt caches the property-table view built on first use in ModePT.
-	pt *ptView
+	ptOnce sync.Once
+	pt     *ptView
 }
 
-// New returns an engine in the given mode with join-order optimization on.
+// New returns an engine in the given mode with join-order optimization and
+// a default-sized plan cache.
 func New(ds *layout.Dataset, mode Mode) *Engine {
 	return &Engine{
 		DS:           ds,
 		Cluster:      engine.NewCluster(0),
 		Mode:         mode,
 		JoinOrderOpt: true,
+		Plans:        NewPlanCache(DefaultPlanCacheSize),
 	}
 }
 
@@ -100,8 +115,10 @@ type Result struct {
 	Vars []string
 	// Rows holds one term per variable; the empty term marks an unbound
 	// variable (possible under OPTIONAL and UNION).
-	Rows     [][]rdf.Term
-	Plan     []PatternPlan
+	Rows [][]rdf.Term
+	Plan []PatternPlan
+	// Metrics holds exactly the work this query performed, independent of
+	// any other queries in flight on the same engine.
 	Metrics  engine.MetricsSnapshot
 	Duration time.Duration
 	// StatsOnly is true when the statistics proved the result empty
@@ -109,6 +126,8 @@ type Result struct {
 	StatsOnly bool
 	// Ask holds the boolean answer of an ASK query (Rows is empty then).
 	Ask bool
+	// PlanCached is true when the parsed query came from the plan cache.
+	PlanCached bool
 }
 
 // Len returns the number of solution mappings.
@@ -130,56 +149,76 @@ func (r *Result) Bindings() []map[string]rdf.Term {
 	return out
 }
 
-// Query parses and executes a SPARQL query string.
+// Query parses and executes a SPARQL query string. Parsed queries are
+// memoized in the plan cache under their normalized text.
 func (e *Engine) Query(src string) (*Result, error) {
-	q, err := sparql.Parse(src)
-	if err != nil {
-		return nil, err
+	if e.Plans == nil {
+		q, err := sparql.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		return e.Exec(q)
 	}
-	return e.Exec(q)
+	key := NormalizeQuery(src)
+	q, cached := e.Plans.get(key)
+	if !cached {
+		var err error
+		q, err = sparql.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		e.Plans.put(key, q)
+	}
+	res, err := e.Exec(q)
+	if res != nil {
+		res.PlanCached = cached
+	}
+	return res, err
 }
 
-// Exec executes a parsed query.
+// Exec executes a parsed query. The query value is not modified, so one
+// parsed query may be executed repeatedly and concurrently.
 func (e *Engine) Exec(q *sparql.Query) (*Result, error) {
 	start := time.Now()
-	before := e.Cluster.Metrics.Snapshot()
+	var qm engine.Metrics
+	ex := e.Cluster.NewExec(&qm)
 
 	res := &Result{}
-	rel, err := e.evalGroup(q.Where, res)
+	rel, err := e.evalGroup(ex, q.Where, res)
 	if err != nil {
 		return nil, err
 	}
 
 	if q.Ask {
 		res.Ask = rel.NumRows() > 0
-		res.Metrics = e.Cluster.Metrics.Snapshot().Sub(before)
+		res.Metrics = qm.Snapshot()
 		res.Duration = time.Since(start)
 		return res, nil
 	}
 
 	if q.HasAggregates() {
-		rel = e.aggregate(rel, q)
+		rel = e.aggregate(ex, rel, q)
 	}
 
 	vars := q.SelectVars()
-	rel = e.Cluster.Project(rel, vars)
+	rel = ex.Project(rel, vars)
 	if q.Distinct {
-		rel = e.Cluster.Distinct(rel)
+		rel = ex.Distinct(rel)
 	}
 	if len(q.OrderBy) > 0 {
-		rel = e.orderBy(rel, q.OrderBy)
+		rel = e.orderBy(ex, rel, q.OrderBy)
 	}
 	if q.Limit >= 0 || q.Offset > 0 {
 		limit := q.Limit
 		if limit < 0 {
 			limit = -1
 		}
-		rel = e.Cluster.Limit(rel, q.Offset, limit)
+		rel = ex.Limit(rel, q.Offset, limit)
 	}
 
 	res.Vars = vars
 	res.Rows = e.decode(rel)
-	res.Metrics = e.Cluster.Metrics.Snapshot().Sub(before)
+	res.Metrics = qm.Snapshot()
 	res.Duration = time.Since(start)
 	return res, nil
 }
@@ -202,7 +241,7 @@ func (e *Engine) decode(rel *engine.Relation) [][]rdf.Term {
 
 // orderBy sorts by the given keys; terms compare by numeric value when both
 // are numeric, lexically otherwise, and unbound sorts first.
-func (e *Engine) orderBy(rel *engine.Relation, keys []sparql.OrderKey) *engine.Relation {
+func (e *Engine) orderBy(ex *engine.Exec, rel *engine.Relation, keys []sparql.OrderKey) *engine.Relation {
 	idx := make([]int, len(keys))
 	for i, k := range keys {
 		idx[i] = rel.ColIndex(k.Var)
@@ -239,7 +278,7 @@ func (e *Engine) orderBy(rel *engine.Relation, keys []sparql.OrderKey) *engine.R
 		}
 		return 0
 	}
-	return e.Cluster.OrderBy(rel, func(a, b engine.Row) bool {
+	return ex.OrderBy(rel, func(a, b engine.Row) bool {
 		for i, k := range keys {
 			if idx[i] < 0 {
 				continue
@@ -257,34 +296,34 @@ func (e *Engine) orderBy(rel *engine.Relation, keys []sparql.OrderKey) *engine.R
 }
 
 // unitRelation is the join identity: one zero-column row.
-func (e *Engine) unitRelation() *engine.Relation {
-	return e.Cluster.FromRows(nil, []engine.Row{{}})
+func (e *Engine) unitRelation(ex *engine.Exec) *engine.Relation {
+	return ex.FromRows(nil, []engine.Row{{}})
 }
 
 // evalGroup evaluates a group graph pattern: BGP, then UNION blocks, then
 // pushable filters, then OPTIONALs, then remaining filters.
-func (e *Engine) evalGroup(g *sparql.Group, res *Result) (*engine.Relation, error) {
+func (e *Engine) evalGroup(ex *engine.Exec, g *sparql.Group, res *Result) (*engine.Relation, error) {
 	var rel *engine.Relation
 	if len(g.Triples) > 0 {
-		r, err := e.evalBGP(g.Triples, res)
+		r, err := e.evalBGP(ex, g.Triples, res)
 		if err != nil {
 			return nil, err
 		}
 		rel = r
 	}
 	for _, u := range g.Unions {
-		ur, err := e.evalUnion(u, res)
+		ur, err := e.evalUnion(ex, u, res)
 		if err != nil {
 			return nil, err
 		}
 		if rel == nil {
 			rel = ur
 		} else {
-			rel = e.Cluster.Join(rel, ur)
+			rel = ex.Join(rel, ur)
 		}
 	}
 	if rel == nil {
-		rel = e.unitRelation()
+		rel = e.unitRelation(ex)
 	}
 
 	// Filter pushing: apply filters whose variables are all bound by the
@@ -293,58 +332,58 @@ func (e *Engine) evalGroup(g *sparql.Group, res *Result) (*engine.Relation, erro
 	var deferred []sparql.Expression
 	for _, f := range g.Filters {
 		if varsSubset(f.Vars(), rel.Schema) {
-			rel = e.applyFilter(rel, f)
+			rel = e.applyFilter(ex, rel, f)
 		} else {
 			deferred = append(deferred, f)
 		}
 	}
 
 	for _, opt := range g.Optionals {
-		right, err := e.evalOptionalBody(opt, res)
+		right, err := e.evalOptionalBody(ex, opt, res)
 		if err != nil {
 			return nil, err
 		}
 		pred := e.filterPred(joinedSchema(rel.Schema, right.Schema), opt.Filters)
-		rel = e.Cluster.LeftJoin(rel, right, pred)
+		rel = ex.LeftJoin(rel, right, pred)
 	}
 
 	for _, f := range deferred {
-		rel = e.applyFilter(rel, f)
+		rel = e.applyFilter(ex, rel, f)
 	}
 	return rel, nil
 }
 
 // evalOptionalBody evaluates an OPTIONAL group without its top-level
 // filters (those join the LeftJoin as its predicate, per SPARQL semantics).
-func (e *Engine) evalOptionalBody(g *sparql.Group, res *Result) (*engine.Relation, error) {
+func (e *Engine) evalOptionalBody(ex *engine.Exec, g *sparql.Group, res *Result) (*engine.Relation, error) {
 	body := &sparql.Group{
 		Triples:   g.Triples,
 		Optionals: g.Optionals,
 		Unions:    g.Unions,
 	}
-	return e.evalGroup(body, res)
+	return e.evalGroup(ex, body, res)
 }
 
-func (e *Engine) evalUnion(u *sparql.Union, res *Result) (*engine.Relation, error) {
+func (e *Engine) evalUnion(ex *engine.Exec, u *sparql.Union, res *Result) (*engine.Relation, error) {
 	var rel *engine.Relation
 	for _, alt := range u.Alternatives {
-		r, err := e.evalGroup(alt, res)
+		r, err := e.evalGroup(ex, alt, res)
 		if err != nil {
 			return nil, err
 		}
 		if rel == nil {
 			rel = r
 		} else {
-			rel = e.Cluster.Union(rel, r)
+			rel = ex.Union(rel, r)
 		}
 	}
 	return rel, nil
 }
 
 // applyFilter evaluates a SPARQL filter over decoded bindings.
-func (e *Engine) applyFilter(rel *engine.Relation, f sparql.Expression) *engine.Relation {
+func (e *Engine) applyFilter(ex *engine.Exec, rel *engine.Relation, f sparql.Expression) *engine.Relation {
 	pred := e.filterPred(rel.Schema, []sparql.Expression{f})
-	return e.Cluster.Filter(rel, pred)
+	return ex.Filter(rel, pred)
 }
 
 // filterPred builds a row predicate evaluating all exprs under the schema.

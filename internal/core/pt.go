@@ -10,45 +10,42 @@ import (
 	"s2rdf/internal/store"
 )
 
-// ptView lazily wraps the property table as a columnar store table so the
-// regular Scan operator can read it: column "s" plus one column per
-// functional predicate (named "p<ID>").
+// ptView wraps the property table as a columnar store table so the regular
+// Scan operator can read it: column "s" plus one column per functional
+// predicate (named "p<ID>").
 type ptView struct {
 	table  *store.Table
 	colOf  map[dict.ID]string
-	built  bool
 	triple int // rows * width, the scan weight of the unified table
 }
 
 func ptCol(p dict.ID) string { return fmt.Sprintf("p%d", p) }
 
+// ptTable returns the property-table view, building it exactly once even
+// under concurrent queries.
 func (e *Engine) ptTable() *ptView {
-	if e.pt == nil {
-		e.pt = &ptView{}
-	}
-	v := e.pt
-	if v.built {
-		return v
-	}
-	pt := e.DS.PT
-	cols := []string{"s"}
-	data := [][]dict.ID{pt.Subjects}
-	v.colOf = make(map[dict.ID]string, len(pt.Columns))
-	preds := make([]dict.ID, 0, len(pt.Columns))
-	for p := range pt.Columns {
-		preds = append(preds, p)
-	}
-	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
-	for _, p := range preds {
-		name := ptCol(p)
-		v.colOf[p] = name
-		cols = append(cols, name)
-		data = append(data, pt.Columns[p])
-	}
-	v.table = &store.Table{Name: "PT", Cols: cols, Data: data}
-	v.triple = pt.NumRows() * (len(cols) - 1)
-	v.built = true
-	return v
+	e.ptOnce.Do(func() {
+		pt := e.DS.PT
+		v := &ptView{}
+		cols := []string{"s"}
+		data := [][]dict.ID{pt.Subjects}
+		v.colOf = make(map[dict.ID]string, len(pt.Columns))
+		preds := make([]dict.ID, 0, len(pt.Columns))
+		for p := range pt.Columns {
+			preds = append(preds, p)
+		}
+		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+		for _, p := range preds {
+			name := ptCol(p)
+			v.colOf[p] = name
+			cols = append(cols, name)
+			data = append(data, pt.Columns[p])
+		}
+		v.table = &store.Table{Name: "PT", Cols: cols, Data: data}
+		v.triple = pt.NumRows() * (len(cols) - 1)
+		e.pt = v
+	})
+	return e.pt
 }
 
 // evalBGPPT plans a BGP the way Sempala does (paper Sec. 3.2): patterns
@@ -56,7 +53,7 @@ func (e *Engine) ptTable() *ptView {
 // subject and answered with a single scan of the unified table (no joins
 // within a star); multi-valued and unbound-predicate patterns fall back to
 // the auxiliary (VP) tables and are joined in.
-func (e *Engine) evalBGPPT(bgp []sparql.TriplePattern, res *Result) (*engine.Relation, error) {
+func (e *Engine) evalBGPPT(ex *engine.Exec, bgp []sparql.TriplePattern, res *Result) (*engine.Relation, error) {
 	pt := e.DS.PT
 	if pt == nil {
 		return nil, fmt.Errorf("core: property table not built (layout.Options.BuildPT)")
@@ -111,7 +108,7 @@ func (e *Engine) evalBGPPT(bgp []sparql.TriplePattern, res *Result) (*engine.Rel
 			id := e.DS.Dict.Lookup(subj.Term)
 			if id == dict.NoID {
 				res.StatsOnly = true
-				return e.emptyRelation(bgp), nil
+				return e.emptyRelation(ex, bgp), nil
 			}
 			conds = append(conds, engine.ScanCondition{Col: "s", Value: id})
 		}
@@ -127,18 +124,18 @@ func (e *Engine) evalBGPPT(bgp []sparql.TriplePattern, res *Result) (*engine.Rel
 				id := e.DS.Dict.Lookup(tp.O.Term)
 				if id == dict.NoID {
 					res.StatsOnly = true
-					return e.emptyRelation(bgp), nil
+					return e.emptyRelation(ex, bgp), nil
 				}
 				conds = append(conds, engine.ScanCondition{Col: col, Value: id})
 			}
 			desc += tp.String() + "; "
 		}
-		rel := e.Cluster.Scan(view.table, projs, conds)
+		rel := ex.Scan(view.table, projs, conds)
 		// A property-table scan touches the full width of the unified
 		// table; meter the extra cells the narrow Scan did not count.
 		extra := int64(view.triple - pt.NumRows())
 		if extra > 0 {
-			e.Cluster.Metrics.RowsScanned.Add(extra)
+			ex.AddRowsScanned(extra)
 		}
 		// Required patterns must have a value: drop Null cells.
 		if len(nullChecks) > 0 {
@@ -148,7 +145,7 @@ func (e *Engine) evalBGPPT(bgp []sparql.TriplePattern, res *Result) (*engine.Rel
 					idxs = append(idxs, i)
 				}
 			}
-			rel = e.Cluster.Filter(rel, func(row engine.Row) bool {
+			rel = ex.Filter(rel, func(row engine.Row) bool {
 				for _, i := range idxs {
 					if row[i] == engine.Null {
 						return false
@@ -167,18 +164,18 @@ func (e *Engine) evalBGPPT(bgp []sparql.TriplePattern, res *Result) (*engine.Rel
 		addPlan(tp.String(), sel.name, sel.rows)
 		if sel.empty {
 			res.StatsOnly = true
-			return e.emptyRelation(bgp), nil
+			return e.emptyRelation(ex, bgp), nil
 		}
-		scan, ok := e.compilePattern(tp, sel)
+		scan, ok := e.compilePattern(ex, tp, sel)
 		if !ok {
 			res.StatsOnly = true
-			return e.emptyRelation(bgp), nil
+			return e.emptyRelation(ex, bgp), nil
 		}
 		units = append(units, unit{rel: scan, vars: tp.Vars(), rows: scan.NumRows()})
 	}
 
 	if len(units) == 0 {
-		return e.unitRelation(), nil
+		return e.unitRelation(ex), nil
 	}
 
 	// Join the units smallest-first, avoiding cross joins.
@@ -201,7 +198,7 @@ func (e *Engine) evalBGPPT(bgp []sparql.TriplePattern, res *Result) (*engine.Rel
 		}
 		u := remaining[next]
 		remaining = append(remaining[:next:next], remaining[next+1:]...)
-		rel = e.Cluster.Join(rel, u.rel)
+		rel = ex.Join(rel, u.rel)
 		bound = joinedSchema(bound, u.vars)
 	}
 	return rel, nil

@@ -12,9 +12,9 @@ import "s2rdf/internal/dict"
 // n rows (0 disables them, the paper's configuration).
 func (c *Cluster) SetBroadcastThreshold(n int) { c.broadcastThreshold = n }
 
-// broadcastJoin joins left and right where small is the side to replicate.
-// leftSmall says whether the small side is the left one.
-func (c *Cluster) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation {
+// broadcastJoin joins left and right by replicating the smaller side to
+// every partition of the bigger one.
+func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation {
 	leftSmall := left.NumRows() <= right.NumRows()
 	small, big := left, right
 	sIdx, bIdx := lIdx, rIdx
@@ -24,11 +24,13 @@ func (c *Cluster) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relati
 	}
 	srows := small.Rows()
 	// Replicating the small side to every partition is the broadcast cost.
-	c.Metrics.RowsShuffled.Add(int64(len(srows)) * int64(len(big.Parts)))
+	x.addShuffled(int64(len(srows)) * int64(len(big.Parts)))
 
 	outSchema := joinSchema(left.Schema, right.Schema, rIdx)
 	out := newRelation(outSchema, len(big.Parts))
-	out.keyCol = big.keyCol
+	// Output partitioning follows the big side, whose rows stay in place;
+	// translate its key column into output-schema coordinates.
+	out.keyCol = broadcastKeyCol(big, small, bIdx, sIdx, leftSmall)
 	if len(srows) == 0 {
 		return out
 	}
@@ -37,12 +39,17 @@ func (c *Cluster) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relati
 	for _, row := range srows {
 		ht[row[sIdx[0]]] = append(ht[row[sIdx[0]]], row)
 	}
-	rightDup := dupMask(len(srows[0]), sIdx)
-	if !leftSmall {
-		// Small side is right: dup mask over right rows (already sIdx).
-		rightDup = dupMask(len(srows[0]), sIdx)
+	// The output drops the right side's join columns: when the small side
+	// is left, the mask covers the big (right) rows, otherwise the
+	// replicated small (right) rows. Either way it is fixed for the whole
+	// join, so it is computed once here rather than per output row.
+	var rightDup []bool
+	if leftSmall {
+		rightDup = dupMask(len(big.Schema), bIdx)
+	} else {
+		rightDup = dupMask(len(small.Schema), sIdx)
 	}
-	c.parallel(len(big.Parts), func(p int) {
+	x.parallel(len(big.Parts), func(p int) {
 		var rows []Row
 		var comparisons int64
 		for _, brow := range big.Parts[p] {
@@ -55,21 +62,45 @@ func (c *Cluster) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relati
 						continue cand
 					}
 				}
-				var lrow, rrow Row
 				if leftSmall {
-					lrow, rrow = srow, brow
-					// Output schema drops the *right* side's join
-					// columns; recompute the mask over the big row.
-					rows = append(rows, concatRows(lrow, rrow, dupMask(len(rrow), bIdx)))
+					rows = append(rows, concatRows(srow, brow, rightDup))
 				} else {
-					lrow, rrow = brow, srow
-					rows = append(rows, concatRows(lrow, rrow, rightDup))
+					rows = append(rows, concatRows(brow, srow, rightDup))
 				}
 			}
 		}
-		c.Metrics.JoinComparisons.Add(comparisons)
+		x.addComparisons(comparisons)
 		out.Parts[p] = rows
 	})
-	c.Metrics.RowsOutput.Add(int64(out.NumRows()))
+	x.addOutput(int64(out.NumRows()))
 	return out
+}
+
+// broadcastKeyCol maps the big side's partitioning column into the joined
+// output schema (left columns first, then right columns minus the join
+// duplicates), returning -1 when the big side has no known partitioning.
+func broadcastKeyCol(big, small *Relation, bIdx, sIdx []int, leftSmall bool) int {
+	k := big.keyCol
+	if k < 0 {
+		return -1
+	}
+	if !leftSmall {
+		// Big side is the left input: its columns lead the output unchanged.
+		return k
+	}
+	// Big side is the right input. Its join columns are dropped from the
+	// output but are equal to the left-side columns they joined on.
+	for i, bj := range bIdx {
+		if bj == k {
+			return sIdx[i]
+		}
+	}
+	idx := len(small.Schema)
+	dup := dupMask(len(big.Schema), bIdx)
+	for j := 0; j < k; j++ {
+		if !dup[j] {
+			idx++
+		}
+	}
+	return idx
 }

@@ -8,6 +8,13 @@
 // on: rows scanned, rows shuffled and join comparisons. Input-size
 // reduction (what ExtVP buys) therefore translates directly into lower
 // metered cost and lower wall time, just as on Spark.
+//
+// A Cluster is safe for concurrent use: any number of queries may run
+// operators on it simultaneously. Each query obtains an Exec handle
+// (Cluster.NewExec) carrying its own Metrics; operators invoked through an
+// Exec meter into both the per-query counters and the cluster-wide
+// aggregate, so concurrent queries account their work independently while
+// the aggregate remains a faithful total.
 package engine
 
 import (
@@ -25,8 +32,8 @@ const Null = dict.NoID
 // Row is one tuple of dictionary IDs.
 type Row []dict.ID
 
-// Metrics counts the work performed by a cluster. All fields are updated
-// atomically and may be read concurrently.
+// Metrics counts the work performed by a cluster or a single query. All
+// fields are updated atomically and may be read concurrently.
 type Metrics struct {
 	RowsScanned     atomic.Int64
 	RowsShuffled    atomic.Int64
@@ -64,7 +71,7 @@ type MetricsSnapshot struct {
 	Tasks           int64
 }
 
-// Sub returns the difference s - other, for metering a single query.
+// Sub returns the difference s - other.
 func (s MetricsSnapshot) Sub(other MetricsSnapshot) MetricsSnapshot {
 	return MetricsSnapshot{
 		RowsScanned:     s.RowsScanned - other.RowsScanned,
@@ -75,8 +82,20 @@ func (s MetricsSnapshot) Sub(other MetricsSnapshot) MetricsSnapshot {
 	}
 }
 
+// Add returns the sum s + other.
+func (s MetricsSnapshot) Add(other MetricsSnapshot) MetricsSnapshot {
+	return MetricsSnapshot{
+		RowsScanned:     s.RowsScanned + other.RowsScanned,
+		RowsShuffled:    s.RowsShuffled + other.RowsShuffled,
+		JoinComparisons: s.JoinComparisons + other.JoinComparisons,
+		RowsOutput:      s.RowsOutput + other.RowsOutput,
+		Tasks:           s.Tasks + other.Tasks,
+	}
+}
+
 // Cluster models the executor pool: a number of partitions (parallel tasks
-// per stage) and a worker limit.
+// per stage) and a worker limit. Metrics is the cluster-wide aggregate over
+// every query ever run; per-query accounting goes through NewExec.
 type Cluster struct {
 	partitions int
 	workers    int
@@ -98,10 +117,67 @@ func NewCluster(partitions int) *Cluster {
 // Partitions returns the partition count.
 func (c *Cluster) Partitions() int { return c.partitions }
 
-// parallel runs fn(p) for p in [0, n) on the worker pool and waits.
-func (c *Cluster) parallel(n int, fn func(p int)) {
-	c.Metrics.Tasks.Add(int64(n))
-	workers := c.workers
+// Exec is a query-scoped execution handle on a Cluster. Operators invoked
+// through an Exec meter into its per-query Metrics (when non-nil) as well as
+// the cluster aggregate. Exec values are cheap; create one per query.
+type Exec struct {
+	c *Cluster
+	m *Metrics
+}
+
+// NewExec returns an execution handle metering into m (which may be nil for
+// aggregate-only accounting) in addition to the cluster's Metrics.
+func (c *Cluster) NewExec(m *Metrics) *Exec { return &Exec{c: c, m: m} }
+
+// exec returns an aggregate-only handle backing the Cluster convenience
+// methods.
+func (c *Cluster) exec() *Exec { return &Exec{c: c} }
+
+// Cluster returns the underlying cluster.
+func (x *Exec) Cluster() *Cluster { return x.c }
+
+// AddRowsScanned meters n extra scanned rows (used by wide-table scans that
+// account for columns the narrow Scan projection did not touch).
+func (x *Exec) AddRowsScanned(n int64) {
+	x.c.Metrics.RowsScanned.Add(n)
+	if x.m != nil {
+		x.m.RowsScanned.Add(n)
+	}
+}
+
+func (x *Exec) addShuffled(n int64) {
+	x.c.Metrics.RowsShuffled.Add(n)
+	if x.m != nil {
+		x.m.RowsShuffled.Add(n)
+	}
+}
+
+func (x *Exec) addComparisons(n int64) {
+	x.c.Metrics.JoinComparisons.Add(n)
+	if x.m != nil {
+		x.m.JoinComparisons.Add(n)
+	}
+}
+
+func (x *Exec) addOutput(n int64) {
+	x.c.Metrics.RowsOutput.Add(n)
+	if x.m != nil {
+		x.m.RowsOutput.Add(n)
+	}
+}
+
+func (x *Exec) addTasks(n int64) {
+	x.c.Metrics.Tasks.Add(n)
+	if x.m != nil {
+		x.m.Tasks.Add(n)
+	}
+}
+
+// parallel runs fn(p) for p in [0, n) on the worker pool, metering one task
+// per invocation, and waits.
+func (x *Exec) parallel(n int, fn func(p int)) {
+	x.addTasks(int64(n))
+	workers := x.c.workers
 	if workers > n {
 		workers = n
 	}
@@ -193,6 +269,11 @@ func (c *Cluster) FromRows(schema []string, rows []Row) *Relation {
 	return rel
 }
 
+// FromRows builds a relation from a row slice, block-partitioned.
+func (x *Exec) FromRows(schema []string, rows []Row) *Relation {
+	return x.c.FromRows(schema, rows)
+}
+
 // ScanCondition restricts a scanned column to a constant.
 type ScanCondition struct {
 	Col   string
@@ -212,9 +293,10 @@ type ScanProjection struct {
 // If two projections reference the same source column position implicitly
 // via equal variable names (e.g. pattern ?x p ?x), rows where the columns
 // differ are dropped and the duplicate column is projected once.
-func (c *Cluster) Scan(t *store.Table, projs []ScanProjection, conds []ScanCondition) *Relation {
+func (x *Exec) Scan(t *store.Table, projs []ScanProjection, conds []ScanCondition) *Relation {
+	c := x.c
 	n := t.NumRows()
-	c.Metrics.RowsScanned.Add(int64(n))
+	x.AddRowsScanned(int64(n))
 
 	condIdx := make([]int, len(conds))
 	for i, cd := range conds {
@@ -242,7 +324,7 @@ func (c *Cluster) Scan(t *store.Table, projs []ScanProjection, conds []ScanCondi
 		return rel
 	}
 	chunk := (n + c.partitions - 1) / c.partitions
-	c.parallel(c.partitions, func(p int) {
+	x.parallel(c.partitions, func(p int) {
 		lo := p * chunk
 		if lo >= n {
 			return
@@ -272,15 +354,15 @@ func (c *Cluster) Scan(t *store.Table, projs []ScanProjection, conds []ScanCondi
 		}
 		rel.Parts[p] = out
 	})
-	c.Metrics.RowsOutput.Add(int64(rel.NumRows()))
+	x.addOutput(int64(rel.NumRows()))
 	return rel
 }
 
 // Filter keeps the rows satisfying pred.
-func (c *Cluster) Filter(r *Relation, pred func(Row) bool) *Relation {
+func (x *Exec) Filter(r *Relation, pred func(Row) bool) *Relation {
 	out := newRelation(r.Schema, len(r.Parts))
 	out.keyCol = r.keyCol
-	c.parallel(len(r.Parts), func(p int) {
+	x.parallel(len(r.Parts), func(p int) {
 		var kept []Row
 		for _, row := range r.Parts[p] {
 			if pred(row) {
@@ -293,13 +375,13 @@ func (c *Cluster) Filter(r *Relation, pred func(Row) bool) *Relation {
 }
 
 // Project keeps the named columns, in order.
-func (c *Cluster) Project(r *Relation, cols []string) *Relation {
+func (x *Exec) Project(r *Relation, cols []string) *Relation {
 	idx := make([]int, len(cols))
 	for i, name := range cols {
 		idx[i] = r.ColIndex(name)
 	}
 	out := newRelation(cols, len(r.Parts))
-	c.parallel(len(r.Parts), func(p int) {
+	x.parallel(len(r.Parts), func(p int) {
 		rows := make([]Row, len(r.Parts[p]))
 		for i, row := range r.Parts[p] {
 			nr := make(Row, len(idx))
@@ -325,7 +407,8 @@ func hashID(v dict.ID) uint32 {
 // shuffle repartitions r by the hash of column key. It meters every moved
 // row. When the relation is already partitioned by that column the shuffle
 // is skipped (mirroring Spark's co-partitioning optimization).
-func (c *Cluster) shuffle(r *Relation, key int) *Relation {
+func (x *Exec) shuffle(r *Relation, key int) *Relation {
+	c := x.c
 	if r.keyCol == key && len(r.Parts) == c.partitions {
 		return r
 	}
@@ -333,7 +416,7 @@ func (c *Cluster) shuffle(r *Relation, key int) *Relation {
 	// Each source partition builds per-target buckets; then targets are
 	// assembled in parallel.
 	buckets := make([][][]Row, n)
-	c.parallel(n, func(p int) {
+	x.parallel(n, func(p int) {
 		local := make([][]Row, c.partitions)
 		for _, row := range r.Parts[p] {
 			t := int(hashID(row[key])) % c.partitions
@@ -341,10 +424,10 @@ func (c *Cluster) shuffle(r *Relation, key int) *Relation {
 		}
 		buckets[p] = local
 	})
-	c.Metrics.RowsShuffled.Add(int64(r.NumRows()))
+	x.addShuffled(int64(r.NumRows()))
 	out := newRelation(r.Schema, c.partitions)
 	out.keyCol = key
-	c.parallel(c.partitions, func(t int) {
+	x.parallel(c.partitions, func(t int) {
 		var rows []Row
 		for p := 0; p < n; p++ {
 			rows = append(rows, buckets[p][t]...)
@@ -371,10 +454,11 @@ func sharedCols(left, right []string) (lIdx, rIdx []int) {
 // Join computes the natural join of left and right on all shared columns.
 // With no shared columns it degenerates to a cross join (metered but
 // discouraged; the query planner avoids it).
-func (c *Cluster) Join(left, right *Relation) *Relation {
+func (x *Exec) Join(left, right *Relation) *Relation {
+	c := x.c
 	lIdx, rIdx := sharedCols(left.Schema, right.Schema)
 	if len(lIdx) == 0 {
-		return c.cross(left, right)
+		return x.cross(left, right)
 	}
 	if n := c.broadcastThreshold; n > 0 {
 		small := left.NumRows()
@@ -382,58 +466,60 @@ func (c *Cluster) Join(left, right *Relation) *Relation {
 			small = r
 		}
 		if small <= n {
-			return c.broadcastJoin(left, right, lIdx, rIdx)
+			return x.broadcastJoin(left, right, lIdx, rIdx)
 		}
 	}
 	// Shuffle both sides by the first join column; remaining join columns
 	// are checked during the probe.
-	l := c.shuffle(left, lIdx[0])
-	r := c.shuffle(right, rIdx[0])
+	l := x.shuffle(left, lIdx[0])
+	r := x.shuffle(right, rIdx[0])
 
 	outSchema := joinSchema(left.Schema, right.Schema, rIdx)
 	out := newRelation(outSchema, c.partitions)
 	out.keyCol = lIdx[0]
-	c.parallel(c.partitions, func(p int) {
-		out.Parts[p] = c.hashJoinPartition(l.Parts[p], r.Parts[p], lIdx, rIdx, false)
+	x.parallel(c.partitions, func(p int) {
+		out.Parts[p] = x.hashJoinPartition(l.Parts[p], r.Parts[p], lIdx, rIdx, false)
 	})
-	c.Metrics.RowsOutput.Add(int64(out.NumRows()))
+	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
 // LeftJoin computes the left outer join (SPARQL OPTIONAL): unmatched left
 // rows survive with Null in the right-only columns. An optional post-join
 // predicate (the OPTIONAL group's filter) is applied to matched rows.
-func (c *Cluster) LeftJoin(left, right *Relation, pred func(Row) bool) *Relation {
+func (x *Exec) LeftJoin(left, right *Relation, pred func(Row) bool) *Relation {
+	c := x.c
 	lIdx, rIdx := sharedCols(left.Schema, right.Schema)
 	outSchema := joinSchema(left.Schema, right.Schema, rIdx)
 	if len(lIdx) == 0 {
 		// Cross-style OPTIONAL: every left row pairs with every right row;
 		// if right is empty, left rows survive padded.
-		cross := c.cross(left, right)
+		cross := x.cross(left, right)
 		if pred != nil {
-			cross = c.Filter(cross, pred)
+			cross = x.Filter(cross, pred)
 		}
 		if cross.NumRows() > 0 {
 			return cross
 		}
-		return c.padRight(left, outSchema)
+		return x.padRight(left, outSchema)
 	}
-	l := c.shuffle(left, lIdx[0])
-	r := c.shuffle(right, rIdx[0])
+	l := x.shuffle(left, lIdx[0])
+	r := x.shuffle(right, rIdx[0])
 	out := newRelation(outSchema, c.partitions)
 	out.keyCol = lIdx[0]
 	rightOnly := len(outSchema) - len(left.Schema)
-	c.parallel(c.partitions, func(p int) {
-		matched := c.hashJoinPartitionOuter(l.Parts[p], r.Parts[p], lIdx, rIdx, rightOnly, pred)
+	x.parallel(c.partitions, func(p int) {
+		matched := x.hashJoinPartitionOuter(l.Parts[p], r.Parts[p], lIdx, rIdx, rightOnly, pred)
 		out.Parts[p] = matched
 	})
-	c.Metrics.RowsOutput.Add(int64(out.NumRows()))
+	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
 // SemiJoin keeps the left rows that have at least one match in right on the
 // shared columns. This is the engine primitive ExtVP construction uses.
-func (c *Cluster) SemiJoin(left, right *Relation) *Relation {
+func (x *Exec) SemiJoin(left, right *Relation) *Relation {
+	c := x.c
 	lIdx, rIdx := sharedCols(left.Schema, right.Schema)
 	if len(lIdx) == 0 {
 		if right.NumRows() > 0 {
@@ -441,20 +527,20 @@ func (c *Cluster) SemiJoin(left, right *Relation) *Relation {
 		}
 		return newRelation(left.Schema, len(left.Parts))
 	}
-	l := c.shuffle(left, lIdx[0])
-	r := c.shuffle(right, rIdx[0])
+	l := x.shuffle(left, lIdx[0])
+	r := x.shuffle(right, rIdx[0])
 	out := newRelation(left.Schema, c.partitions)
 	out.keyCol = lIdx[0]
-	c.parallel(c.partitions, func(p int) {
-		out.Parts[p] = c.hashJoinPartition(l.Parts[p], r.Parts[p], lIdx, rIdx, true)
+	x.parallel(c.partitions, func(p int) {
+		out.Parts[p] = x.hashJoinPartition(l.Parts[p], r.Parts[p], lIdx, rIdx, true)
 	})
-	c.Metrics.RowsOutput.Add(int64(out.NumRows()))
+	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
 // hashJoinPartition joins one co-partition pair. When semi is true it emits
 // each matching left row once instead of concatenated rows.
-func (c *Cluster) hashJoinPartition(lrows, rrows []Row, lIdx, rIdx []int, semi bool) []Row {
+func (x *Exec) hashJoinPartition(lrows, rrows []Row, lIdx, rIdx []int, semi bool) []Row {
 	if len(lrows) == 0 || len(rrows) == 0 {
 		return nil
 	}
@@ -502,12 +588,12 @@ func (c *Cluster) hashJoinPartition(lrows, rrows []Row, lIdx, rIdx []int, semi b
 			out = append(out, concatRows(lrow, rrow, rightDup))
 		}
 	}
-	c.Metrics.JoinComparisons.Add(comparisons)
+	x.addComparisons(comparisons)
 	return out
 }
 
 // hashJoinPartitionOuter is the left-outer variant.
-func (c *Cluster) hashJoinPartitionOuter(lrows, rrows []Row, lIdx, rIdx []int, rightOnly int, pred func(Row) bool) []Row {
+func (x *Exec) hashJoinPartitionOuter(lrows, rrows []Row, lIdx, rIdx []int, rightOnly int, pred func(Row) bool) []Row {
 	ht := make(map[dict.ID][]Row, len(rrows))
 	for _, row := range rrows {
 		ht[row[rIdx[0]]] = append(ht[row[rIdx[0]]], row)
@@ -545,7 +631,7 @@ func (c *Cluster) hashJoinPartitionOuter(lrows, rrows []Row, lIdx, rIdx []int, r
 			out = append(out, padded)
 		}
 	}
-	c.Metrics.JoinComparisons.Add(comparisons)
+	x.addComparisons(comparisons)
 	return out
 }
 
@@ -593,12 +679,12 @@ func joinSchema(left, right []string, rIdx []int) []string {
 }
 
 // cross computes the cartesian product.
-func (c *Cluster) cross(left, right *Relation) *Relation {
+func (x *Exec) cross(left, right *Relation) *Relation {
 	outSchema := append(append([]string{}, left.Schema...), right.Schema...)
 	rrows := right.Rows()
-	c.Metrics.RowsShuffled.Add(int64(len(rrows)) * int64(len(left.Parts)))
+	x.addShuffled(int64(len(rrows)) * int64(len(left.Parts)))
 	out := newRelation(outSchema, len(left.Parts))
-	c.parallel(len(left.Parts), func(p int) {
+	x.parallel(len(left.Parts), func(p int) {
 		var rows []Row
 		for _, lrow := range left.Parts[p] {
 			for _, rrow := range rrows {
@@ -610,15 +696,15 @@ func (c *Cluster) cross(left, right *Relation) *Relation {
 		}
 		out.Parts[p] = rows
 	})
-	c.Metrics.JoinComparisons.Add(int64(left.NumRows()) * int64(len(rrows)))
-	c.Metrics.RowsOutput.Add(int64(out.NumRows()))
+	x.addComparisons(int64(left.NumRows()) * int64(len(rrows)))
+	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
 // padRight extends every left row with Nulls to match outSchema.
-func (c *Cluster) padRight(left *Relation, outSchema []string) *Relation {
+func (x *Exec) padRight(left *Relation, outSchema []string) *Relation {
 	out := newRelation(outSchema, len(left.Parts))
-	c.parallel(len(left.Parts), func(p int) {
+	x.parallel(len(left.Parts), func(p int) {
 		rows := make([]Row, len(left.Parts[p]))
 		for i, lrow := range left.Parts[p] {
 			nr := make(Row, len(outSchema))
@@ -635,7 +721,7 @@ func (c *Cluster) padRight(left *Relation, outSchema []string) *Relation {
 
 // Union concatenates two relations, aligning columns by name; columns
 // missing on one side become Null.
-func (c *Cluster) Union(a, b *Relation) *Relation {
+func (x *Exec) Union(a, b *Relation) *Relation {
 	schema := append([]string{}, a.Schema...)
 	for _, name := range b.Schema {
 		if indexOf(schema, name) < 0 {
@@ -646,7 +732,7 @@ func (c *Cluster) Union(a, b *Relation) *Relation {
 		if equalSchema(r.Schema, schema) {
 			return r
 		}
-		return c.Project(r, schema)
+		return x.Project(r, schema)
 	}
 	a2, b2 := align(a), align(b)
 	out := newRelation(schema, len(a2.Parts)+len(b2.Parts))
@@ -656,8 +742,10 @@ func (c *Cluster) Union(a, b *Relation) *Relation {
 }
 
 // Distinct removes duplicate rows (hash-shuffled on the first column so
-// deduplication runs partition-parallel).
-func (c *Cluster) Distinct(r *Relation) *Relation {
+// deduplication runs partition-parallel). Per-partition deduplication uses
+// a 64-bit FNV-1a hash table with collision-checked buckets, avoiding the
+// per-row string-key allocation of the naive approach.
+func (x *Exec) Distinct(r *Relation) *Relation {
 	if len(r.Schema) == 0 {
 		// Degenerate: at most one empty row.
 		out := newRelation(r.Schema, 1)
@@ -666,18 +754,21 @@ func (c *Cluster) Distinct(r *Relation) *Relation {
 		}
 		return out
 	}
-	s := c.shuffle(r, 0)
+	s := x.shuffle(r, 0)
 	out := newRelation(r.Schema, len(s.Parts))
 	out.keyCol = 0
-	c.parallel(len(s.Parts), func(p int) {
-		seen := make(map[string]struct{}, len(s.Parts[p]))
+	x.parallel(len(s.Parts), func(p int) {
+		seen := make(map[uint64][]Row, len(s.Parts[p]))
 		var rows []Row
+	next:
 		for _, row := range s.Parts[p] {
-			k := rowKey(row)
-			if _, ok := seen[k]; ok {
-				continue
+			h := hashRow(row)
+			for _, prev := range seen[h] {
+				if rowsEqualIDs(prev, row) {
+					continue next
+				}
 			}
-			seen[k] = struct{}{}
+			seen[h] = append(seen[h], row)
 			rows = append(rows, row)
 		}
 		out.Parts[p] = rows
@@ -685,17 +776,37 @@ func (c *Cluster) Distinct(r *Relation) *Relation {
 	return out
 }
 
-func rowKey(row Row) string {
-	b := make([]byte, 0, len(row)*4)
+// hashRow returns a 64-bit FNV-1a hash over the row's IDs, folding each
+// 32-bit ID in one step instead of byte-at-a-time.
+func hashRow(row Row) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
 	for _, v := range row {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		h ^= uint64(v)
+		h *= prime64
 	}
-	return string(b)
+	return h
+}
+
+// rowsEqualIDs reports whether two rows hold identical IDs.
+func rowsEqualIDs(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // OrderBy gathers all rows and sorts them with less (coordinator-side, as
 // Spark does for a global ORDER BY without range partitioning).
-func (c *Cluster) OrderBy(r *Relation, less func(a, b Row) bool) *Relation {
+func (x *Exec) OrderBy(r *Relation, less func(a, b Row) bool) *Relation {
 	rows := r.Rows()
 	mergeSortRows(rows, less)
 	out := newRelation(r.Schema, 1)
@@ -704,7 +815,7 @@ func (c *Cluster) OrderBy(r *Relation, less func(a, b Row) bool) *Relation {
 }
 
 // Limit returns at most n rows after skipping offset rows.
-func (c *Cluster) Limit(r *Relation, offset, n int) *Relation {
+func (x *Exec) Limit(r *Relation, offset, n int) *Relation {
 	rows := r.Rows()
 	if offset > len(rows) {
 		offset = len(rows)
@@ -716,6 +827,61 @@ func (c *Cluster) Limit(r *Relation, offset, n int) *Relation {
 	out := newRelation(r.Schema, 1)
 	out.Parts[0] = rows
 	return out
+}
+
+// Cluster-level operator wrappers. These run the operator with
+// aggregate-only metering — the single-query convenience surface used by
+// ExtVP construction, tests and tools. Query execution should go through
+// NewExec for per-query accounting.
+
+// Scan reads a stored table; see Exec.Scan.
+func (c *Cluster) Scan(t *store.Table, projs []ScanProjection, conds []ScanCondition) *Relation {
+	return c.exec().Scan(t, projs, conds)
+}
+
+// Filter keeps the rows satisfying pred; see Exec.Filter.
+func (c *Cluster) Filter(r *Relation, pred func(Row) bool) *Relation {
+	return c.exec().Filter(r, pred)
+}
+
+// Project keeps the named columns, in order; see Exec.Project.
+func (c *Cluster) Project(r *Relation, cols []string) *Relation {
+	return c.exec().Project(r, cols)
+}
+
+// Join computes the natural join; see Exec.Join.
+func (c *Cluster) Join(left, right *Relation) *Relation {
+	return c.exec().Join(left, right)
+}
+
+// LeftJoin computes the left outer join; see Exec.LeftJoin.
+func (c *Cluster) LeftJoin(left, right *Relation, pred func(Row) bool) *Relation {
+	return c.exec().LeftJoin(left, right, pred)
+}
+
+// SemiJoin keeps left rows with a match in right; see Exec.SemiJoin.
+func (c *Cluster) SemiJoin(left, right *Relation) *Relation {
+	return c.exec().SemiJoin(left, right)
+}
+
+// Union concatenates two relations; see Exec.Union.
+func (c *Cluster) Union(a, b *Relation) *Relation {
+	return c.exec().Union(a, b)
+}
+
+// Distinct removes duplicate rows; see Exec.Distinct.
+func (c *Cluster) Distinct(r *Relation) *Relation {
+	return c.exec().Distinct(r)
+}
+
+// OrderBy sorts all rows; see Exec.OrderBy.
+func (c *Cluster) OrderBy(r *Relation, less func(a, b Row) bool) *Relation {
+	return c.exec().OrderBy(r, less)
+}
+
+// Limit returns at most n rows after skipping offset rows; see Exec.Limit.
+func (c *Cluster) Limit(r *Relation, offset, n int) *Relation {
+	return c.exec().Limit(r, offset, n)
 }
 
 func indexOf(s []string, v string) int {

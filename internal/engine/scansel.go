@@ -10,12 +10,13 @@ import (
 // read through a selection vector instead of reading a materialized
 // reduction. Only selected rows are metered as scanned, mirroring the I/O
 // a materialized reduction of the same size would cost.
-func (c *Cluster) ScanSel(t *store.Table, sel *bitvec.Bitset, projs []ScanProjection, conds []ScanCondition) *Relation {
+func (x *Exec) ScanSel(t *store.Table, sel *bitvec.Bitset, projs []ScanProjection, conds []ScanCondition) *Relation {
 	if sel == nil {
-		return c.Scan(t, projs, conds)
+		return x.Scan(t, projs, conds)
 	}
+	c := x.c
 	n := t.NumRows()
-	c.Metrics.RowsScanned.Add(int64(sel.Count()))
+	x.AddRowsScanned(int64(sel.Count()))
 
 	condIdx := make([]int, len(conds))
 	for i, cd := range conds {
@@ -42,7 +43,7 @@ func (c *Cluster) ScanSel(t *store.Table, sel *bitvec.Bitset, projs []ScanProjec
 		return rel
 	}
 	chunk := (n + c.partitions - 1) / c.partitions
-	c.parallel(c.partitions, func(p int) {
+	x.parallel(c.partitions, func(p int) {
 		lo := p * chunk
 		if lo >= n {
 			return
@@ -75,6 +76,11 @@ func (c *Cluster) ScanSel(t *store.Table, sel *bitvec.Bitset, projs []ScanProjec
 		}
 		rel.Parts[p] = out
 	})
-	c.Metrics.RowsOutput.Add(int64(rel.NumRows()))
+	x.addOutput(int64(rel.NumRows()))
 	return rel
+}
+
+// ScanSel is the aggregate-only convenience wrapper; see Exec.ScanSel.
+func (c *Cluster) ScanSel(t *store.Table, sel *bitvec.Bitset, projs []ScanProjection, conds []ScanCondition) *Relation {
+	return c.exec().ScanSel(t, sel, projs, conds)
 }

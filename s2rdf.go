@@ -18,6 +18,36 @@
 // paper compares (plain vertical partitioning, a triples table, and a
 // Sempala-style property table) via QueryMode, which the benchmark harness
 // uses to regenerate the paper's experiments.
+//
+// # Serving over HTTP
+//
+// A store can serve SPARQL over HTTP, either in-process:
+//
+//	st, _ := s2rdf.LoadFile("data.nt")
+//	log.Fatal(st.Serve(":8080", s2rdf.ServerOptions{}))
+//
+// or from a persisted store directory via the CLI:
+//
+//	s2rdf load  -in data.nt -store ./db
+//	s2rdf serve -store ./db -addr :8080
+//	curl 'http://localhost:8080/sparql?query=SELECT+%3Fs+WHERE+%7B+%3Fs+%3Curn:follows%3E+%3Furn:B%3E+%7D'
+//
+// The endpoint speaks the SPARQL protocol (GET ?query=, urlencoded POST,
+// and application/sparql-query bodies) and returns the SPARQL 1.1 JSON
+// results format. Queries execute on a bounded worker pool
+// (ServerOptions.MaxConcurrent), and every response reports the query's
+// metered cost in X-S2RDF-* headers.
+//
+// # Concurrency model
+//
+// A Store and its per-mode engines are safe for concurrent use. Each query
+// executes with its own metrics context (engine.Exec), so Result.Metrics is
+// exactly the work that query performed no matter how many queries are in
+// flight; the shared engine.Cluster.Metrics keeps the cluster-wide running
+// aggregate (the sum over all queries). Parsed query plans are memoized in
+// a per-engine LRU keyed on whitespace-normalized query text, so repeated
+// query strings — the common case behind an endpoint — skip the parser;
+// Result.PlanCached reports whether a given execution hit that cache.
 package s2rdf
 
 import (

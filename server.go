@@ -1,0 +1,265 @@
+package s2rdf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"s2rdf/internal/rdf"
+)
+
+// ServerOptions configures the HTTP SPARQL endpoint.
+type ServerOptions struct {
+	// Mode is the default layout queries run against (overridable per
+	// request with the "mode" parameter). The zero value is ModeExtVP.
+	Mode Mode
+	// MaxConcurrent bounds the number of queries executing at once; further
+	// requests wait their turn (and fail fast when the client gives up).
+	// <= 0 selects GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueryLen rejects larger query bodies; <= 0 selects 1 MiB.
+	MaxQueryLen int64
+}
+
+// sparqlServer answers SPARQL queries over HTTP with per-query metrics in
+// response headers. Queries run on a bounded worker pool so a traffic burst
+// degrades into queueing instead of unbounded goroutine fan-out.
+type sparqlServer struct {
+	store *Store
+	opts  ServerOptions
+	sem   chan struct{}
+}
+
+// NewHandler returns an HTTP handler exposing st:
+//
+//	GET  /sparql?query=...        — execute a SPARQL query
+//	POST /sparql                  — query= form field or raw
+//	                                application/sparql-query body
+//	GET  /healthz                 — liveness probe
+//
+// Results use the SPARQL 1.1 JSON results format. Each response carries the
+// query's exact, per-query engine metrics in X-S2RDF-* headers, which stay
+// correct under any level of request concurrency.
+func NewHandler(st *Store, opts ServerOptions) http.Handler {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxQueryLen <= 0 {
+		opts.MaxQueryLen = 1 << 20
+	}
+	s := &sparqlServer{
+		store: st,
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxConcurrent),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sparql", s.handleSPARQL)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","triples":%d}`, st.NumTriples())
+	})
+	return mux
+}
+
+// queryText extracts the SPARQL query from a request per the SPARQL
+// protocol: GET ?query=, urlencoded POST query=, or a raw
+// application/sparql-query body.
+func (s *sparqlServer) queryText(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		return r.URL.Query().Get("query"), nil
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if idx := strings.IndexByte(ct, ';'); idx >= 0 {
+			ct = ct[:idx]
+		}
+		switch strings.TrimSpace(ct) {
+		case "application/sparql-query":
+			body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxQueryLen+1))
+			if err != nil {
+				return "", err
+			}
+			if int64(len(body)) > s.opts.MaxQueryLen {
+				return "", fmt.Errorf("query exceeds %d bytes", s.opts.MaxQueryLen)
+			}
+			return string(body), nil
+		default:
+			r.Body = http.MaxBytesReader(nil, r.Body, s.opts.MaxQueryLen)
+			if err := r.ParseForm(); err != nil {
+				return "", err
+			}
+			return r.PostForm.Get("query"), nil
+		}
+	default:
+		return "", fmt.Errorf("method %s not allowed", r.Method)
+	}
+}
+
+func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	src, err := s.queryText(r)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "not allowed") {
+			status = http.StatusMethodNotAllowed
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	if strings.TrimSpace(src) == "" {
+		httpError(w, http.StatusBadRequest, "missing query parameter")
+		return
+	}
+	if int64(len(src)) > s.opts.MaxQueryLen {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("query exceeds %d bytes", s.opts.MaxQueryLen))
+		return
+	}
+
+	mode := s.opts.Mode
+	// The override may arrive in the URL or, for form POSTs (already parsed
+	// by queryText), in the body.
+	overrideMode := r.URL.Query().Get("mode")
+	if overrideMode == "" && r.PostForm != nil {
+		overrideMode = r.PostForm.Get("mode")
+	}
+	if m := overrideMode; m != "" {
+		pm, ok := ParseMode(m)
+		if !ok {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q", m))
+			return
+		}
+		mode = pm
+	}
+
+	// Bounded worker pool: wait for a slot, bail out if the client is gone.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		httpError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+		return
+	}
+
+	res, err := s.store.QueryMode(mode, src)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeResult(w, mode, res)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// writeResult renders res in the SPARQL 1.1 Query Results JSON Format and
+// attaches the per-query metrics as response headers.
+func writeResult(w http.ResponseWriter, mode Mode, res *Result) {
+	h := w.Header()
+	h.Set("Content-Type", "application/sparql-results+json")
+	h.Set("X-S2RDF-Mode", mode.String())
+	h.Set("X-S2RDF-Duration", res.Duration.String())
+	h.Set("X-S2RDF-Rows-Scanned", strconv.FormatInt(res.Metrics.RowsScanned, 10))
+	h.Set("X-S2RDF-Rows-Shuffled", strconv.FormatInt(res.Metrics.RowsShuffled, 10))
+	h.Set("X-S2RDF-Join-Comparisons", strconv.FormatInt(res.Metrics.JoinComparisons, 10))
+	h.Set("X-S2RDF-Rows-Output", strconv.FormatInt(res.Metrics.RowsOutput, 10))
+	h.Set("X-S2RDF-Tasks", strconv.FormatInt(res.Metrics.Tasks, 10))
+	if res.PlanCached {
+		h.Set("X-S2RDF-Plan-Cache", "hit")
+	} else {
+		h.Set("X-S2RDF-Plan-Cache", "miss")
+	}
+	if res.StatsOnly {
+		h.Set("X-S2RDF-Stats-Only", "true")
+	}
+
+	type jsonResults struct {
+		Bindings []map[string]map[string]string `json:"bindings"`
+	}
+	var doc struct {
+		Head struct {
+			Vars []string `json:"vars,omitempty"`
+		} `json:"head"`
+		Boolean *bool        `json:"boolean,omitempty"`
+		Results *jsonResults `json:"results,omitempty"`
+	}
+	if res.Vars == nil && res.Rows == nil {
+		// ASK query.
+		b := res.Ask
+		doc.Boolean = &b
+		json.NewEncoder(w).Encode(&doc)
+		return
+	}
+	doc.Head.Vars = res.Vars
+	out := &jsonResults{Bindings: make([]map[string]map[string]string, 0, len(res.Rows))}
+	for _, row := range res.Rows {
+		b := make(map[string]map[string]string, len(row))
+		for i, t := range row {
+			if t == "" {
+				continue // unbound under OPTIONAL/UNION
+			}
+			b[res.Vars[i]] = termJSON(t)
+		}
+		out.Bindings = append(out.Bindings, b)
+	}
+	doc.Results = out
+	json.NewEncoder(w).Encode(&doc)
+}
+
+// termJSON converts one RDF term into its SPARQL-results JSON object.
+func termJSON(t rdf.Term) map[string]string {
+	m := make(map[string]string, 3)
+	switch {
+	case t.IsIRI():
+		m["type"] = "uri"
+		m["value"] = t.Value()
+	case t.IsBlank():
+		m["type"] = "bnode"
+		m["value"] = t.Value()
+	default:
+		m["type"] = "literal"
+		m["value"] = t.Value()
+		if dt := t.Datatype(); dt != "" {
+			m["datatype"] = dt
+		}
+		if lang := t.Lang(); lang != "" {
+			m["xml:lang"] = lang
+		}
+	}
+	return m
+}
+
+// ParseMode resolves a layout-mode name (case-insensitive); ok is false for
+// unknown names.
+func ParseMode(name string) (Mode, bool) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "EXTVP":
+		return ModeExtVP, true
+	case "VP":
+		return ModeVP, true
+	case "TT":
+		return ModeTT, true
+	case "PT":
+		return ModePT, true
+	}
+	return ModeExtVP, false
+}
+
+// Serve runs the SPARQL endpoint on addr until the listener fails. It is a
+// thin convenience over NewHandler + http.Server with sane timeouts; use
+// NewHandler directly for custom server configuration.
+func (s *Store) Serve(addr string, opts ServerOptions) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           NewHandler(s, opts),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,275 @@
+package s2rdf
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type resultsDoc struct {
+	Head struct {
+		Vars []string `json:"vars"`
+	} `json:"head"`
+	Boolean *bool `json:"boolean"`
+	Results *struct {
+		Bindings []map[string]map[string]string `json:"bindings"`
+	} `json:"results"`
+}
+
+func serverFixture(t *testing.T) (*Store, *httptest.Server) {
+	t.Helper()
+	st := Load(exampleTriples(), Options{BuildPropertyTable: true})
+	srv := httptest.NewServer(NewHandler(st, ServerOptions{MaxConcurrent: 4}))
+	t.Cleanup(srv.Close)
+	return st, srv
+}
+
+func decodeResults(t *testing.T, resp *http.Response) resultsDoc {
+	t.Helper()
+	defer resp.Body.Close()
+	var doc resultsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return doc
+}
+
+const followsQuery = `SELECT ?who WHERE { ?who <urn:follows> <urn:B> }`
+
+func TestServeGET(t *testing.T) {
+	_, srv := serverFixture(t)
+	resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(followsQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/sparql-results+json" {
+		t.Fatalf("content type = %q", got)
+	}
+	if resp.Header.Get("X-S2RDF-Rows-Scanned") == "" {
+		t.Fatal("missing X-S2RDF-Rows-Scanned header")
+	}
+	if got := resp.Header.Get("X-S2RDF-Mode"); got != "ExtVP" {
+		t.Fatalf("mode header = %q", got)
+	}
+	doc := decodeResults(t, resp)
+	if len(doc.Head.Vars) != 1 || doc.Head.Vars[0] != "who" {
+		t.Fatalf("vars = %v", doc.Head.Vars)
+	}
+	if len(doc.Results.Bindings) != 1 {
+		t.Fatalf("bindings = %v", doc.Results.Bindings)
+	}
+	b := doc.Results.Bindings[0]["who"]
+	if b["type"] != "uri" || b["value"] != "urn:A" {
+		t.Fatalf("binding = %v", b)
+	}
+}
+
+func TestServePOSTForm(t *testing.T) {
+	_, srv := serverFixture(t)
+	resp, err := http.PostForm(srv.URL+"/sparql", url.Values{"query": {followsQuery}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeResults(t, resp)
+	if len(doc.Results.Bindings) != 1 {
+		t.Fatalf("bindings = %v", doc.Results.Bindings)
+	}
+}
+
+func TestServePOSTSparqlQueryBody(t *testing.T) {
+	_, srv := serverFixture(t)
+	resp, err := http.Post(srv.URL+"/sparql", "application/sparql-query",
+		strings.NewReader(followsQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeResults(t, resp)
+	if len(doc.Results.Bindings) != 1 {
+		t.Fatalf("bindings = %v", doc.Results.Bindings)
+	}
+}
+
+func TestServeAsk(t *testing.T) {
+	_, srv := serverFixture(t)
+	q := `ASK { <urn:A> <urn:follows> <urn:B> }`
+	resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeResults(t, resp)
+	if doc.Boolean == nil || !*doc.Boolean {
+		t.Fatalf("boolean = %v", doc.Boolean)
+	}
+}
+
+func TestServeModeOverride(t *testing.T) {
+	_, srv := serverFixture(t)
+	for _, mode := range []string{"VP", "TT", "PT"} {
+		resp, err := http.Get(srv.URL + "/sparql?mode=" + mode +
+			"&query=" + url.QueryEscape(followsQuery))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mode %s: status = %d", mode, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-S2RDF-Mode"); got != mode {
+			t.Fatalf("mode header = %q, want %s", got, mode)
+		}
+		doc := decodeResults(t, resp)
+		if len(doc.Results.Bindings) != 1 {
+			t.Fatalf("mode %s: bindings = %v", mode, doc.Results.Bindings)
+		}
+	}
+}
+
+func TestServePOSTFormModeOverride(t *testing.T) {
+	_, srv := serverFixture(t)
+	resp, err := http.PostForm(srv.URL+"/sparql",
+		url.Values{"query": {followsQuery}, "mode": {"TT"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-S2RDF-Mode"); got != "TT" {
+		t.Fatalf("mode header = %q, want TT", got)
+	}
+	doc := decodeResults(t, resp)
+	if len(doc.Results.Bindings) != 1 {
+		t.Fatalf("bindings = %v", doc.Results.Bindings)
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	_, srv := serverFixture(t)
+	for _, tc := range []struct {
+		url    string
+		status int
+	}{
+		{"/sparql", http.StatusBadRequest},                         // no query
+		{"/sparql?query=SELEKT", http.StatusBadRequest},            // parse error
+		{"/sparql?mode=bogus&query=SELECT", http.StatusBadRequest}, // bad mode
+	} {
+		resp, err := http.Get(srv.URL + tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status = %d, want %d", tc.url, resp.StatusCode, tc.status)
+		}
+	}
+}
+
+func TestServePlanCacheHeader(t *testing.T) {
+	_, srv := serverFixture(t)
+	get := func() string {
+		resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(followsQuery))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.Header.Get("X-S2RDF-Plan-Cache")
+	}
+	if got := get(); got != "miss" {
+		t.Fatalf("first request plan cache = %q, want miss", got)
+	}
+	if got := get(); got != "hit" {
+		t.Fatalf("second request plan cache = %q, want hit", got)
+	}
+	// A differently-formatted copy of the same query shares the entry.
+	reformatted := "SELECT  ?who\nWHERE {\n  ?who <urn:follows> <urn:B>\n}"
+	resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(reformatted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-S2RDF-Plan-Cache"); got != "hit" {
+		t.Fatalf("reformatted query plan cache = %q, want hit", got)
+	}
+}
+
+// TestServeConcurrent hammers the endpoint from many goroutines and checks
+// every response is exact — results and per-query metrics alike.
+func TestServeConcurrent(t *testing.T) {
+	_, srv := serverFixture(t)
+
+	// Establish expected metrics per mode with one warm-up round.
+	queries := map[string]string{
+		"ExtVP": followsQuery,
+		"VP":    followsQuery,
+		"TT":    followsQuery,
+		"PT":    followsQuery,
+	}
+	expect := map[string]string{}
+	for mode := range queries {
+		resp, err := http.Get(srv.URL + "/sparql?mode=" + mode +
+			"&query=" + url.QueryEscape(queries[mode]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		expect[mode] = resp.Header.Get("X-S2RDF-Rows-Scanned")
+	}
+
+	const workers, iters = 8, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	modes := []string{"ExtVP", "VP", "TT", "PT"}
+	for w := 0; w < workers; w++ {
+		mode := modes[w%len(modes)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(srv.URL + "/sparql?mode=" + mode +
+					"&query=" + url.QueryEscape(queries[mode]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				scanned := resp.Header.Get("X-S2RDF-Rows-Scanned")
+				doc := decodeResults(t, resp)
+				if scanned != expect[mode] {
+					errs <- fmt.Errorf("mode %s: scanned %s, want %s", mode, scanned, expect[mode])
+					return
+				}
+				if len(doc.Results.Bindings) != 1 {
+					errs <- fmt.Errorf("mode %s: %d bindings", mode, len(doc.Results.Bindings))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServeHealthz(t *testing.T) {
+	st, srv := serverFixture(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status  string `json:"status"`
+		Triples int    `json:"triples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Triples != st.NumTriples() {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
