@@ -5,17 +5,26 @@
 //
 //	s2rdf load  -in data.nt -store ./storedir [-threshold 0.25]
 //	s2rdf query -store ./storedir [-mode ExtVP] [-explain] 'SELECT ...'
-//	s2rdf serve -store ./storedir [-addr :8080] [-mode ExtVP] [-workers 8]
+//	s2rdf serve -store ./storedir [-stores name=dir,...] [-addr :8080]
+//	            [-mode ExtVP] [-workers 8] [-timeout 30s] [-drain 30s]
 //	s2rdf stats -store ./storedir
+//
+// serve handles SIGINT/SIGTERM by draining: the listener closes at once,
+// in-flight queries get -drain to finish, then the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"s2rdf"
@@ -45,7 +54,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   s2rdf load  -in data.nt -store DIR [-threshold T] [-novp]
   s2rdf query -store DIR [-mode ExtVP|VP|TT|PT] [-explain] 'SPARQL'
-  s2rdf serve -store DIR [-addr :8080] [-mode ExtVP|VP|TT|PT] [-workers N] [-pt]
+  s2rdf serve -store DIR [-stores NAME=DIR,...] [-addr :8080]
+              [-mode ExtVP|VP|TT|PT] [-workers N] [-pt]
+              [-timeout D] [-max-timeout D] [-drain D]
   s2rdf stats -store DIR`)
 	os.Exit(2)
 }
@@ -135,11 +146,15 @@ func cmdQuery(args []string) {
 
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	dir := fs.String("store", "", "store directory")
+	dir := fs.String("store", "", "default store directory")
+	extra := fs.String("stores", "", "additional stores, NAME=DIR[,NAME=DIR...], served at /sparql/NAME")
 	addr := fs.String("addr", ":8080", "listen address")
 	mode := fs.String("mode", "ExtVP", "default execution mode: ExtVP, VP, TT or PT")
-	workers := fs.Int("workers", 0, "max concurrent queries (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "max concurrent queries across all stores (0 = GOMAXPROCS)")
 	pt := fs.Bool("pt", false, "also build the property table so mode=PT requests work")
+	timeout := fs.Duration("timeout", 0, "default per-query deadline (0 = none); requests may override with ?timeout=")
+	maxTimeout := fs.Duration("max-timeout", 0, "cap on per-query deadlines, including client-requested ones (0 = no cap)")
+	drainT := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight queries on SIGINT/SIGTERM")
 	fs.Parse(args)
 	if *dir == "" {
 		fs.Usage()
@@ -149,19 +164,57 @@ func cmdServe(args []string) {
 	if !ok {
 		log.Fatalf("unknown mode %q", *mode)
 	}
-	st, err := s2rdf.Open(*dir, s2rdf.Options{
-		BuildPropertyTable: *pt || m == s2rdf.ModePT,
+	opts := s2rdf.Options{BuildPropertyTable: *pt || m == s2rdf.ModePT}
+
+	stores := map[string]*s2rdf.Store{}
+	open := func(name, d string) {
+		st, err := s2rdf.Open(d, opts)
+		if err != nil {
+			log.Fatalf("store %s: %v", name, err)
+		}
+		stores[name] = st
+		fmt.Printf("store %-12s %8d triples (%s)\n", name, st.NumTriples(), d)
+	}
+	open(s2rdf.DefaultStoreName, *dir)
+	if *extra != "" {
+		for _, spec := range strings.Split(*extra, ",") {
+			name, d, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			if !ok || name == "" || d == "" {
+				log.Fatalf("bad -stores entry %q (want NAME=DIR)", spec)
+			}
+			if _, dup := stores[name]; dup {
+				log.Fatalf("duplicate store name %q", name)
+			}
+			open(name, d)
+		}
+	}
+
+	h, err := s2rdf.NewMux(stores, s2rdf.DefaultStoreName, s2rdf.ServerOptions{
+		Mode:           m,
+		MaxConcurrent:  *workers,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving %d triples on %s (mode %s)\n", st.NumTriples(), *addr, m)
+
+	fmt.Printf("listening on %s (mode %s, %d store(s))\n", *addr, m, len(stores))
 	hint := *addr
 	if strings.HasPrefix(hint, ":") {
 		hint = "localhost" + hint
 	}
 	fmt.Printf("try: curl 'http://%s/sparql?query=SELECT...'\n", hint)
-	log.Fatal(st.Serve(*addr, s2rdf.ServerOptions{Mode: m, MaxConcurrent: *workers}))
+
+	// SIGINT/SIGTERM stop accepting connections and drain in-flight
+	// queries for up to -drain before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = s2rdf.ListenAndServe(ctx, *addr, h, *drainT)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	fmt.Println("drained, bye")
 }
 
 func cmdStats(args []string) {

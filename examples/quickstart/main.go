@@ -1,12 +1,14 @@
 // Quickstart: load the paper's running-example graph G1 (Fig. 1), run the
-// running-example query Q1 (Fig. 2) and print the solution together with
-// the tables the compiler selected (Fig. 11).
+// running-example query Q1 (Fig. 2) with a per-query timeout, and print
+// the solution together with the tables the compiler selected (Fig. 11).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"s2rdf"
 	"s2rdf/internal/rdf"
@@ -38,7 +40,11 @@ func main() {
 		?x <urn:likes> ?w . ?x <urn:follows> ?y .
 		?y <urn:follows> ?z . ?z <urn:likes> ?w
 	}`
-	res, err := st.Query(q1)
+	// Queries accept a context: a deadline (or client disconnect, behind
+	// the HTTP endpoint) aborts the plan mid-operator with ctx.Err().
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := st.QueryContext(ctx, q1)
 	if err != nil {
 		log.Fatal(err)
 	}

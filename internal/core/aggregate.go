@@ -30,7 +30,12 @@ func (e *Engine) aggregate(ex *engine.Exec, rel *engine.Relation, q *sparql.Quer
 	}
 	groups := make(map[string]*groupState)
 	var order []string // deterministic output order (first appearance)
-	for _, row := range rel.Rows() {
+	for ri, row := range rel.Rows() {
+		// Coordinator-side loop: poll the execution context per row batch.
+		// The truncated output is discarded by ExecContext's error check.
+		if ex.StopAt(ri) {
+			break
+		}
 		kb := make([]byte, 0, len(groupIdx)*4)
 		key := make(engine.Row, len(groupIdx))
 		for i, gi := range groupIdx {

@@ -229,6 +229,11 @@ func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, res *Resul
 	var bound []string
 	remaining := units
 	for len(remaining) > 0 {
+		// A cancelled query stops between pattern joins; the row-batch
+		// checks inside each operator cover the stretch in between.
+		if err := ex.Err(); err != nil {
+			return nil, err
+		}
 		next := 0
 		if e.JoinOrderOpt && rel != nil {
 			next = -1

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// TestQueryContextCancelled asserts a cancelled context surfaces as
+// ctx.Err() from every mode's pipeline, including ASK and aggregates.
+func TestQueryContextCancelled(t *testing.T) {
+	ds := g1Dataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for mode, e := range allModes(ds) {
+		for _, src := range []string{
+			q1,
+			`ASK { <urn:A> <urn:follows> <urn:B> }`,
+			`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`,
+		} {
+			res, err := e.QueryContext(ctx, src)
+			if err != context.Canceled {
+				t.Errorf("%s: QueryContext(%q) err = %v, want context.Canceled", mode, src, err)
+			}
+			if err == nil && res == nil {
+				t.Errorf("%s: nil result without error", mode)
+			}
+		}
+	}
+}
+
+// TestQueryContextBackgroundUnchanged pins that the context plumbing does
+// not disturb normal execution: Query and QueryContext(Background) agree.
+func TestQueryContextBackgroundUnchanged(t *testing.T) {
+	ds := g1Dataset(t)
+	e := New(ds, ModeExtVP)
+	want, err := e.Query(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.QueryContext(context.Background(), q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("rows = %d, want %d", len(got.Rows), len(want.Rows))
+	}
+}

@@ -13,9 +13,15 @@
 // are in flight, while Cluster.Metrics keeps the cluster-wide aggregate.
 // Parsed queries are cached in an LRU keyed on whitespace-normalized query
 // text, so repeated query strings skip the parser.
+//
+// Execution is cancellable: QueryContext and ExecContext bind a
+// context.Context to the run, and every relational operator observes it at
+// row-batch granularity, so a deadline or client disconnect aborts the plan
+// mid-operator and the call returns ctx.Err().
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -152,12 +158,20 @@ func (r *Result) Bindings() []map[string]rdf.Term {
 // Query parses and executes a SPARQL query string. Parsed queries are
 // memoized in the plan cache under their normalized text.
 func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query bound to a context: when ctx is cancelled or its
+// deadline passes, execution stops within one row batch and the call
+// returns ctx.Err(). Parsed queries are memoized in the plan cache under
+// their normalized text.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
 	if e.Plans == nil {
 		q, err := sparql.Parse(src)
 		if err != nil {
 			return nil, err
 		}
-		return e.Exec(q)
+		return e.ExecContext(ctx, q)
 	}
 	key := NormalizeQuery(src)
 	q, cached := e.Plans.get(key)
@@ -169,7 +183,7 @@ func (e *Engine) Query(src string) (*Result, error) {
 		}
 		e.Plans.put(key, q)
 	}
-	res, err := e.Exec(q)
+	res, err := e.ExecContext(ctx, q)
 	if res != nil {
 		res.PlanCached = cached
 	}
@@ -179,9 +193,17 @@ func (e *Engine) Query(src string) (*Result, error) {
 // Exec executes a parsed query. The query value is not modified, so one
 // parsed query may be executed repeatedly and concurrently.
 func (e *Engine) Exec(q *sparql.Query) (*Result, error) {
+	return e.ExecContext(context.Background(), q)
+}
+
+// ExecContext executes a parsed query under ctx. Every operator in the plan
+// observes the context at row-batch granularity; once it is done the
+// partially-built relations are discarded and ctx.Err() is returned, so a
+// request timeout or client disconnect frees the worker pool promptly.
+func (e *Engine) ExecContext(ctx context.Context, q *sparql.Query) (*Result, error) {
 	start := time.Now()
 	var qm engine.Metrics
-	ex := e.Cluster.NewExec(&qm)
+	ex := e.Cluster.NewExecContext(ctx, &qm)
 
 	res := &Result{}
 	rel, err := e.evalGroup(ex, q.Where, res)
@@ -190,6 +212,9 @@ func (e *Engine) Exec(q *sparql.Query) (*Result, error) {
 	}
 
 	if q.Ask {
+		if err := ex.Err(); err != nil {
+			return nil, err
+		}
 		res.Ask = rel.NumRows() > 0
 		res.Metrics = qm.Snapshot()
 		res.Duration = time.Since(start)
@@ -216,18 +241,31 @@ func (e *Engine) Exec(q *sparql.Query) (*Result, error) {
 		rel = ex.Limit(rel, q.Offset, limit)
 	}
 
+	rows, err := e.decode(ex, rel)
+	if err != nil {
+		return nil, err
+	}
 	res.Vars = vars
-	res.Rows = e.decode(rel)
+	res.Rows = rows
 	res.Metrics = qm.Snapshot()
 	res.Duration = time.Since(start)
 	return res, nil
 }
 
-// decode converts engine rows into RDF terms.
-func (e *Engine) decode(rel *engine.Relation) [][]rdf.Term {
+// decode converts engine rows into RDF terms. It is the last stop of a
+// query, so it both polls the context per row batch and reports the final
+// verdict: a non-nil error means the execution was cancelled somewhere and
+// the rows must not be served.
+func (e *Engine) decode(ex *engine.Exec, rel *engine.Relation) ([][]rdf.Term, error) {
+	if err := ex.Err(); err != nil {
+		return nil, err
+	}
 	rows := rel.Rows()
 	out := make([][]rdf.Term, len(rows))
 	for i, row := range rows {
+		if ex.StopAt(i) {
+			return nil, ex.Err()
+		}
 		terms := make([]rdf.Term, len(row))
 		for j, id := range row {
 			if id != engine.Null {
@@ -236,7 +274,7 @@ func (e *Engine) decode(rel *engine.Relation) [][]rdf.Term {
 		}
 		out[i] = terms
 	}
-	return out
+	return out, ex.Err()
 }
 
 // orderBy sorts by the given keys; terms compare by numeric value when both
@@ -312,6 +350,9 @@ func (e *Engine) evalGroup(ex *engine.Exec, g *sparql.Group, res *Result) (*engi
 		rel = r
 	}
 	for _, u := range g.Unions {
+		if err := ex.Err(); err != nil {
+			return nil, err
+		}
 		ur, err := e.evalUnion(ex, u, res)
 		if err != nil {
 			return nil, err
@@ -339,6 +380,9 @@ func (e *Engine) evalGroup(ex *engine.Exec, g *sparql.Group, res *Result) (*engi
 	}
 
 	for _, opt := range g.Optionals {
+		if err := ex.Err(); err != nil {
+			return nil, err
+		}
 		right, err := e.evalOptionalBody(ex, opt, res)
 		if err != nil {
 			return nil, err

@@ -95,6 +95,9 @@ func (e *Engine) evalBGPPT(ex *engine.Exec, bgp []sparql.TriplePattern, res *Res
 
 	// Compile each star group as one wide-table scan.
 	for _, key := range order {
+		if err := ex.Err(); err != nil {
+			return nil, err
+		}
 		star := groups[key]
 		var projs []engine.ScanProjection
 		var conds []engine.ScanCondition
@@ -184,6 +187,9 @@ func (e *Engine) evalBGPPT(ex *engine.Exec, bgp []sparql.TriplePattern, res *Res
 	bound := units[0].vars
 	remaining := units[1:]
 	for len(remaining) > 0 {
+		if err := ex.Err(); err != nil {
+			return nil, err
+		}
 		next := -1
 		for i, u := range remaining {
 			if !overlap(bound, u.vars) {

@@ -36,7 +36,10 @@ func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation 
 	}
 
 	ht := make(map[dict.ID][]Row, len(srows))
-	for _, row := range srows {
+	for i, row := range srows {
+		if x.stop(i) {
+			return out
+		}
 		ht[row[sIdx[0]]] = append(ht[row[sIdx[0]]], row)
 	}
 	// The output drops the right side's join columns: when the small side
@@ -52,7 +55,10 @@ func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation 
 	x.parallel(len(big.Parts), func(p int) {
 		var rows []Row
 		var comparisons int64
-		for _, brow := range big.Parts[p] {
+		for i, brow := range big.Parts[p] {
+			if x.stop(i) {
+				break
+			}
 			cands := ht[brow[bIdx[0]]]
 			comparisons += int64(len(cands))
 		cand:

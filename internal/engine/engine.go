@@ -15,9 +15,18 @@
 // Exec meter into both the per-query counters and the cluster-wide
 // aggregate, so concurrent queries account their work independently while
 // the aggregate remains a faithful total.
+//
+// An Exec may also carry a context.Context (Cluster.NewExecContext). Every
+// operator observes cancellation at row-batch granularity: once the context
+// is done, in-flight partition tasks stop after at most cancelBatch rows,
+// queued partition tasks are skipped entirely, and the operator returns a
+// truncated relation. Callers must treat operator output as garbage once
+// Exec.Err() is non-nil — the core engine surfaces that error instead of
+// the truncated result.
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -121,13 +130,29 @@ func (c *Cluster) Partitions() int { return c.partitions }
 // through an Exec meter into its per-query Metrics (when non-nil) as well as
 // the cluster aggregate. Exec values are cheap; create one per query.
 type Exec struct {
-	c *Cluster
-	m *Metrics
+	c   *Cluster
+	m   *Metrics
+	ctx context.Context
+	// done caches ctx.Done(); nil means the context can never be cancelled
+	// and all cancellation checks compile down to a nil comparison.
+	done <-chan struct{}
 }
 
 // NewExec returns an execution handle metering into m (which may be nil for
-// aggregate-only accounting) in addition to the cluster's Metrics.
+// aggregate-only accounting) in addition to the cluster's Metrics. The
+// execution is not cancellable; use NewExecContext to bind a context.
 func (c *Cluster) NewExec(m *Metrics) *Exec { return &Exec{c: c, m: m} }
+
+// NewExecContext returns an execution handle like NewExec whose operators
+// additionally observe ctx: when ctx is cancelled or its deadline passes,
+// running operators stop within one row batch and return truncated output,
+// and Err reports why. Callers must check Err before trusting results.
+func (c *Cluster) NewExecContext(ctx context.Context, m *Metrics) *Exec {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Exec{c: c, m: m, ctx: ctx, done: ctx.Done()}
+}
 
 // exec returns an aggregate-only handle backing the Cluster convenience
 // methods.
@@ -135,6 +160,49 @@ func (c *Cluster) exec() *Exec { return &Exec{c: c} }
 
 // Cluster returns the underlying cluster.
 func (x *Exec) Cluster() *Cluster { return x.c }
+
+// Err returns the error of the execution's context (context.Canceled or
+// context.DeadlineExceeded), or nil while execution may proceed. Operator
+// output is only meaningful when Err returns nil.
+func (x *Exec) Err() error {
+	if x.ctx == nil {
+		return nil
+	}
+	return x.ctx.Err()
+}
+
+// Cancelled reports whether the execution's context is done.
+func (x *Exec) Cancelled() bool {
+	if x.done == nil {
+		return false
+	}
+	select {
+	case <-x.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelBatch is the row granularity of cancellation checks inside operator
+// loops: the context is polled once per cancelBatch rows, keeping the check
+// off the per-row hot path while bounding how much work a cancelled query
+// can still perform per partition task.
+const cancelBatch = 1024
+
+// stop reports whether execution is cancelled, polling the context only on
+// row counts that are multiples of cancelBatch. Row loops call it with
+// their running row counter.
+func (x *Exec) stop(rows int) bool {
+	return x.done != nil && rows%cancelBatch == 0 && x.Cancelled()
+}
+
+// StopAt is the exported form of the operators' row-batch cancellation
+// poll, for coordinator-side loops outside this package (aggregation,
+// result decoding): it reports cancellation only on row counts that are
+// multiples of the engine's batch size, keeping the check off the per-row
+// hot path and the granularity in one place.
+func (x *Exec) StopAt(rows int) bool { return x.stop(rows) }
 
 // AddRowsScanned meters n extra scanned rows (used by wide-table scans that
 // account for columns the narrow Scan projection did not touch).
@@ -174,7 +242,9 @@ func (x *Exec) addTasks(n int64) {
 }
 
 // parallel runs fn(p) for p in [0, n) on the worker pool, metering one task
-// per invocation, and waits.
+// per invocation, and waits. Once the execution's context is done, queued
+// partition tasks are skipped (running ones stop on their own row-batch
+// checks), so a cancelled query releases its workers promptly.
 func (x *Exec) parallel(n int, fn func(p int)) {
 	x.addTasks(int64(n))
 	workers := x.c.workers
@@ -183,6 +253,9 @@ func (x *Exec) parallel(n int, fn func(p int)) {
 	}
 	if workers <= 1 {
 		for p := 0; p < n; p++ {
+			if x.Cancelled() {
+				return
+			}
 			fn(p)
 		}
 		return
@@ -195,7 +268,7 @@ func (x *Exec) parallel(n int, fn func(p int)) {
 			defer wg.Done()
 			for {
 				p := int(next.Add(1)) - 1
-				if p >= n {
+				if p >= n || x.Cancelled() {
 					return
 				}
 				fn(p)
@@ -336,6 +409,9 @@ func (x *Exec) Scan(t *store.Table, projs []ScanProjection, conds []ScanConditio
 		var out []Row
 	rows:
 		for i := lo; i < hi; i++ {
+			if x.stop(i - lo) {
+				break
+			}
 			for k, cd := range conds {
 				if ci := condIdx[k]; ci < 0 || t.Data[ci][i] != cd.Value {
 					continue rows
@@ -364,7 +440,10 @@ func (x *Exec) Filter(r *Relation, pred func(Row) bool) *Relation {
 	out.keyCol = r.keyCol
 	x.parallel(len(r.Parts), func(p int) {
 		var kept []Row
-		for _, row := range r.Parts[p] {
+		for i, row := range r.Parts[p] {
+			if x.stop(i) {
+				break
+			}
 			if pred(row) {
 				kept = append(kept, row)
 			}
@@ -418,7 +497,10 @@ func (x *Exec) shuffle(r *Relation, key int) *Relation {
 	buckets := make([][][]Row, n)
 	x.parallel(n, func(p int) {
 		local := make([][]Row, c.partitions)
-		for _, row := range r.Parts[p] {
+		for i, row := range r.Parts[p] {
+			if x.stop(i) {
+				break
+			}
 			t := int(hashID(row[key])) % c.partitions
 			local[t] = append(local[t], row)
 		}
@@ -430,6 +512,9 @@ func (x *Exec) shuffle(r *Relation, key int) *Relation {
 	x.parallel(c.partitions, func(t int) {
 		var rows []Row
 		for p := 0; p < n; p++ {
+			if buckets[p] == nil {
+				continue // source task skipped after cancellation
+			}
 			rows = append(rows, buckets[p][t]...)
 		}
 		out.Parts[t] = rows
@@ -555,7 +640,10 @@ func (x *Exec) hashJoinPartition(lrows, rrows []Row, lIdx, rIdx []int, semi bool
 		swapped = true
 	}
 	ht := make(map[dict.ID][]Row, len(build))
-	for _, row := range build {
+	for i, row := range build {
+		if x.stop(i) {
+			return nil
+		}
 		k := row[bIdx[0]]
 		ht[k] = append(ht[k], row)
 	}
@@ -565,7 +653,10 @@ func (x *Exec) hashJoinPartition(lrows, rrows []Row, lIdx, rIdx []int, semi bool
 	if swapped {
 		rightDup = dupMask(len(probe[0]), pIdx)
 	}
-	for _, prow := range probe {
+	for i, prow := range probe {
+		if x.stop(i) {
+			break
+		}
 		cands := ht[prow[pIdx[0]]]
 		comparisons += int64(len(cands))
 	cand:
@@ -595,7 +686,10 @@ func (x *Exec) hashJoinPartition(lrows, rrows []Row, lIdx, rIdx []int, semi bool
 // hashJoinPartitionOuter is the left-outer variant.
 func (x *Exec) hashJoinPartitionOuter(lrows, rrows []Row, lIdx, rIdx []int, rightOnly int, pred func(Row) bool) []Row {
 	ht := make(map[dict.ID][]Row, len(rrows))
-	for _, row := range rrows {
+	for i, row := range rrows {
+		if x.stop(i) {
+			return nil
+		}
 		ht[row[rIdx[0]]] = append(ht[row[rIdx[0]]], row)
 	}
 	var rightDup []bool
@@ -604,7 +698,10 @@ func (x *Exec) hashJoinPartitionOuter(lrows, rrows []Row, lIdx, rIdx []int, righ
 	}
 	var out []Row
 	var comparisons int64
-	for _, lrow := range lrows {
+	for i, lrow := range lrows {
+		if x.stop(i) {
+			break
+		}
 		cands := ht[lrow[lIdx[0]]]
 		comparisons += int64(len(cands))
 		matched := false
@@ -686,8 +783,14 @@ func (x *Exec) cross(left, right *Relation) *Relation {
 	out := newRelation(outSchema, len(left.Parts))
 	x.parallel(len(left.Parts), func(p int) {
 		var rows []Row
+		produced := 0
 		for _, lrow := range left.Parts[p] {
 			for _, rrow := range rrows {
+				if x.stop(produced) {
+					out.Parts[p] = rows
+					return
+				}
+				produced++
 				nr := make(Row, 0, len(lrow)+len(rrow))
 				nr = append(nr, lrow...)
 				nr = append(nr, rrow...)
@@ -761,7 +864,10 @@ func (x *Exec) Distinct(r *Relation) *Relation {
 		seen := make(map[uint64][]Row, len(s.Parts[p]))
 		var rows []Row
 	next:
-		for _, row := range s.Parts[p] {
+		for i, row := range s.Parts[p] {
+			if x.stop(i) {
+				break
+			}
 			h := hashRow(row)
 			for _, prev := range seen[h] {
 				if rowsEqualIDs(prev, row) {
@@ -805,10 +911,11 @@ func rowsEqualIDs(a, b Row) bool {
 }
 
 // OrderBy gathers all rows and sorts them with less (coordinator-side, as
-// Spark does for a global ORDER BY without range partitioning).
+// Spark does for a global ORDER BY without range partitioning). A cancelled
+// execution abandons the sort at sub-range granularity.
 func (x *Exec) OrderBy(r *Relation, less func(a, b Row) bool) *Relation {
 	rows := r.Rows()
-	mergeSortRows(rows, less)
+	x.mergeSortRows(rows, less)
 	out := newRelation(r.Schema, 1)
 	out.Parts[0] = rows
 	return out
@@ -907,7 +1014,10 @@ func equalSchema(a, b []string) bool {
 
 // mergeSortRows is a stable merge sort (stdlib sort.SliceStable would be
 // fine; a hand-rolled version keeps allocation predictable on big results).
-func mergeSortRows(rows []Row, less func(a, b Row) bool) {
+// Sub-ranges of at least cancelBatch rows poll the execution context before
+// sorting, so a cancelled ORDER BY over a large result bails out quickly
+// (leaving the slice partially ordered — discarded by the caller).
+func (x *Exec) mergeSortRows(rows []Row, less func(a, b Row) bool) {
 	if len(rows) < 2 {
 		return
 	}
@@ -915,6 +1025,9 @@ func mergeSortRows(rows []Row, less func(a, b Row) bool) {
 	var sortRange func(lo, hi int)
 	sortRange = func(lo, hi int) {
 		if hi-lo < 2 {
+			return
+		}
+		if hi-lo >= cancelBatch && x.Cancelled() {
 			return
 		}
 		mid := (lo + hi) / 2

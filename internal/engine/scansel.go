@@ -55,6 +55,9 @@ func (x *Exec) ScanSel(t *store.Table, sel *bitvec.Bitset, projs []ScanProjectio
 		var out []Row
 	rows:
 		for i := lo; i < hi; i++ {
+			if x.stop(i - lo) {
+				break
+			}
 			if !sel.Get(i) {
 				continue
 			}

@@ -36,7 +36,12 @@
 // and application/sparql-query bodies) and returns the SPARQL 1.1 JSON
 // results format. Queries execute on a bounded worker pool
 // (ServerOptions.MaxConcurrent), and every response reports the query's
-// metered cost in X-S2RDF-* headers.
+// metered cost in X-S2RDF-* headers. One process can serve several stores
+// (NewMux routes /sparql/{store}; s2rdf serve -stores name=dir,...), each
+// request may carry a deadline (?timeout=250ms, or ServerOptions
+// defaults) that aborts the plan mid-operator with a 504, and shutdown
+// drains in-flight queries (ListenAndServe, or SIGINT/SIGTERM under
+// s2rdf serve). See docs/http-api.md for the endpoint contract.
 //
 // # Concurrency model
 //
@@ -48,9 +53,18 @@
 // a per-engine LRU keyed on whitespace-normalized query text, so repeated
 // query strings — the common case behind an endpoint — skip the parser;
 // Result.PlanCached reports whether a given execution hit that cache.
+//
+// # Cancellation
+//
+// QueryContext and QueryModeContext bind a context.Context to the run.
+// Every engine operator observes it at row-batch granularity (1024 rows),
+// so a deadline or client disconnect stops scans, joins, sorts and
+// aggregation mid-operator, frees the worker pool promptly, and surfaces
+// as ctx.Err() — never as a truncated result.
 package s2rdf
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -184,20 +198,33 @@ func newStore(ds *layout.Dataset, opts Options) *Store {
 // Query executes a SPARQL query in ExtVP mode (or VP when ExtVP was
 // disabled at load time).
 func (s *Store) Query(src string) (*Result, error) {
+	return s.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query bound to a context: when ctx is cancelled or its
+// deadline passes, the plan is aborted mid-operator and ctx.Err() is
+// returned. Use context.WithTimeout to put a deadline on a query.
+func (s *Store) QueryContext(ctx context.Context, src string) (*Result, error) {
 	mode := ModeExtVP
 	if s.opts.DisableExtVP {
 		mode = ModeVP
 	}
-	return s.QueryMode(mode, src)
+	return s.QueryModeContext(ctx, mode, src)
 }
 
 // QueryMode executes a SPARQL query against a specific layout.
 func (s *Store) QueryMode(mode Mode, src string) (*Result, error) {
+	return s.QueryModeContext(context.Background(), mode, src)
+}
+
+// QueryModeContext executes a SPARQL query against a specific layout under
+// ctx; see QueryContext for the cancellation contract.
+func (s *Store) QueryModeContext(ctx context.Context, mode Mode, src string) (*Result, error) {
 	e, ok := s.engines[mode]
 	if !ok {
 		return nil, fmt.Errorf("s2rdf: unknown mode %v", mode)
 	}
-	return e.Query(src)
+	return e.QueryContext(ctx, src)
 }
 
 // Engine exposes the underlying compiler/executor for a mode (used by the

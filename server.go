@@ -1,11 +1,15 @@
 package s2rdf
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -24,28 +28,81 @@ type ServerOptions struct {
 	MaxConcurrent int
 	// MaxQueryLen rejects larger query bodies; <= 0 selects 1 MiB.
 	MaxQueryLen int64
+	// DefaultTimeout is the per-query deadline applied when a request does
+	// not carry its own "timeout" parameter. The engine aborts the plan
+	// mid-operator when the deadline passes and the request fails with
+	// 504. 0 means no server-imposed deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (and bounds requests with
+	// no timeout at all when set), so one tenant cannot opt out of the
+	// operator's latency budget. 0 means no cap.
+	MaxTimeout time.Duration
 }
 
 // sparqlServer answers SPARQL queries over HTTP with per-query metrics in
 // response headers. Queries run on a bounded worker pool so a traffic burst
-// degrades into queueing instead of unbounded goroutine fan-out.
+// degrades into queueing instead of unbounded goroutine fan-out; cancelled
+// and timed-out queries release their slot as soon as the engine observes
+// the context, not when the plan would have finished.
 type sparqlServer struct {
-	store *Store
-	opts  ServerOptions
-	sem   chan struct{}
+	stores map[string]*Store
+	def    string // name of the store served at /sparql
+	opts   ServerOptions
+	sem    chan struct{}
 }
 
-// NewHandler returns an HTTP handler exposing st:
+// DefaultStoreName is the name NewHandler registers its single store under,
+// so /sparql/default and /sparql are the same endpoint.
+const DefaultStoreName = "default"
+
+// NewHandler returns an HTTP handler exposing a single store st:
 //
 //	GET  /sparql?query=...        — execute a SPARQL query
 //	POST /sparql                  — query= form field or raw
 //	                                application/sparql-query body
 //	GET  /healthz                 — liveness probe
 //
-// Results use the SPARQL 1.1 JSON results format. Each response carries the
-// query's exact, per-query engine metrics in X-S2RDF-* headers, which stay
-// correct under any level of request concurrency.
+// It is NewMux with st registered as the default store. Results use the
+// SPARQL 1.1 JSON results format; each response carries the query's exact
+// per-query engine metrics in X-S2RDF-* headers.
 func NewHandler(st *Store, opts ServerOptions) http.Handler {
+	h, err := NewMux(map[string]*Store{DefaultStoreName: st}, DefaultStoreName, opts)
+	if err != nil {
+		panic(err) // unreachable: the single-store config is always valid
+	}
+	return h
+}
+
+// NewMux returns an HTTP handler serving several stores from one process:
+//
+//	/sparql                — queries against the default store
+//	/sparql/{store}        — queries against the named store
+//	/healthz               — liveness probe listing every store
+//
+// defaultStore must name an entry of stores; it may be empty when stores
+// has exactly one entry, which then serves as the default. Each store keeps
+// its own engines and plan caches; the worker pool (MaxConcurrent) is
+// shared across stores, so one process-wide concurrency budget governs all
+// tenants.
+func NewMux(stores map[string]*Store, defaultStore string, opts ServerOptions) (http.Handler, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("s2rdf: NewMux needs at least one store")
+	}
+	for name := range stores {
+		// A name must be a single, non-empty path segment or the
+		// /sparql/{store} route can never reach it.
+		if name == "" || strings.ContainsAny(name, "/?#") {
+			return nil, fmt.Errorf("s2rdf: store name %q is not routable (must be one non-empty path segment)", name)
+		}
+	}
+	if defaultStore == "" && len(stores) == 1 {
+		for name := range stores {
+			defaultStore = name
+		}
+	}
+	if _, ok := stores[defaultStore]; !ok {
+		return nil, fmt.Errorf("s2rdf: default store %q not registered", defaultStore)
+	}
 	if opts.MaxConcurrent <= 0 {
 		opts.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
@@ -53,17 +110,38 @@ func NewHandler(st *Store, opts ServerOptions) http.Handler {
 		opts.MaxQueryLen = 1 << 20
 	}
 	s := &sparqlServer{
-		store: st,
-		opts:  opts,
-		sem:   make(chan struct{}, opts.MaxConcurrent),
+		stores: stores,
+		def:    defaultStore,
+		opts:   opts,
+		sem:    make(chan struct{}, opts.MaxConcurrent),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/sparql", s.handleSPARQL)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"status":"ok","triples":%d}`, st.NumTriples())
+	mux.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSPARQL(w, r, s.def)
 	})
-	return mux
+	mux.HandleFunc("/sparql/{store}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSPARQL(w, r, r.PathValue("store"))
+	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux, nil
+}
+
+func (s *sparqlServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	type storeInfo struct {
+		Triples int  `json:"triples"`
+		Default bool `json:"default,omitempty"`
+	}
+	doc := struct {
+		Status  string               `json:"status"`
+		Triples int                  `json:"triples"`
+		Stores  map[string]storeInfo `json:"stores"`
+	}{Status: "ok", Stores: make(map[string]storeInfo, len(s.stores))}
+	for name, st := range s.stores {
+		doc.Stores[name] = storeInfo{Triples: st.NumTriples(), Default: name == s.def}
+	}
+	doc.Triples = s.stores[s.def].NumTriples()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&doc)
 }
 
 // queryText extracts the SPARQL query from a request per the SPARQL
@@ -85,7 +163,7 @@ func (s *sparqlServer) queryText(r *http.Request) (string, error) {
 				return "", err
 			}
 			if int64(len(body)) > s.opts.MaxQueryLen {
-				return "", fmt.Errorf("query exceeds %d bytes", s.opts.MaxQueryLen)
+				return "", errQueryTooLarge
 			}
 			return string(body), nil
 		default:
@@ -100,11 +178,66 @@ func (s *sparqlServer) queryText(r *http.Request) (string, error) {
 	}
 }
 
-func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+// param reads a request parameter from the URL or, for form POSTs (already
+// parsed by queryText), from the body.
+func param(r *http.Request, name string) string {
+	if v := r.URL.Query().Get(name); v != "" {
+		return v
+	}
+	if r.PostForm != nil {
+		return r.PostForm.Get(name)
+	}
+	return ""
+}
+
+// requestTimeout resolves the query deadline: the request's "timeout"
+// parameter (a Go duration like "250ms", or a plain integer meaning
+// milliseconds), else the server default, both clamped to MaxTimeout.
+// A zero result means the query runs without a deadline.
+func (s *sparqlServer) requestTimeout(r *http.Request) (time.Duration, error) {
+	d := s.opts.DefaultTimeout
+	if raw := param(r, "timeout"); raw != "" {
+		parsed, err := time.ParseDuration(raw)
+		if err != nil {
+			ms, merr := strconv.Atoi(raw)
+			if merr != nil {
+				return 0, fmt.Errorf("invalid timeout %q (use a duration like 250ms)", raw)
+			}
+			parsed = time.Duration(ms) * time.Millisecond
+		}
+		if parsed <= 0 {
+			return 0, fmt.Errorf("timeout must be positive, got %q", raw)
+		}
+		d = parsed
+	}
+	if max := s.opts.MaxTimeout; max > 0 && (d == 0 || d > max) {
+		d = max
+	}
+	return d, nil
+}
+
+func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request, storeName string) {
+	st, ok := s.stores[storeName]
+	if !ok {
+		known := make([]string, 0, len(s.stores))
+		for name := range s.stores {
+			known = append(known, name)
+		}
+		sort.Strings(known)
+		httpError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown store %q (stores: %s)", storeName, strings.Join(known, ", ")))
+		return
+	}
+
 	src, err := s.queryText(r)
 	if err != nil {
 		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "not allowed") {
+		var maxBytes *http.MaxBytesError
+		switch {
+		case errors.Is(err, errQueryTooLarge), errors.As(err, &maxBytes):
+			status = http.StatusRequestEntityTooLarge
+			err = fmt.Errorf("query exceeds %d bytes", s.opts.MaxQueryLen)
+		case strings.Contains(err.Error(), "not allowed"):
 			status = http.StatusMethodNotAllowed
 		}
 		httpError(w, status, err.Error())
@@ -121,13 +254,7 @@ func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	}
 
 	mode := s.opts.Mode
-	// The override may arrive in the URL or, for form POSTs (already parsed
-	// by queryText), in the body.
-	overrideMode := r.URL.Query().Get("mode")
-	if overrideMode == "" && r.PostForm != nil {
-		overrideMode = r.PostForm.Get("mode")
-	}
-	if m := overrideMode; m != "" {
+	if m := param(r, "mode"); m != "" {
 		pm, ok := ParseMode(m)
 		if !ok {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q", m))
@@ -136,22 +263,58 @@ func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		mode = pm
 	}
 
-	// Bounded worker pool: wait for a slot, bail out if the client is gone.
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The deadline covers the whole stay: queue wait plus execution. The
+	// context is also cancelled when the client disconnects, which aborts
+	// the plan mid-operator and frees the worker slot.
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// Bounded worker pool: wait for a slot, bail out when the deadline
+	// passes or the client gives up while queued.
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
-	case <-r.Context().Done():
-		httpError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+	case <-ctx.Done():
+		writeCtxError(w, ctx.Err(), "while queued")
 		return
 	}
 
-	res, err := s.store.QueryMode(mode, src)
+	res, err := st.QueryModeContext(ctx, mode, src)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeCtxError(w, err, "during execution")
+			return
+		}
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	writeResult(w, mode, res)
 }
+
+// writeCtxError maps a context error onto the HTTP status the SPARQL
+// endpoint promises: 504 when the query deadline passed, 503 when the
+// client went away (the response is then written into the void, but keeps
+// logs and tests honest).
+func writeCtxError(w http.ResponseWriter, err error, phase string) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		httpError(w, http.StatusGatewayTimeout, "query deadline exceeded "+phase)
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, "request cancelled "+phase)
+}
+
+// errQueryTooLarge marks an oversize application/sparql-query body so the
+// handler can answer 413 rather than a generic 400.
+var errQueryTooLarge = errors.New("query body too large")
 
 func httpError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
@@ -252,14 +415,61 @@ func ParseMode(name string) (Mode, bool) {
 	return ModeExtVP, false
 }
 
+// DefaultDrainTimeout bounds graceful shutdown when the caller passes no
+// explicit drain budget to ListenAndServe or ServeListener.
+const DefaultDrainTimeout = 30 * time.Second
+
 // Serve runs the SPARQL endpoint on addr until the listener fails. It is a
 // thin convenience over NewHandler + http.Server with sane timeouts; use
-// NewHandler directly for custom server configuration.
+// ServeContext for graceful shutdown, or NewMux + ListenAndServe for
+// multi-store serving.
 func (s *Store) Serve(addr string, opts ServerOptions) error {
+	return s.ServeContext(context.Background(), addr, opts)
+}
+
+// ServeContext runs the SPARQL endpoint on addr until ctx is cancelled,
+// then shuts down gracefully: the listener closes immediately while
+// in-flight queries drain for up to DefaultDrainTimeout.
+func (s *Store) ServeContext(ctx context.Context, addr string, opts ServerOptions) error {
+	return ListenAndServe(ctx, addr, NewHandler(s, opts), 0)
+}
+
+// ListenAndServe serves h on addr until ctx is cancelled, then drains:
+// new connections are refused, in-flight requests (and their queries) get
+// up to drain (0 selects DefaultDrainTimeout) to finish before the server
+// is torn down. It returns nil after a clean drain, the shutdown error
+// after a dirty one, and the listener error if serving fails first.
+func ListenAndServe(ctx context.Context, addr string, h http.Handler, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ctx, ln, h, drain)
+}
+
+// ServeListener is ListenAndServe over an existing listener, which the
+// caller may use to bind port 0 and discover the address. The listener is
+// closed by the time ServeListener returns.
+func ServeListener(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration) error {
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           NewHandler(s, opts),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.ListenAndServe()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return err
+	}
+	return nil
 }
