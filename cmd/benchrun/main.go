@@ -12,9 +12,14 @@
 //	-exp scaling    Table 4 scale axis (Basic means vs dataset size)
 //	-exp concurrent concurrent serving throughput on one shared engine
 //	-exp all        everything
+//
+// With -json PATH the raw measurements of every experiment that ran are
+// additionally written as one JSON document, so CI can archive them and a
+// benchmark trajectory accumulates across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"log"
 	"os"
@@ -33,6 +38,7 @@ func main() {
 	runs := flag.Int("runs", 3, "instantiations per query template")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-query timeout (timed-out entries print F)")
 	engines := flag.String("engines", "", "comma-separated engine subset (default all)")
+	jsonOut := flag.String("json", "", "write raw results of the executed experiments to this JSON file")
 	flag.Parse()
 
 	tmp, err := os.MkdirTemp("", "s2rdf-bench-*")
@@ -53,35 +59,52 @@ func main() {
 		cfg.Engines = strings.Split(*engines, ",")
 	}
 
-	run := func(name string, fn func() error) {
+	// results collects each experiment's raw rows for -json.
+	results := map[string]any{
+		"config": map[string]any{
+			"scale": *scale, "seed": *seed, "runs": *runs,
+			"timeout": timeout.String(), "engines": cfg.Engines,
+		},
+	}
+	run := func(name string, fn func() (any, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		if err := fn(); err != nil {
+		rows, err := fn()
+		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
+		results[name] = rows
 	}
 
-	run("load", func() error {
-		_, err := bench.RunLoad(cfg, []float64{*scale / 4, *scale / 2, *scale})
-		return err
+	run("load", func() (any, error) {
+		return bench.RunLoad(cfg, []float64{*scale / 4, *scale / 2, *scale})
 	})
-	run("st", func() error { _, err := bench.RunST(cfg); return err })
-	run("basic", func() error { _, err := bench.RunBasic(cfg); return err })
-	run("il", func() error { _, err := bench.RunIL(cfg); return err })
-	run("threshold", func() error {
-		_, err := bench.RunThreshold(cfg, []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
-		return err
+	run("st", func() (any, error) { return bench.RunST(cfg) })
+	run("basic", func() (any, error) { return bench.RunBasic(cfg) })
+	run("il", func() (any, error) { return bench.RunIL(cfg) })
+	run("threshold", func() (any, error) {
+		return bench.RunThreshold(cfg, []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
 	})
-	run("joinorder", func() error { _, err := bench.RunJoinOrder(cfg); return err })
-	run("oo", func() error { _, err := bench.RunOO(cfg); return err })
-	run("bitvec", func() error { _, err := bench.RunBitVec(cfg); return err })
-	run("concurrent", func() error {
-		_, err := bench.RunConcurrent(cfg, []int{1, 2, 4, 8, 16})
-		return err
+	run("joinorder", func() (any, error) { return bench.RunJoinOrder(cfg) })
+	run("oo", func() (any, error) { return bench.RunOO(cfg) })
+	run("bitvec", func() (any, error) { return bench.RunBitVec(cfg) })
+	run("concurrent", func() (any, error) {
+		return bench.RunConcurrent(cfg, []int{1, 2, 4, 8, 16})
 	})
-	run("scaling", func() error {
-		_, err := bench.RunScaling(cfg, []float64{*scale / 4, *scale / 2, *scale, *scale * 2})
-		return err
+	run("scaling", func() (any, error) {
+		return bench.RunScaling(cfg, []float64{*scale / 4, *scale / 2, *scale, *scale * 2})
 	})
+
+	if *jsonOut != "" {
+		doc, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal results: %v", err)
+		}
+		doc = append(doc, '\n')
+		if err := os.WriteFile(*jsonOut, doc, 0o644); err != nil {
+			log.Fatalf("write %s: %v", *jsonOut, err)
+		}
+		log.Printf("wrote %s", *jsonOut)
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -126,6 +127,24 @@ func cmdQuery(args []string) {
 		fmt.Println("# plan:")
 		for _, p := range res.Plan {
 			fmt.Printf("#   %-40s -> %s (rows %d, SF %.2f)\n", p.Pattern, p.Table, p.Rows, p.SF)
+		}
+		if len(res.JoinOrder) > 0 {
+			order := make([]string, len(res.JoinOrder))
+			for i, idx := range res.JoinOrder {
+				order[i] = strconv.Itoa(idx)
+			}
+			fmt.Printf("# join order: %s\n", strings.Join(order, ", "))
+		}
+		for _, j := range res.Joins {
+			fmt.Printf("#   join %-38s %s (left ~%d rows, right ~%d rows)\n",
+				j.Right, j.Strategy, j.LeftRows, j.RightRows)
+		}
+		switch {
+		case res.SelectionCacheHits+res.SelectionCacheMisses == 0:
+		case res.SelectionCacheMisses == 0:
+			fmt.Println("# selection cache: hit (Algorithm 1 skipped)")
+		default:
+			fmt.Println("# selection cache: miss")
 		}
 		if res.StatsOnly {
 			fmt.Println("#   answered from statistics only (no execution)")

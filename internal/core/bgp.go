@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"s2rdf/internal/bitvec"
 	"s2rdf/internal/dict"
@@ -28,11 +27,14 @@ type selection struct {
 	bits *bitvec.Bitset
 }
 
-// selectTable implements the paper's Algorithm 1 (TableSelection): start
-// from the VP table of the pattern's predicate and switch to the ExtVP
-// table with the best (smallest) selectivity factor among the pattern's
-// SS/SO/OS correlations with the other patterns of the BGP.
-func (e *Engine) selectTable(tp sparql.TriplePattern, bgp []sparql.TriplePattern) selection {
+// selectTable implements the paper's Algorithm 1 (TableSelection) for the
+// pattern at index i of the BGP: start from the VP table of the pattern's
+// predicate and switch to the ExtVP table with the best (smallest)
+// selectivity factor among the pattern's SS/SO/OS correlations with the
+// other patterns of the BGP. Candidates are compared on statistics alone;
+// in lazy mode only the winning reduction is materialized.
+func (e *Engine) selectTable(i int, bgp []sparql.TriplePattern) selection {
+	tp := bgp[i]
 	// Unbound predicate: fall back to the triples table (paper Sec. 5.2).
 	if tp.P.IsVar() {
 		return selection{table: e.DS.TT, name: "TT", rows: e.DS.TT.NumRows(), sf: 1, tt: true}
@@ -58,11 +60,15 @@ func (e *Engine) selectTable(tp sparql.TriplePattern, bgp []sparql.TriplePattern
 	// of a triple pattern).
 	var combined *bitvec.Bitset
 	nCombined := 0
+	// bestKey is set while best names a row-copy ExtVP candidate whose
+	// table has not been resolved yet; the winner is materialized (lazy
+	// mode) or looked up after all candidates have been compared on
+	// statistics, so losing reductions are never built.
+	var bestKey *layout.ExtKey
 	consider := func(key layout.ExtKey) {
 		var info layout.TableInfo
-		var lazyTbl *store.Table
 		if e.Lazy != nil {
-			lazyTbl, info = e.Lazy.EnsureTable(key)
+			info = e.Lazy.EnsureInfo(key)
 		} else {
 			info = e.DS.ExtInfo(key)
 		}
@@ -90,20 +96,24 @@ func (e *Engine) selectTable(tp sparql.TriplePattern, bgp []sparql.TriplePattern
 					name:  layout.ExtVPName(e.DS.Dict, key) + "[bits]",
 					rows:  info.Rows, sf: info.SF, bits: bits,
 				}
+				bestKey = nil
 			}
 			return
 		}
 		if info.SF < best.sf {
-			tbl := lazyTbl
-			if tbl == nil {
-				tbl = e.DS.ExtVP[key]
+			best = selection{
+				name: layout.ExtVPName(e.DS.Dict, key),
+				rows: info.Rows, sf: info.SF,
 			}
-			best = selection{table: tbl, name: tbl.Name, rows: info.Rows, sf: info.SF}
+			k := key
+			bestKey = &k
 		}
 	}
 
-	for _, other := range bgp {
-		if other == tp || best.empty {
+	for j, other := range bgp {
+		if j == i || best.empty {
+			// Skip only the pattern's own position: a duplicate pattern
+			// elsewhere in the BGP still correlates like any other.
 			if best.empty {
 				break
 			}
@@ -144,6 +154,20 @@ func (e *Engine) selectTable(tp sparql.TriplePattern, bgp []sparql.TriplePattern
 				sf:    float64(count) / float64(vp.NumRows()),
 				bits:  combined,
 			}
+			bestKey = nil
+		}
+	}
+	if !best.empty && bestKey != nil {
+		// Resolve (and in lazy mode, build) the winning reduction only.
+		if e.Lazy != nil {
+			best.table, _ = e.Lazy.EnsureTable(*bestKey)
+		} else {
+			best.table = e.DS.ExtVP[*bestKey]
+		}
+		if best.table == nil {
+			// Defensive: statistics promised a table that is not there;
+			// fall back to the always-valid VP selection.
+			best = selection{table: vp, name: vp.Name, rows: vp.NumRows(), sf: 1}
 		}
 	}
 	return best
@@ -186,90 +210,77 @@ func (e *Engine) compilePattern(ex *engine.Exec, tp sparql.TriplePattern, sel se
 	return ex.Scan(sel.table, projs, conds), true
 }
 
-// evalBGP compiles and executes a basic graph pattern: Algorithm 3 when
-// JoinOrderOpt is off, Algorithm 4 (order by bound values, then by selected
-// table size, avoiding cross joins) when on. ModePT routes to the
-// property-table planner.
+// evalBGP compiles and executes a basic graph pattern. Table selections
+// (Algorithm 1) come from the selection cache on repeat queries; the
+// planner then fixes the join order (greedy smallest-estimate-first,
+// connectivity-preserving, when JoinOrderOpt; textual order — the paper's
+// Algorithm 3 — otherwise) and picks a broadcast or shuffle strategy per
+// join from the estimated side sizes. ModePT routes to the property-table
+// planner.
 func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, res *Result) (*engine.Relation, error) {
 	if e.Mode == ModePT {
 		return e.evalBGPPT(ex, bgp, res)
 	}
 
-	type unit struct {
-		tp  sparql.TriplePattern
-		sel selection
+	sels, empty, cached := e.bgpSelections(bgp)
+	if cached {
+		res.SelectionCacheHits++
+	} else {
+		res.SelectionCacheMisses++
 	}
-	units := make([]unit, len(bgp))
-	for i, tp := range bgp {
-		sel := e.selectTable(tp, bgp)
-		units[i] = unit{tp: tp, sel: sel}
+	base := len(res.Plan)
+	for i, sel := range sels {
 		res.Plan = append(res.Plan, PatternPlan{
-			Pattern: tp.String(), Table: sel.name, Rows: sel.rows, SF: sel.sf,
+			Pattern: bgp[i].String(), Table: sel.name, Rows: sel.rows, SF: sel.sf,
 		})
-		if sel.empty {
-			// Statistics-only answer (paper Sec. 6.1): no execution at all.
-			res.StatsOnly = true
-			return e.emptyRelation(ex, bgp), nil
-		}
+	}
+	if empty {
+		// Statistics-only answer (paper Sec. 6.1): no execution at all.
+		res.StatsOnly = true
+		return e.emptyRelation(ex, bgp), nil
 	}
 
-	if e.JoinOrderOpt {
-		// Algorithm 4 pre-pass: order by number of bound values
-		// (descending), breaking ties by table size.
-		sort.SliceStable(units, func(i, j int) bool {
-			bi, bj := units[i].tp.BoundCount(), units[j].tp.BoundCount()
-			if bi != bj {
-				return bi > bj
-			}
-			return units[i].sel.rows < units[j].sel.rows
-		})
+	order := e.planJoinOrder(bgp, sels)
+	for _, idx := range order {
+		res.JoinOrder = append(res.JoinOrder, base+idx)
 	}
 
 	var rel *engine.Relation
 	var bound []string
-	remaining := units
-	for len(remaining) > 0 {
+	est := 0 // estimated cardinality of the accumulated intermediate
+	for _, idx := range order {
 		// A cancelled query stops between pattern joins; the row-batch
 		// checks inside each operator cover the stretch in between.
 		if err := ex.Err(); err != nil {
 			return nil, err
 		}
-		next := 0
-		if e.JoinOrderOpt && rel != nil {
-			next = -1
-			for i, u := range remaining {
-				if !sharesVar(bound, u.tp) {
-					continue
-				}
-				if next < 0 || u.sel.rows < remaining[next].sel.rows {
-					next = i
-				}
-			}
-			if next < 0 {
-				// Every remaining pattern is disconnected: a cross join is
-				// unavoidable, take the smallest.
-				next = 0
-				for i, u := range remaining {
-					if u.sel.rows < remaining[next].sel.rows {
-						next = i
-					}
-				}
-			}
-		}
-		u := remaining[next]
-		remaining = append(remaining[:next:next], remaining[next+1:]...)
-
-		scan, ok := e.compilePattern(ex, u.tp, u.sel)
+		tp, sel := bgp[idx], sels[idx]
+		scan, ok := e.compilePattern(ex, tp, sel)
 		if !ok {
 			res.StatsOnly = true
 			return e.emptyRelation(ex, bgp), nil
 		}
 		if rel == nil {
-			rel = scan
-		} else {
-			rel = ex.Join(rel, scan)
+			rel, est = scan, sel.rows
+			bound = joinedSchema(bound, tp.Vars())
+			continue
 		}
-		bound = joinedSchema(bound, u.tp.Vars())
+		strat := chooseJoinStrategy(est, sel.rows, e.Cluster.Partitions())
+		if !sharesVar(bound, tp) {
+			// Disconnected BGP: the cross join is unavoidable here (the
+			// planner already deferred it past every connected pattern).
+			strat = strategyCross
+		}
+		res.Joins = append(res.Joins, JoinPlan{
+			Right: tp.String(), Strategy: strat, LeftRows: est, RightRows: sel.rows,
+		})
+		rel = ex.JoinWith(rel, scan, engineStrategy(strat))
+		if strat == strategyCross {
+			est = est * sel.rows
+		} else {
+			est = estimateJoinRows(est, sel.rows)
+		}
+		bound = joinedSchema(bound, tp.Vars())
 	}
 	if rel == nil {
 		rel = e.unitRelation(ex)

@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"s2rdf/internal/dict"
@@ -88,14 +89,26 @@ type Engine struct {
 	UnifyCorrelations bool
 	// Plans caches parsed queries by normalized text; nil disables caching.
 	Plans *PlanCache
+	// Selections caches per-BGP table selections (Algorithm 1 output) by
+	// normalized BGP, invalidated on the dataset's statistics epoch; nil
+	// disables caching.
+	Selections *SelectionCache
+
+	// algorithm1Runs counts how many times table selection actually ran
+	// (selection-cache misses); tests use it to prove hits skip it.
+	algorithm1Runs atomic.Int64
 
 	// pt caches the property-table view built on first use in ModePT.
 	ptOnce sync.Once
 	pt     *ptView
 }
 
+// Algorithm1Runs reports how many BGPs were planned by running table
+// selection, as opposed to served from the selection cache.
+func (e *Engine) Algorithm1Runs() int64 { return e.algorithm1Runs.Load() }
+
 // New returns an engine in the given mode with join-order optimization and
-// a default-sized plan cache.
+// default-sized plan and selection caches.
 func New(ds *layout.Dataset, mode Mode) *Engine {
 	return &Engine{
 		DS:           ds,
@@ -103,6 +116,7 @@ func New(ds *layout.Dataset, mode Mode) *Engine {
 		Mode:         mode,
 		JoinOrderOpt: true,
 		Plans:        NewPlanCache(DefaultPlanCacheSize),
+		Selections:   NewSelectionCache(DefaultSelectionCacheSize),
 	}
 }
 
@@ -123,6 +137,16 @@ type Result struct {
 	// variable (possible under OPTIONAL and UNION).
 	Rows [][]rdf.Term
 	Plan []PatternPlan
+	// JoinOrder lists indices into Plan in the order the planner executed
+	// the patterns (statistics-driven smallest-first when JoinOrderOpt).
+	JoinOrder []int
+	// Joins records every executed join step — the chosen physical
+	// strategy and the size estimates it was based on.
+	Joins []JoinPlan
+	// SelectionCacheHits / SelectionCacheMisses count the query's BGPs
+	// served from / computed into the selection cache (Algorithm 1 skipped
+	// on a hit). Both zero when no BGP was planned (e.g. PT mode).
+	SelectionCacheHits, SelectionCacheMisses int
 	// Metrics holds exactly the work this query performed, independent of
 	// any other queries in flight on the same engine.
 	Metrics  engine.MetricsSnapshot
@@ -360,7 +384,17 @@ func (e *Engine) evalGroup(ex *engine.Exec, g *sparql.Group, res *Result) (*engi
 		if rel == nil {
 			rel = ur
 		} else {
-			rel = ex.Join(rel, ur)
+			// Group-level joins see materialized inputs, so the strategy
+			// choice runs on exact cardinalities.
+			strat := chooseJoinStrategy(rel.NumRows(), ur.NumRows(), e.Cluster.Partitions())
+			if !overlap(rel.Schema, ur.Schema) {
+				strat = strategyCross
+			}
+			res.Joins = append(res.Joins, JoinPlan{
+				Right: "UNION", Strategy: strat,
+				LeftRows: rel.NumRows(), RightRows: ur.NumRows(),
+			})
+			rel = ex.JoinWith(rel, ur, engineStrategy(strat))
 		}
 	}
 	if rel == nil {
@@ -388,7 +422,19 @@ func (e *Engine) evalGroup(ex *engine.Exec, g *sparql.Group, res *Result) (*engi
 			return nil, err
 		}
 		pred := e.filterPred(joinedSchema(rel.Schema, right.Schema), opt.Filters)
-		rel = ex.LeftJoin(rel, right, pred)
+		// OPTIONAL never broadcast before this planner existed; now the
+		// right side is replicated whenever that moves fewer rows than
+		// shuffling both sides (only the right side of an outer join can
+		// be broadcast — unmatched left rows must survive exactly once).
+		strat := chooseLeftJoinStrategy(rel.NumRows(), right.NumRows(), e.Cluster.Partitions())
+		if !overlap(rel.Schema, right.Schema) {
+			strat = strategyCross
+		}
+		res.Joins = append(res.Joins, JoinPlan{
+			Right: "OPTIONAL", Strategy: strat,
+			LeftRows: rel.NumRows(), RightRows: right.NumRows(),
+		})
+		rel = ex.LeftJoinWith(rel, right, pred, engineStrategy(strat))
 	}
 
 	for _, f := range deferred {

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"s2rdf/internal/engine"
+	"s2rdf/internal/sparql"
+)
+
+// Cost-based BGP planning. Algorithm 1 already estimates, per triple
+// pattern, the rows of the selected table and its selectivity factor; this
+// layer spends those statistics twice more:
+//
+//   - join ORDER: greedy smallest-estimate-first, restricted to patterns
+//     connected to what is already joined so no accidental cross join is
+//     introduced (the refinement of the paper's Algorithm 4);
+//   - join STRATEGY: per join, broadcast the smaller side when replicating
+//     it to every partition moves fewer rows than shuffling both sides,
+//     instead of the engine's static SetBroadcastThreshold global;
+//
+// and memoizes the table selections themselves per normalized BGP (the
+// SelectionCache), so repeat queries skip Algorithm 1 entirely until the
+// dataset's statistics epoch moves (lazy ExtVP materialization).
+
+// JoinPlan records one executed join step for EXPLAIN-style inspection: the
+// right-hand input joined in, the physical strategy chosen, and the input
+// size estimates the choice was based on.
+type JoinPlan struct {
+	// Right describes the right input: a triple pattern, or "UNION" /
+	// "OPTIONAL" for group-level joins.
+	Right string
+	// Strategy is "shuffle", "broadcast" or "cross".
+	Strategy string
+	// LeftRows and RightRows are the estimated (BGP joins) or exact
+	// (group-level joins) input cardinalities the decision used.
+	LeftRows, RightRows int
+}
+
+// Join strategy names as reported in JoinPlan and the HTTP headers.
+const (
+	strategyShuffle   = "shuffle"
+	strategyBroadcast = "broadcast"
+	strategyCross     = "cross"
+)
+
+// chooseJoinStrategy picks the physical join from estimated side sizes. A
+// broadcast replicates the smaller side to every partition (≈ small ×
+// partitions rows moved) while a shuffle repartitions both sides (≈ left +
+// right rows moved); broadcast wins when its replication cost is lower.
+func chooseJoinStrategy(leftRows, rightRows, partitions int) string {
+	small := leftRows
+	if rightRows < small {
+		small = rightRows
+	}
+	if small*partitions < leftRows+rightRows {
+		return strategyBroadcast
+	}
+	return strategyShuffle
+}
+
+// chooseLeftJoinStrategy is chooseJoinStrategy for a left outer join, where
+// only the right side can be broadcast (left rows must stay in place so
+// unmatched ones survive exactly once).
+func chooseLeftJoinStrategy(leftRows, rightRows, partitions int) string {
+	if rightRows*partitions < leftRows+rightRows {
+		return strategyBroadcast
+	}
+	return strategyShuffle
+}
+
+// engineStrategy maps a planned strategy name onto the engine hook.
+func engineStrategy(s string) engine.JoinStrategy {
+	if s == strategyBroadcast {
+		return engine.StrategyBroadcast
+	}
+	return engine.StrategyShuffle
+}
+
+// estimateJoinRows estimates the output cardinality of joining relations of
+// the given sizes. With no per-value statistics the smaller input is the
+// best available bound: ExtVP reductions make the joined tables highly
+// selective, so joins tend to shrink toward the small side.
+func estimateJoinRows(left, right int) int {
+	if left < right {
+		return left
+	}
+	return right
+}
+
+// planJoinOrder returns the execution order of the BGP's patterns as
+// indices into bgp: greedy smallest-estimated-cardinality first, always
+// preferring a pattern connected (sharing a variable) to what is already
+// joined, so cross joins happen only when the BGP itself is disconnected.
+// Ties break toward more bound positions, then textual order. With
+// JoinOrderOpt off it is the identity (the paper's Algorithm 3).
+func (e *Engine) planJoinOrder(bgp []sparql.TriplePattern, sels []selection) []int {
+	n := len(bgp)
+	order := make([]int, 0, n)
+	if !e.JoinOrderOpt {
+		for i := 0; i < n; i++ {
+			order = append(order, i)
+		}
+		return order
+	}
+	used := make([]bool, n)
+	var bound []string
+	better := func(i, j int) bool { // prefer i over j among equal connectivity
+		if sels[i].rows != sels[j].rows {
+			return sels[i].rows < sels[j].rows
+		}
+		return bgp[i].BoundCount() > bgp[j].BoundCount()
+	}
+	for len(order) < n {
+		next, nextConn := -1, false
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			conn := len(order) == 0 || sharesVar(bound, bgp[i])
+			switch {
+			case next < 0, conn && !nextConn:
+				next, nextConn = i, conn
+			case conn == nextConn && better(i, next):
+				next = i
+			}
+		}
+		used[next] = true
+		order = append(order, next)
+		bound = joinedSchema(bound, bgp[next].Vars())
+	}
+	return order
+}
+
+// bgpKey canonicalizes a BGP for selection-cache lookup: the parsed
+// patterns' rendered forms, which are whitespace- and comment-free, joined
+// in textual order. Two differently formatted query strings with the same
+// patterns share one entry.
+func bgpKey(bgp []sparql.TriplePattern) string {
+	var b strings.Builder
+	for i, tp := range bgp {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(tp.String())
+	}
+	return b.String()
+}
+
+// selEntry is one cached BGP's table selections. sels is truncated at the
+// first statistics-empty pattern (nothing after it was selected); empty
+// records that the statistics proved the BGP unsatisfiable. epoch is the
+// dataset statistics revision the selections were computed under.
+type selEntry struct {
+	key   string
+	sels  []selection
+	empty bool
+	epoch int64
+}
+
+// SelectionCache is a concurrency-safe LRU of per-BGP table selections —
+// the output of the paper's Algorithm 1, which depends only on the BGP and
+// the dataset statistics. Entries are invalidated by comparing their
+// statistics epoch against the dataset's, so lazy ExtVP materialization
+// (the only statistics mutation) forces a re-plan that sees the new tables.
+// Cached selections reference immutable tables and bitsets, so one entry
+// may back any number of concurrent executions.
+type SelectionCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *selEntry
+	entries map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// DefaultSelectionCacheSize is the selection LRU capacity New configures.
+const DefaultSelectionCacheSize = 256
+
+// NewSelectionCache returns a cache holding at most capacity BGPs;
+// capacity <= 0 returns nil (caching disabled).
+func NewSelectionCache(capacity int) *SelectionCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &SelectionCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached selections for key when they were computed under
+// the given statistics epoch; stale entries are evicted.
+func (sc *SelectionCache) get(key string, epoch int64) (*selEntry, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	el, ok := sc.entries[key]
+	if !ok {
+		sc.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*selEntry)
+	if ent.epoch != epoch {
+		sc.order.Remove(el)
+		delete(sc.entries, key)
+		sc.misses.Add(1)
+		return nil, false
+	}
+	sc.order.MoveToFront(el)
+	sc.hits.Add(1)
+	return ent, true
+}
+
+// put inserts selections, evicting the least recently used entry at
+// capacity.
+func (sc *SelectionCache) put(ent *selEntry) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if el, ok := sc.entries[ent.key]; ok {
+		el.Value = ent
+		sc.order.MoveToFront(el)
+		return
+	}
+	sc.entries[ent.key] = sc.order.PushFront(ent)
+	if sc.order.Len() > sc.cap {
+		oldest := sc.order.Back()
+		sc.order.Remove(oldest)
+		delete(sc.entries, oldest.Value.(*selEntry).key)
+	}
+}
+
+// Len returns the number of cached BGPs.
+func (sc *SelectionCache) Len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (sc *SelectionCache) Stats() (hits, misses int64) {
+	return sc.hits.Load(), sc.misses.Load()
+}
+
+// bgpSelections returns the table selection for every pattern of the BGP,
+// serving repeats from the selection cache. cached reports a hit; on a
+// miss, Algorithm 1 runs and the result is stored under the statistics
+// epoch it observed. sels is truncated after the first statistics-empty
+// pattern, with empty set.
+func (e *Engine) bgpSelections(bgp []sparql.TriplePattern) (sels []selection, empty, cached bool) {
+	var key string
+	if e.Selections != nil {
+		key = bgpKey(bgp)
+		if ent, ok := e.Selections.get(key, e.DS.StatsEpoch()); ok {
+			return ent.sels, ent.empty, true
+		}
+	}
+	e.algorithm1Runs.Add(1)
+	sels = make([]selection, 0, len(bgp))
+	for i := range bgp {
+		sel := e.selectTable(i, bgp)
+		sels = append(sels, sel)
+		if sel.empty {
+			empty = true
+			break
+		}
+	}
+	if e.Selections != nil {
+		// The epoch is re-read after selection: lazy mode may have counted
+		// new statistics (bumping it) while this BGP was being planned, and
+		// those statistics are exactly what this entry reflects. A
+		// concurrent bump between the two reads only over-ages the entry —
+		// selections are always semantically valid (every table is a
+		// correct reduction); the epoch guard is a freshness heuristic.
+		e.Selections.put(&selEntry{key: key, sels: sels, empty: empty, epoch: e.DS.StatsEpoch()})
+	}
+	return sels, empty, false
+}

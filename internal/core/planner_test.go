@@ -1,0 +1,325 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"s2rdf/internal/engine"
+	"s2rdf/internal/layout"
+	"s2rdf/internal/rdf"
+)
+
+// starTriples builds a star-shaped workload: one very rare predicate (a
+// single triple at hub subject s0) plus two common predicates whose rows
+// mostly share the hub, so their SS reductions against "rare" are selective
+// but still far larger than the rare side.
+func starTriples() []rdf.Triple {
+	iri := rdf.NewIRI
+	rare, c1, c2 := iri("urn:rare"), iri("urn:c1"), iri("urn:c2")
+	s0 := iri("urn:s0")
+	var ts []rdf.Triple
+	ts = append(ts, rdf.Triple{S: s0, P: rare, O: iri("urn:v")})
+	for i := 0; i < 40; i++ {
+		ts = append(ts, rdf.Triple{S: s0, P: c1, O: iri("urn:o1_" + string(rune('a'+i%26)) + string(rune('a'+i/26)))})
+	}
+	for i := 0; i < 4; i++ {
+		ts = append(ts, rdf.Triple{S: iri("urn:t" + string(rune('0'+i))), P: c1, O: iri("urn:x")})
+	}
+	for i := 0; i < 30; i++ {
+		ts = append(ts, rdf.Triple{S: s0, P: c2, O: iri("urn:o2_" + string(rune('a'+i%26)) + string(rune('a'+i/26)))})
+	}
+	for i := 0; i < 2; i++ {
+		ts = append(ts, rdf.Triple{S: iri("urn:t" + string(rune('0'+i))), P: c2, O: iri("urn:y")})
+	}
+	return ts
+}
+
+const starQuery = `SELECT * WHERE {
+	?x <urn:c1> ?a . ?x <urn:rare> ?b . ?x <urn:c2> ?c
+}`
+
+// newPlannerEngine builds an ExtVP engine with a fixed partition count so
+// the broadcast-vs-shuffle cost comparison is deterministic in tests.
+func newPlannerEngine(ds *layout.Dataset, parts int) *Engine {
+	return &Engine{
+		DS:           ds,
+		Cluster:      engine.NewCluster(parts),
+		Mode:         ModeExtVP,
+		JoinOrderOpt: true,
+		Plans:        NewPlanCache(16),
+		Selections:   NewSelectionCache(16),
+	}
+}
+
+// TestPlannerStarAcceptance is the issue's acceptance scenario: for a
+// star-shaped BGP with one highly selective pattern the planner must
+// (1) join that pattern first, (2) broadcast the statistically small side
+// even though no static broadcast threshold is set (the old engine would
+// have shuffled), and (3) serve the second execution from the selection
+// cache without re-running Algorithm 1 — all visible in the explain output.
+func TestPlannerStarAcceptance(t *testing.T) {
+	ds := layout.Build(starTriples(), layout.DefaultOptions())
+	e := newPlannerEngine(ds, 4)
+
+	res, err := e.Query(starQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rare pattern is textual index 1; it must be joined first.
+	if len(res.JoinOrder) != 3 || res.JoinOrder[0] != 1 {
+		t.Errorf("JoinOrder = %v, want the rare pattern (index 1) first", res.JoinOrder)
+	}
+	if res.Plan[1].Rows != 1 {
+		t.Errorf("rare pattern estimated %d rows, want 1", res.Plan[1].Rows)
+	}
+	// Both joins keep a 1-row intermediate on the left: replicating it to
+	// 4 partitions is cheaper than shuffling both sides, so the planner
+	// must broadcast — with SetBroadcastThreshold unset (0), the old
+	// static check would have shuffled every join.
+	if len(res.Joins) != 2 {
+		t.Fatalf("Joins = %+v, want 2 steps", res.Joins)
+	}
+	for i, j := range res.Joins {
+		if j.Strategy != "broadcast" {
+			t.Errorf("join %d strategy = %q (left %d, right %d), want broadcast",
+				i, j.Strategy, j.LeftRows, j.RightRows)
+		}
+	}
+	if res.Joins[0].LeftRows != 1 {
+		t.Errorf("first join LeftRows = %d, want 1 (the rare side)", res.Joins[0].LeftRows)
+	}
+	// First execution computed the selections.
+	if res.SelectionCacheMisses != 1 || res.SelectionCacheHits != 0 {
+		t.Errorf("first run cache hits/misses = %d/%d, want 0/1",
+			res.SelectionCacheHits, res.SelectionCacheMisses)
+	}
+	if got := e.Algorithm1Runs(); got != 1 {
+		t.Fatalf("Algorithm1Runs after first execution = %d, want 1", got)
+	}
+
+	res2, err := e.Query(starQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SelectionCacheHits != 1 || res2.SelectionCacheMisses != 0 {
+		t.Errorf("second run cache hits/misses = %d/%d, want 1/0",
+			res2.SelectionCacheHits, res2.SelectionCacheMisses)
+	}
+	if got := e.Algorithm1Runs(); got != 1 {
+		t.Errorf("Algorithm1Runs after second execution = %d, want 1 (cache hit skips Algorithm 1)", got)
+	}
+	if hits, misses := e.Selections.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("selection cache stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	// The cached plan must be the same plan.
+	if !reflect.DeepEqual(res2.JoinOrder, res.JoinOrder) {
+		t.Errorf("cached JoinOrder = %v, want %v", res2.JoinOrder, res.JoinOrder)
+	}
+	if !reflect.DeepEqual(res2.Joins, res.Joins) {
+		t.Errorf("cached Joins = %+v, want %+v", res2.Joins, res.Joins)
+	}
+
+	// Ground truth: the hub subject joins 40 c1 objects × 1 rare value ×
+	// 30 c2 objects, and a TT-mode engine (no statistics) agrees.
+	if res.Len() != 1200 {
+		t.Errorf("rows = %d, want 1200", res.Len())
+	}
+	tt := New(ds, ModeTT)
+	ttRes, err := tt.Query(starQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canon(res), canon(ttRes)) {
+		t.Error("planned ExtVP result differs from TT ground truth")
+	}
+	if !reflect.DeepEqual(canon(res2), canon(ttRes)) {
+		t.Error("selection-cache-served result differs from TT ground truth")
+	}
+}
+
+// TestPlannerShufflesWhenBroadcastIsDearer checks the other arm of the
+// cost model: with similar-sized sides, replicating one to every partition
+// moves more rows than shuffling both, so the planner keeps the shuffle.
+func TestPlannerShufflesWhenBroadcastIsDearer(t *testing.T) {
+	ds := layout.Build(starTriples(), layout.DefaultOptions())
+	e := newPlannerEngine(ds, 4)
+	// c1 (est 40) ⋈ c2 (est 30): min side 30 × 4 partitions = 120 > 70.
+	res, err := e.Query(`SELECT * WHERE { ?x <urn:c1> ?a . ?x <urn:c2> ?c }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Joins) != 1 || res.Joins[0].Strategy != "shuffle" {
+		t.Errorf("Joins = %+v, want one shuffle", res.Joins)
+	}
+}
+
+// TestPlannerDefersCrossJoin: a disconnected BGP cannot avoid the cross
+// join, but it must come last and be labeled as such.
+func TestPlannerDefersCrossJoin(t *testing.T) {
+	ds := layout.Build(starTriples(), layout.DefaultOptions())
+	e := newPlannerEngine(ds, 4)
+	res, err := e.Query(`SELECT * WHERE { ?x <urn:rare> ?b . ?c <urn:c2> ?d }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Joins) != 1 || res.Joins[0].Strategy != "cross" {
+		t.Errorf("Joins = %+v, want one cross", res.Joins)
+	}
+	if res.Len() != 32 {
+		t.Errorf("rows = %d, want 32 (1 rare × 32 c2)", res.Len())
+	}
+}
+
+// TestDuplicatePatternsKeepCorrelations is the regression for the old
+// `other == tp` struct-equality skip in selectTable: a BGP holding two
+// copies of the same pattern used to skip *both* copies when scanning for
+// correlations, so the duplicated pattern lost its ExtVP reduction. Only
+// the pattern's own position may be skipped.
+func TestDuplicatePatternsKeepCorrelations(t *testing.T) {
+	iri := rdf.NewIRI
+	f := iri("urn:f")
+	ds := layout.Build([]rdf.Triple{
+		{S: iri("urn:A"), P: f, O: iri("urn:B")},
+		{S: iri("urn:B"), P: f, O: iri("urn:C")},
+		{S: iri("urn:C"), P: f, O: iri("urn:C")}, // the self-loop
+		{S: iri("urn:C"), P: f, O: iri("urn:E")},
+	}, layout.DefaultOptions())
+	e := newPlannerEngine(ds, 2)
+
+	// The two copies correlate with each other: ?x appears as subject of
+	// one and object of the other, so SO/OS f|f reductions (SF 0.75)
+	// apply. The old code saw no "other" pattern at all and fell back to
+	// the full VP table (SF 1).
+	res, err := e.Query(`SELECT * WHERE { ?x <urn:f> ?x . ?x <urn:f> ?x }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Plan {
+		if !strings.Contains(p.Table, "ExtVP") || p.SF != 0.75 || p.Rows != 3 {
+			t.Errorf("plan[%d] = %+v, want an ExtVP f|f reduction (SF 0.75, 3 rows)", i, p)
+		}
+	}
+	if res.Len() != 1 {
+		t.Fatalf("rows = %d, want 1 (only urn:C loops)", res.Len())
+	}
+	if got := res.Bindings()[0]["x"]; got != iri("urn:C") {
+		t.Errorf("x = %v, want urn:C", got)
+	}
+}
+
+// TestLazyMaterializesOnlyWinners is the regression for consider()'s old
+// materialize-before-compare ordering: in lazy mode every candidate
+// correlation used to be built just to read its statistics. Now statistics
+// are counted for every candidate but rows are built only for the
+// selections that win.
+func TestLazyMaterializesOnlyWinners(t *testing.T) {
+	ds := layout.Build(starTriples(), layout.Options{BuildExtVP: false})
+	lazy := layout.NewLazyExtVP(ds)
+	e := newPlannerEngine(ds, 4)
+	e.Lazy = lazy
+
+	res, err := e.Query(starQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidate reductions with SF < 1: SS c1|rare (40/44, winner for c1),
+	// SS c1|c2 (42/44, loser), SS c2|rare (30/32, winner for c2). The two
+	// winners are materialized; the loser is counted only.
+	if lazy.Computed != 2 {
+		t.Errorf("lazy.Computed = %d, want 2 (losing candidates must not be built)", lazy.Computed)
+	}
+	if res.Len() != 1200 {
+		t.Errorf("rows = %d, want 1200", res.Len())
+	}
+	for _, i := range []int{0, 2} {
+		if p := res.Plan[i]; !strings.Contains(p.Table, "ExtVP") {
+			t.Errorf("plan[%d] = %+v, want an ExtVP selection", i, p)
+		}
+	}
+}
+
+// TestSelectionCacheInvalidatesOnNewStats: lazy statistics gathered by a
+// later query move the dataset epoch, so earlier cached selections re-plan
+// and can pick the newly counted tables.
+func TestSelectionCacheInvalidatesOnNewStats(t *testing.T) {
+	ds := layout.Build(starTriples(), layout.Options{BuildExtVP: false})
+	e := newPlannerEngine(ds, 4)
+	e.Lazy = layout.NewLazyExtVP(ds)
+
+	if _, err := e.Query(starQuery); err != nil {
+		t.Fatal(err)
+	}
+	epoch := ds.StatsEpoch()
+	// A path query touches OS/SO correlations the star never counted, so
+	// new statistics land and the epoch moves.
+	if _, err := e.Query(`SELECT * WHERE { ?x <urn:c1> ?y . ?y <urn:c2> ?z }`); err != nil {
+		t.Fatal(err)
+	}
+	if ds.StatsEpoch() == epoch {
+		t.Fatal("path query counted no new statistics; test setup broken")
+	}
+	res, err := e.Query(starQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SelectionCacheHits != 0 || res.SelectionCacheMisses != 1 {
+		t.Errorf("stale entry served: hits/misses = %d/%d, want 0/1",
+			res.SelectionCacheHits, res.SelectionCacheMisses)
+	}
+	// The re-plan is cached again under the new epoch.
+	res2, err := e.Query(starQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SelectionCacheHits != 1 {
+		t.Errorf("re-planned entry not cached: hits = %d", res2.SelectionCacheHits)
+	}
+}
+
+// TestPlanJoinOrderIdentityWithoutOpt pins Algorithm 3: with the optimizer
+// off, patterns execute in textual order whatever the statistics say.
+func TestPlanJoinOrderIdentityWithoutOpt(t *testing.T) {
+	ds := layout.Build(starTriples(), layout.DefaultOptions())
+	e := newPlannerEngine(ds, 4)
+	e.JoinOrderOpt = false
+	res, err := e.Query(starQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.JoinOrder, []int{0, 1, 2}) {
+		t.Errorf("JoinOrder = %v, want textual order", res.JoinOrder)
+	}
+}
+
+// TestOptionalBroadcastsSmallRightSide: OPTIONAL (left join) never
+// broadcast before the planner existed; a small right side is now
+// replicated instead of shuffling both sides.
+func TestOptionalBroadcastsSmallRightSide(t *testing.T) {
+	ds := layout.Build(starTriples(), layout.DefaultOptions())
+	e := newPlannerEngine(ds, 4)
+	res, err := e.Query(`SELECT * WHERE {
+		?x <urn:c1> ?a OPTIONAL { ?x <urn:rare> ?b }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opt *JoinPlan
+	for i := range res.Joins {
+		if res.Joins[i].Right == "OPTIONAL" {
+			opt = &res.Joins[i]
+		}
+	}
+	if opt == nil {
+		t.Fatalf("no OPTIONAL join recorded: %+v", res.Joins)
+	}
+	if opt.Strategy != "broadcast" {
+		t.Errorf("OPTIONAL strategy = %q (left %d, right %d), want broadcast",
+			opt.Strategy, opt.LeftRows, opt.RightRows)
+	}
+	// Every c1 row of the hub keeps its binding; only the hub subject has
+	// the rare value bound.
+	if res.Len() != 44 {
+		t.Errorf("rows = %d, want 44", res.Len())
+	}
+}

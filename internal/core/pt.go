@@ -64,6 +64,7 @@ func (e *Engine) evalBGPPT(ex *engine.Exec, bgp []sparql.TriplePattern, res *Res
 		rel  *engine.Relation
 		vars []string
 		rows int
+		desc string
 	}
 	var units []unit
 	addPlan := func(pattern, table string, rows int) {
@@ -158,7 +159,7 @@ func (e *Engine) evalBGPPT(ex *engine.Exec, bgp []sparql.TriplePattern, res *Res
 			})
 		}
 		addPlan(desc, "PT", pt.NumRows())
-		units = append(units, unit{rel: rel, vars: vars, rows: rel.NumRows()})
+		units = append(units, unit{rel: rel, vars: vars, rows: rel.NumRows(), desc: desc})
 	}
 
 	// Compile fallback patterns over VP/TT (auxiliary tables).
@@ -174,7 +175,7 @@ func (e *Engine) evalBGPPT(ex *engine.Exec, bgp []sparql.TriplePattern, res *Res
 			res.StatsOnly = true
 			return e.emptyRelation(ex, bgp), nil
 		}
-		units = append(units, unit{rel: scan, vars: tp.Vars(), rows: scan.NumRows()})
+		units = append(units, unit{rel: scan, vars: tp.Vars(), rows: scan.NumRows(), desc: tp.String()})
 	}
 
 	if len(units) == 0 {
@@ -199,12 +200,23 @@ func (e *Engine) evalBGPPT(ex *engine.Exec, bgp []sparql.TriplePattern, res *Res
 				next = i
 			}
 		}
-		if next < 0 {
+		cross := next < 0
+		if cross {
 			next = 0
 		}
 		u := remaining[next]
 		remaining = append(remaining[:next:next], remaining[next+1:]...)
-		rel = ex.Join(rel, u.rel)
+		// PT units are already materialized, so the broadcast-vs-shuffle
+		// choice runs on exact cardinalities.
+		strat := chooseJoinStrategy(rel.NumRows(), u.rel.NumRows(), e.Cluster.Partitions())
+		if cross {
+			strat = strategyCross
+		}
+		res.Joins = append(res.Joins, JoinPlan{
+			Right: u.desc, Strategy: strat,
+			LeftRows: rel.NumRows(), RightRows: u.rel.NumRows(),
+		})
+		rel = ex.JoinWith(rel, u.rel, engineStrategy(strat))
 		bound = joinedSchema(bound, u.vars)
 	}
 	return rel, nil

@@ -82,6 +82,25 @@ func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation 
 	return out
 }
 
+// leftJoinBroadcast is the broadcast form of the left outer join: the right
+// side is gathered once, hashed once, and probed by every left partition in
+// place. Left rows never move, so the output keeps the left partitioning.
+func (x *Exec) leftJoinBroadcast(left, right *Relation, lIdx, rIdx []int, outSchema []string, pred func(Row) bool) *Relation {
+	rrows := right.Rows()
+	// Replicating the right side to every left partition is the broadcast
+	// cost, exactly as in the inner broadcast join.
+	x.addShuffled(int64(len(rrows)) * int64(len(left.Parts)))
+	ht := x.buildJoinTable(rrows, rIdx[0])
+	out := newRelation(outSchema, len(left.Parts))
+	out.keyCol = left.keyCol
+	rightOnly := len(outSchema) - len(left.Schema)
+	x.parallel(len(left.Parts), func(p int) {
+		out.Parts[p] = x.probeOuter(left.Parts[p], ht, lIdx, rIdx, rightOnly, pred)
+	})
+	x.addOutput(int64(out.NumRows()))
+	return out
+}
+
 // broadcastKeyCol maps the big side's partitioning column into the joined
 // output schema (left columns first, then right columns minus the join
 // duplicates), returning -1 when the big side has no known partitioning.

@@ -27,6 +27,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -536,23 +537,69 @@ func sharedCols(left, right []string) (lIdx, rIdx []int) {
 	return lIdx, rIdx
 }
 
+// JoinStrategy selects the physical algorithm for one join. The planner in
+// internal/core picks it per join from the statistics-estimated side sizes;
+// StrategyAuto reproduces the legacy threshold behavior for callers that do
+// not plan.
+type JoinStrategy int
+
+const (
+	// StrategyAuto lets the engine decide from the cluster's static
+	// broadcast threshold (SetBroadcastThreshold); with no threshold it
+	// always shuffles.
+	StrategyAuto JoinStrategy = iota
+	// StrategyShuffle repartitions both sides by the join key.
+	StrategyShuffle
+	// StrategyBroadcast replicates the smaller side (for LeftJoinWith:
+	// always the right side) to every partition of the other.
+	StrategyBroadcast
+)
+
+// String returns the strategy name as reported in explain output.
+func (s JoinStrategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyShuffle:
+		return "shuffle"
+	case StrategyBroadcast:
+		return "broadcast"
+	}
+	return fmt.Sprintf("JoinStrategy(%d)", int(s))
+}
+
 // Join computes the natural join of left and right on all shared columns.
 // With no shared columns it degenerates to a cross join (metered but
-// discouraged; the query planner avoids it).
+// discouraged; the query planner avoids it). The physical algorithm follows
+// StrategyAuto; planners choose per join via JoinWith.
 func (x *Exec) Join(left, right *Relation) *Relation {
+	return x.JoinWith(left, right, StrategyAuto)
+}
+
+// JoinWith is Join under an explicit physical strategy. StrategyBroadcast
+// replicates whichever side is smaller; StrategyShuffle repartitions both
+// sides; StrategyAuto falls back to the cluster's static threshold.
+func (x *Exec) JoinWith(left, right *Relation, strat JoinStrategy) *Relation {
 	c := x.c
 	lIdx, rIdx := sharedCols(left.Schema, right.Schema)
 	if len(lIdx) == 0 {
 		return x.cross(left, right)
 	}
-	if n := c.broadcastThreshold; n > 0 {
-		small := left.NumRows()
-		if r := right.NumRows(); r < small {
-			small = r
+	broadcast := false
+	switch strat {
+	case StrategyBroadcast:
+		broadcast = true
+	case StrategyAuto:
+		if n := c.broadcastThreshold; n > 0 {
+			small := left.NumRows()
+			if r := right.NumRows(); r < small {
+				small = r
+			}
+			broadcast = small <= n
 		}
-		if small <= n {
-			return x.broadcastJoin(left, right, lIdx, rIdx)
-		}
+	}
+	if broadcast {
+		return x.broadcastJoin(left, right, lIdx, rIdx)
 	}
 	// Shuffle both sides by the first join column; remaining join columns
 	// are checked during the probe.
@@ -573,6 +620,14 @@ func (x *Exec) Join(left, right *Relation) *Relation {
 // rows survive with Null in the right-only columns. An optional post-join
 // predicate (the OPTIONAL group's filter) is applied to matched rows.
 func (x *Exec) LeftJoin(left, right *Relation, pred func(Row) bool) *Relation {
+	return x.LeftJoinWith(left, right, pred, StrategyAuto)
+}
+
+// LeftJoinWith is LeftJoin under an explicit physical strategy. Only the
+// right side of an outer join can be broadcast (every left row must appear
+// exactly once, so left rows stay partitioned in place); StrategyAuto and
+// StrategyShuffle both shuffle, preserving the legacy behavior.
+func (x *Exec) LeftJoinWith(left, right *Relation, pred func(Row) bool, strat JoinStrategy) *Relation {
 	c := x.c
 	lIdx, rIdx := sharedCols(left.Schema, right.Schema)
 	outSchema := joinSchema(left.Schema, right.Schema, rIdx)
@@ -588,14 +643,17 @@ func (x *Exec) LeftJoin(left, right *Relation, pred func(Row) bool) *Relation {
 		}
 		return x.padRight(left, outSchema)
 	}
+	if strat == StrategyBroadcast {
+		return x.leftJoinBroadcast(left, right, lIdx, rIdx, outSchema, pred)
+	}
 	l := x.shuffle(left, lIdx[0])
 	r := x.shuffle(right, rIdx[0])
 	out := newRelation(outSchema, c.partitions)
 	out.keyCol = lIdx[0]
 	rightOnly := len(outSchema) - len(left.Schema)
 	x.parallel(c.partitions, func(p int) {
-		matched := x.hashJoinPartitionOuter(l.Parts[p], r.Parts[p], lIdx, rIdx, rightOnly, pred)
-		out.Parts[p] = matched
+		ht := x.buildJoinTable(r.Parts[p], rIdx[0])
+		out.Parts[p] = x.probeOuter(l.Parts[p], ht, lIdx, rIdx, rightOnly, pred)
 	})
 	x.addOutput(int64(out.NumRows()))
 	return out
@@ -683,18 +741,28 @@ func (x *Exec) hashJoinPartition(lrows, rrows []Row, lIdx, rIdx []int, semi bool
 	return out
 }
 
-// hashJoinPartitionOuter is the left-outer variant.
-func (x *Exec) hashJoinPartitionOuter(lrows, rrows []Row, lIdx, rIdx []int, rightOnly int, pred func(Row) bool) []Row {
-	ht := make(map[dict.ID][]Row, len(rrows))
-	for i, row := range rrows {
+// buildJoinTable hashes rows by their key column; it returns nil when the
+// execution is cancelled mid-build.
+func (x *Exec) buildJoinTable(rows []Row, key int) map[dict.ID][]Row {
+	ht := make(map[dict.ID][]Row, len(rows))
+	for i, row := range rows {
 		if x.stop(i) {
 			return nil
 		}
-		ht[row[rIdx[0]]] = append(ht[row[rIdx[0]]], row)
+		ht[row[key]] = append(ht[row[key]], row)
 	}
+	return ht
+}
+
+// probeOuter probes a prebuilt right-side hash table with the left rows of
+// one partition, producing left-outer output: matched rows (filtered by
+// pred when set) plus Null-padded survivors. It is safe to share one ht
+// across concurrent partition probes — the table is read-only here.
+func (x *Exec) probeOuter(lrows []Row, ht map[dict.ID][]Row, lIdx, rIdx []int, rightOnly int, pred func(Row) bool) []Row {
 	var rightDup []bool
-	if len(rrows) > 0 {
-		rightDup = dupMask(len(rrows[0]), rIdx)
+	for _, rows := range ht {
+		rightDup = dupMask(len(rows[0]), rIdx)
+		break
 	}
 	var out []Row
 	var comparisons int64

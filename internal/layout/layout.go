@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"s2rdf/internal/bitvec"
 	"s2rdf/internal/dict"
@@ -117,7 +118,20 @@ type Dataset struct {
 	Predicates []dict.ID
 	// Threshold is the SF threshold the ExtVP tables were built with.
 	Threshold float64
+
+	// statsEpoch counts statistics revisions. Eagerly built datasets never
+	// change after Build, so the epoch stays 0; lazy ("pay as you go")
+	// ExtVP bumps it whenever a new reduction's statistics land, which
+	// lets selection caches keyed on the old epoch invalidate themselves.
+	statsEpoch atomic.Int64
 }
+
+// StatsEpoch returns the current statistics revision; any cached decision
+// derived from the dataset's statistics is stale once the value changes.
+func (d *Dataset) StatsEpoch() int64 { return d.statsEpoch.Load() }
+
+// bumpStatsEpoch records that the statistics changed.
+func (d *Dataset) bumpStatsEpoch() { d.statsEpoch.Add(1) }
 
 // NumTriples returns the dataset size |G|.
 func (d *Dataset) NumTriples() int { return d.TT.NumRows() }
@@ -275,26 +289,30 @@ func (ds *Dataset) buildExtVP(opts Options) {
 	wg.Wait()
 }
 
-// reduce computes one semi-join reduction. The returned table (or bitset,
-// with Options.BitVectors) is nil when the reduction is empty, equal to VP,
-// or above the SF threshold.
-func (ds *Dataset) reduce(key ExtKey, subjects, objects map[dict.ID]idSet, opts Options) (*store.Table, *bitvec.Bitset, TableInfo) {
-	threshold := opts.Threshold
+// reduceCol resolves which VP column of key.P1 is filtered by which column
+// set of key.P2 for the key's correlation kind.
+func (ds *Dataset) reduceCol(key ExtKey, subjects, objects map[dict.ID]idSet) (filter idSet, col []dict.ID) {
 	vp := ds.VP[key.P1]
-	var filter idSet
-	var col []dict.ID
 	switch key.Kind {
 	case SS:
-		filter, col = subjects[key.P2], vp.Data[0]
+		return subjects[key.P2], vp.Data[0]
 	case OS:
-		filter, col = subjects[key.P2], vp.Data[1]
+		return subjects[key.P2], vp.Data[1]
 	case SO:
-		filter, col = objects[key.P2], vp.Data[0]
+		return objects[key.P2], vp.Data[0]
 	case OO:
-		filter, col = objects[key.P2], vp.Data[1]
+		return objects[key.P2], vp.Data[1]
 	}
-	// Count matches first: most tables are empty or full, so this avoids
-	// allocating in the common cases.
+	return nil, nil
+}
+
+// reduceStats computes one reduction's statistics — row count, SF, and
+// whether it qualifies for materialization under threshold — without
+// allocating the reduction itself. Most candidate tables are empty or full,
+// and lazy mode rejects candidates on these statistics before paying for
+// row copies, so the counting pass stands alone.
+func (ds *Dataset) reduceStats(key ExtKey, subjects, objects map[dict.ID]idSet, threshold float64) TableInfo {
+	filter, col := ds.reduceCol(key, subjects, objects)
 	matches := 0
 	for _, v := range col {
 		if _, ok := filter[v]; ok {
@@ -302,21 +320,16 @@ func (ds *Dataset) reduce(key ExtKey, subjects, objects map[dict.ID]idSet, opts 
 		}
 	}
 	total := len(col)
-	sf := float64(matches) / float64(total)
-	info := TableInfo{Rows: matches, SF: sf}
-	if matches == 0 || matches == total || sf >= threshold {
-		return nil, nil, info
-	}
-	info.Materialized = true
-	if opts.BitVectors {
-		bits := bitvec.New(total)
-		for i, v := range col {
-			if _, ok := filter[v]; ok {
-				bits.Set(i)
-			}
-		}
-		return nil, bits, info
-	}
+	info := TableInfo{Rows: matches, SF: float64(matches) / float64(total)}
+	info.Materialized = matches > 0 && matches < total && info.SF < threshold
+	return info
+}
+
+// materializeReduction builds the row copy of a reduction that reduceStats
+// found qualifying (0 < matches < total rows).
+func (ds *Dataset) materializeReduction(key ExtKey, subjects, objects map[dict.ID]idSet, matches int) *store.Table {
+	filter, col := ds.reduceCol(key, subjects, objects)
+	vp := ds.VP[key.P1]
 	t := store.NewTable(ExtVPName(ds.Dict, key), "s", "o")
 	t.Data[0] = make([]dict.ID, 0, matches)
 	t.Data[1] = make([]dict.ID, 0, matches)
@@ -326,7 +339,28 @@ func (ds *Dataset) reduce(key ExtKey, subjects, objects map[dict.ID]idSet, opts 
 			t.Data[1] = append(t.Data[1], vp.Data[1][i])
 		}
 	}
-	return t, nil, info
+	return t
+}
+
+// reduce computes one semi-join reduction. The returned table (or bitset,
+// with Options.BitVectors) is nil when the reduction is empty, equal to VP,
+// or above the SF threshold.
+func (ds *Dataset) reduce(key ExtKey, subjects, objects map[dict.ID]idSet, opts Options) (*store.Table, *bitvec.Bitset, TableInfo) {
+	info := ds.reduceStats(key, subjects, objects, opts.Threshold)
+	if !info.Materialized {
+		return nil, nil, info
+	}
+	if opts.BitVectors {
+		filter, col := ds.reduceCol(key, subjects, objects)
+		bits := bitvec.New(len(col))
+		for i, v := range col {
+			if _, ok := filter[v]; ok {
+				bits.Set(i)
+			}
+		}
+		return nil, bits, info
+	}
+	return ds.materializeReduction(key, subjects, objects, info.Rows), nil, info
 }
 
 // ExtInfo returns the statistics for an ExtVP candidate table. When the
@@ -355,12 +389,16 @@ func shrink(d *dict.Dict, p dict.ID) string {
 // SizeSummary aggregates layout sizes for the load-time experiment
 // (paper Table 2 / Table 6).
 type SizeSummary struct {
-	Triples     int // |G| = tuples in TT and in VP
-	VPTables    int
-	ExtTables   int // materialized ExtVP tables (0 < SF < threshold)
-	ExtEmpty    int // candidate tables with SF = 0
-	ExtEqualVP  int // candidate tables with SF = 1 (not stored)
-	ExtCut      int // candidate tables cut by the SF threshold
+	Triples    int // |G| = tuples in TT and in VP
+	VPTables   int
+	ExtTables  int // materialized ExtVP tables (0 < SF < threshold)
+	ExtEmpty   int // candidate tables with SF = 0
+	ExtEqualVP int // candidate tables with SF = 1 (not stored)
+	ExtCut     int // candidate tables cut by the SF threshold
+	// ExtPending counts qualifying reductions whose statistics lazy mode
+	// has counted but whose rows are not built yet (they lost every
+	// selection so far).
+	ExtPending  int
 	ExtTuples   int // total tuples across materialized ExtVP tables
 	TotalTuples int // VP + ExtVP tuples
 	// ExtBitBytes is the in-memory size of the bit-vector representation
@@ -383,9 +421,11 @@ func (ds *Dataset) Sizes() SizeSummary {
 		}
 		counted++
 		switch {
-		case info.Materialized:
+		case info.Materialized && (ds.ExtVP[key] != nil || ds.ExtBits[key] != nil):
 			s.ExtTables++
 			s.ExtTuples += info.Rows
+		case info.Materialized:
+			s.ExtPending++ // lazy: counted, not yet built
 		case info.Rows == 0:
 			s.ExtEmpty++
 		default:

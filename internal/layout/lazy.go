@@ -11,6 +11,11 @@ import (
 // reduction at load time, compute a reduction the first time a query needs
 // it and cache it for later queries. There is no initial loading overhead
 // at the cost of a warm-up slowdown until the system converges.
+//
+// Statistics and row copies are computed separately: EnsureInfo runs only
+// the counting pass, so the query planner can reject a candidate table on
+// its SF without ever paying for the rows; EnsureTable materializes the
+// reduction the planner actually selected.
 
 // LazyExtVP wraps a dataset built without ExtVP and materializes
 // reductions on demand. It is safe for concurrent use.
@@ -20,8 +25,9 @@ type LazyExtVP struct {
 	// cached column sets, computed once per predicate.
 	subjects map[dict.ID]idSet
 	objects  map[dict.ID]idSet
-	// computed marks reductions already attempted (even if empty/equal).
-	computed map[ExtKey]bool
+	// counted marks reductions whose statistics were computed (even if
+	// empty/equal-to-VP); the rows may still be unmaterialized.
+	counted map[ExtKey]bool
 	// Computed counts reductions materialized so far (monitoring).
 	Computed int
 }
@@ -34,37 +40,70 @@ func NewLazyExtVP(ds *Dataset) *LazyExtVP {
 		ds:       ds,
 		subjects: make(map[dict.ID]idSet),
 		objects:  make(map[dict.ID]idSet),
-		computed: make(map[ExtKey]bool),
+		counted:  make(map[ExtKey]bool),
 	}
 }
 
 // Dataset returns the wrapped dataset.
 func (l *LazyExtVP) Dataset() *Dataset { return l.ds }
 
-// Ensure computes (and caches) the reduction for key if it has not been
-// attempted yet. It returns the reduction's statistics.
-func (l *LazyExtVP) Ensure(key ExtKey) TableInfo {
+// EnsureInfo computes (and caches) the statistics for key if they have not
+// been counted yet, without materializing the reduction. Table selection
+// consults these first and materializes only the winning candidate.
+func (l *LazyExtVP) EnsureInfo(key ExtKey) TableInfo {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.computed[key] {
+	return l.ensureInfoLocked(key)
+}
+
+// ensureInfoLocked is EnsureInfo under l.mu.
+func (l *LazyExtVP) ensureInfoLocked(key ExtKey) TableInfo {
+	if l.counted[key] {
 		return l.ds.ExtInfo(key)
 	}
-	l.computed[key] = true
+	l.counted[key] = true
 	if l.ds.VP[key.P1] == nil || l.ds.VP[key.P2] == nil {
 		return TableInfo{}
 	}
 	l.ensureSet(l.subjects, key.P2, 0)
 	l.ensureSet(l.objects, key.P2, 1)
-	tbl, bits, info := l.ds.reduce(key, l.subjects, l.objects, Options{Threshold: l.ds.Threshold})
+	info := l.ds.reduceStats(key, l.subjects, l.objects, l.ds.Threshold)
 	if info.SF < 1 {
 		l.ds.Info[key] = info
-		if tbl != nil {
-			l.ds.ExtVP[key] = tbl
-			l.Computed++
-		}
-		_ = bits // lazy mode always materializes row copies
+		// New statistics landed: caches planning off the old epoch must
+		// re-plan to see them.
+		l.ds.bumpStatsEpoch()
 	}
 	return l.ds.ExtInfo(key)
+}
+
+// Ensure computes (and caches) the full reduction for key — statistics and,
+// when it qualifies, the materialized rows. Callers that only need the
+// statistics should use EnsureInfo.
+func (l *LazyExtVP) Ensure(key ExtKey) TableInfo {
+	_, info := l.EnsureTable(key)
+	return info
+}
+
+// EnsureTable is EnsureInfo plus the materialized rows (nil when the
+// reduction is empty, equal to VP, or cut by the threshold). The rows are
+// built at most once and registered in the dataset for later queries.
+func (l *LazyExtVP) EnsureTable(key ExtKey) (*store.Table, TableInfo) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	info := l.ensureInfoLocked(key)
+	if !info.Materialized {
+		return nil, info
+	}
+	if tbl, ok := l.ds.ExtVP[key]; ok {
+		return tbl, info
+	}
+	l.ensureSet(l.subjects, key.P2, 0)
+	l.ensureSet(l.objects, key.P2, 1)
+	tbl := l.ds.materializeReduction(key, l.subjects, l.objects, info.Rows)
+	l.ds.ExtVP[key] = tbl
+	l.Computed++
+	return tbl, info
 }
 
 // ensureSet lazily fills the column-set cache for one predicate
@@ -73,13 +112,4 @@ func (l *LazyExtVP) ensureSet(cache map[dict.ID]idSet, p dict.ID, col int) {
 	if _, ok := cache[p]; !ok {
 		cache[p] = columnSet(l.ds.VP[p].Data[col])
 	}
-}
-
-// EnsureTable is Ensure plus the materialized table (nil when the
-// reduction is empty, equal to VP, or cut by the threshold).
-func (l *LazyExtVP) EnsureTable(key ExtKey) (*store.Table, TableInfo) {
-	info := l.Ensure(key)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.ds.ExtVP[key], info
 }

@@ -76,3 +76,99 @@ func TestLazyConcurrentEnsure(t *testing.T) {
 		t.Errorf("Computed = %d, want 5", lazy.Computed)
 	}
 }
+
+// TestLazyEnsureInfoDoesNotMaterialize pins the stats-first contract: the
+// counting pass alone must not build row copies (the planner consults SFs
+// for every candidate correlation and pays for the winner only).
+func TestLazyEnsureInfoDoesNotMaterialize(t *testing.T) {
+	ds := Build(g1(), Options{BuildExtVP: false})
+	lazy := NewLazyExtVP(ds)
+	f, l := pid(ds, "follows"), pid(ds, "likes")
+	key := ExtKey{OS, f, l}
+
+	info := lazy.EnsureInfo(key)
+	if info.Rows != 1 || info.SF != 0.25 || !info.Materialized {
+		t.Errorf("info = %+v", info)
+	}
+	if lazy.Computed != 0 || len(ds.ExtVP) != 0 {
+		t.Errorf("EnsureInfo built rows: Computed=%d, tables=%d", lazy.Computed, len(ds.ExtVP))
+	}
+	// The winner is materialized on demand, exactly once.
+	tbl, _ := lazy.EnsureTable(key)
+	if tbl == nil || tbl.NumRows() != 1 || lazy.Computed != 1 {
+		t.Errorf("EnsureTable: tbl=%v Computed=%d", tbl, lazy.Computed)
+	}
+	again, _ := lazy.EnsureTable(key)
+	if again != tbl || lazy.Computed != 1 {
+		t.Errorf("EnsureTable rebuilt: Computed=%d", lazy.Computed)
+	}
+}
+
+// TestLazyStatsEpoch checks that new statistics bump the dataset epoch so
+// selection caches invalidate, while repeat lookups leave it unchanged.
+func TestLazyStatsEpoch(t *testing.T) {
+	ds := Build(g1(), Options{BuildExtVP: false})
+	lazy := NewLazyExtVP(ds)
+	f, l := pid(ds, "follows"), pid(ds, "likes")
+	if ds.StatsEpoch() != 0 {
+		t.Fatalf("fresh dataset epoch = %d", ds.StatsEpoch())
+	}
+	lazy.EnsureInfo(ExtKey{OS, f, l})
+	e1 := ds.StatsEpoch()
+	if e1 == 0 {
+		t.Fatal("new statistics did not bump the epoch")
+	}
+	// Repeat lookups and materialization add no statistics.
+	lazy.EnsureInfo(ExtKey{OS, f, l})
+	lazy.EnsureTable(ExtKey{OS, f, l})
+	if ds.StatsEpoch() != e1 {
+		t.Errorf("epoch moved on repeats: %d -> %d", e1, ds.StatsEpoch())
+	}
+	// An SF-1 reduction (SS likes|follows: every likes subject also
+	// follows) records no Info entry and must not bump either.
+	if info := lazy.EnsureInfo(ExtKey{SS, l, f}); info.SF != 1 {
+		t.Fatalf("SS likes|follows SF = %v, want 1", info.SF)
+	}
+	if ds.StatsEpoch() != e1 {
+		t.Errorf("SF-1 lookup bumped the epoch: %d -> %d", e1, ds.StatsEpoch())
+	}
+}
+
+// TestLazyCountedOnlySaveLoad is the regression for saving a lazy store
+// after a counting-only pass: EnsureInfo records qualifying statistics
+// without building rows, and Save used to dereference the missing table.
+// Such entries persist as unmaterialized candidates and a reopened lazy
+// store rebuilds them on demand.
+func TestLazyCountedOnlySaveLoad(t *testing.T) {
+	ds := Build(g1(), Options{BuildExtVP: false})
+	lazy := NewLazyExtVP(ds)
+	f, l := pid(ds, "follows"), pid(ds, "likes")
+	key := ExtKey{OS, f, l}
+	if info := lazy.EnsureInfo(key); !info.Materialized {
+		t.Fatalf("info = %+v, want a qualifying candidate", info)
+	}
+
+	sizes := ds.Sizes()
+	if sizes.ExtPending != 1 || sizes.ExtTables != 0 || sizes.ExtTuples != 0 {
+		t.Errorf("Sizes = %+v, want 1 pending and no materialized tables", sizes)
+	}
+
+	dir := t.TempDir()
+	if err := Save(ds, dir); err != nil {
+		t.Fatalf("Save after counting-only pass: %v", err)
+	}
+	re, err := Load(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := re.ExtInfo(ExtKey{OS, pid(re, "follows"), pid(re, "likes")})
+	if info.Materialized || info.Rows != 1 || info.SF != 0.25 {
+		t.Errorf("reloaded info = %+v, want unmaterialized with preserved stats", info)
+	}
+	// A lazy wrapper over the reloaded store rebuilds the table on demand.
+	relazy := NewLazyExtVP(re)
+	tbl, info := relazy.EnsureTable(ExtKey{OS, pid(re, "follows"), pid(re, "likes")})
+	if tbl == nil || !info.Materialized || tbl.NumRows() != 1 {
+		t.Errorf("reopened lazy EnsureTable = %v, %+v", tbl, info)
+	}
+}

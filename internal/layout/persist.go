@@ -94,8 +94,16 @@ func Save(ds *Dataset, dir string) error {
 				return err
 			}
 		} else if info.Materialized {
-			if _, err := d.SaveTable(ds.ExtVP[key], info.SF); err != nil {
-				return err
+			if tbl := ds.ExtVP[key]; tbl != nil {
+				if _, err := d.SaveTable(tbl, info.SF); err != nil {
+					return err
+				}
+			} else {
+				// Lazy mode counts a qualifying reduction's statistics
+				// without building its rows unless it wins a selection;
+				// persist such entries as unmaterialized candidates (a
+				// lazy reopen recounts and rebuilds them on demand).
+				entry.Materialized = false
 			}
 		}
 		meta.Ext = append(meta.Ext, entry)

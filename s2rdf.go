@@ -54,6 +54,19 @@
 // query strings — the common case behind an endpoint — skip the parser;
 // Result.PlanCached reports whether a given execution hit that cache.
 //
+// # Query planning
+//
+// Queries are planned from the ExtVP statistics: table selection (the
+// paper's Algorithm 1) picks the most selective reduction per pattern, the
+// planner joins patterns greedy smallest-estimate-first without
+// introducing cross joins, and each join broadcasts the estimated smaller
+// side when replicating it to every partition moves fewer rows than
+// shuffling both sides. Table selections are themselves memoized per BGP
+// in a selection cache invalidated on the dataset's statistics epoch, so a
+// repeated query skips Algorithm 1 too. The decisions are reported in
+// Result.JoinOrder, Result.Joins and Result.SelectionCacheHits/Misses (and
+// the corresponding X-S2RDF-* headers over HTTP).
+//
 // # Cancellation
 //
 // QueryContext and QueryModeContext bind a context.Context to the run.

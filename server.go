@@ -339,6 +339,27 @@ func writeResult(w http.ResponseWriter, mode Mode, res *Result) {
 	} else {
 		h.Set("X-S2RDF-Plan-Cache", "miss")
 	}
+	if n := res.SelectionCacheHits + res.SelectionCacheMisses; n > 0 {
+		if res.SelectionCacheMisses == 0 {
+			h.Set("X-S2RDF-Selection-Cache", "hit")
+		} else {
+			h.Set("X-S2RDF-Selection-Cache", "miss")
+		}
+	}
+	if len(res.JoinOrder) > 0 {
+		order := make([]string, len(res.JoinOrder))
+		for i, idx := range res.JoinOrder {
+			order[i] = strconv.Itoa(idx)
+		}
+		h.Set("X-S2RDF-Join-Order", strings.Join(order, ","))
+	}
+	if len(res.Joins) > 0 {
+		strategies := make([]string, len(res.Joins))
+		for i, j := range res.Joins {
+			strategies[i] = j.Strategy
+		}
+		h.Set("X-S2RDF-Join-Strategies", strings.Join(strategies, ","))
+	}
 	if res.StatsOnly {
 		h.Set("X-S2RDF-Stats-Only", "true")
 	}

@@ -273,3 +273,52 @@ func TestServeHealthz(t *testing.T) {
 		t.Fatalf("healthz = %+v", h)
 	}
 }
+
+// TestServePlanningHeaders checks the planner's explain surface over HTTP:
+// join order, per-join strategies and selection-cache status travel as
+// response headers, and a repeated query reports both caches hitting.
+func TestServePlanningHeaders(t *testing.T) {
+	_, srv := serverFixture(t)
+	q := `SELECT * WHERE { ?x <urn:likes> ?w . ?x <urn:follows> ?y }`
+	get := func() *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		return resp
+	}
+
+	first := get()
+	if got := first.Header.Get("X-S2RDF-Selection-Cache"); got != "miss" {
+		t.Errorf("first selection-cache header = %q, want miss", got)
+	}
+	order := first.Header.Get("X-S2RDF-Join-Order")
+	if len(strings.Split(order, ",")) != 2 {
+		t.Errorf("join-order header = %q, want two pattern indices", order)
+	}
+	strategies := first.Header.Get("X-S2RDF-Join-Strategies")
+	if strategies == "" {
+		t.Error("missing X-S2RDF-Join-Strategies header")
+	}
+	for _, s := range strings.Split(strategies, ",") {
+		if s != "shuffle" && s != "broadcast" && s != "cross" {
+			t.Errorf("unknown strategy %q in header %q", s, strategies)
+		}
+	}
+
+	second := get()
+	if got := second.Header.Get("X-S2RDF-Selection-Cache"); got != "hit" {
+		t.Errorf("second selection-cache header = %q, want hit", got)
+	}
+	if got := second.Header.Get("X-S2RDF-Plan-Cache"); got != "hit" {
+		t.Errorf("second plan-cache header = %q, want hit", got)
+	}
+	if got := second.Header.Get("X-S2RDF-Join-Order"); got != order {
+		t.Errorf("cached join order %q differs from first %q", got, order)
+	}
+}
