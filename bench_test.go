@@ -184,6 +184,7 @@ func BenchmarkBasicSempala(b *testing.B) {
 func BenchmarkBasicVirtuoso(b *testing.B) {
 	f := benchFixture(b)
 	queries := basicQueries(b, "all")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, src := range queries {
@@ -197,6 +198,7 @@ func BenchmarkBasicVirtuoso(b *testing.B) {
 func BenchmarkBasicH2RDF(b *testing.B) {
 	f := benchFixture(b)
 	queries := basicQueries(b, "all")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, src := range queries {
@@ -211,6 +213,7 @@ func BenchmarkBasicSHARD(b *testing.B) {
 	f := benchFixture(b)
 	// One representative per shape keeps the disk-heavy engine tractable.
 	queries := []string{f.basicQ["L"][0], f.basicQ["S"][0], f.basicQ["F"][0], f.basicQ["C"][0]}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, src := range queries {
@@ -224,6 +227,7 @@ func BenchmarkBasicSHARD(b *testing.B) {
 func BenchmarkBasicPigSPARQL(b *testing.B) {
 	f := benchFixture(b)
 	queries := []string{f.basicQ["L"][0], f.basicQ["S"][0], f.basicQ["F"][0], f.basicQ["C"][0]}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, src := range queries {
@@ -233,6 +237,44 @@ func BenchmarkBasicPigSPARQL(b *testing.B) {
 		}
 	}
 }
+
+// --- Engine hot-path additions: OPTIONAL and DISTINCT over WatDiv ---
+//
+// The paper's workload is BGP-only; these queries exercise the left-outer
+// join (probeOuter) and Distinct paths of the engine on the same data, so
+// allocation work on those operators shows up in -benchmem numbers.
+
+func optionalQueries() []string {
+	return []string{`
+		SELECT ?v0 ?v1 ?v2 WHERE {
+			?v0 wsdbm:likes ?v1 .
+			OPTIONAL { ?v1 sorg:caption ?v2 . }
+		}`, `
+		SELECT ?v0 ?v1 ?v2 ?v3 WHERE {
+			?v0 wsdbm:likes ?v1 .
+			?v0 sorg:jobTitle ?v2 .
+			OPTIONAL { ?v0 sorg:nationality ?v3 . }
+		}`,
+	}
+}
+
+func distinctQueries() []string {
+	return []string{`
+		SELECT DISTINCT ?v1 WHERE {
+			?v0 wsdbm:likes ?v1 .
+			?v0 wsdbm:subscribes ?v2 .
+		}`, `
+		SELECT DISTINCT ?v1 ?v2 WHERE {
+			?v0 sorg:nationality ?v1 .
+			?v0 wsdbm:gender ?v2 .
+		}`,
+	}
+}
+
+func BenchmarkOptionalExtVP(b *testing.B) { benchQueries(b, ModeExtVP, optionalQueries()) }
+func BenchmarkOptionalVP(b *testing.B)    { benchQueries(b, ModeVP, optionalQueries()) }
+func BenchmarkDistinctExtVP(b *testing.B) { benchQueries(b, ModeExtVP, distinctQueries()) }
+func BenchmarkDistinctVP(b *testing.B)    { benchQueries(b, ModeVP, distinctQueries()) }
 
 // --- Fig. 15 / Table 5: Incremental Linear Testing ---
 
@@ -272,6 +314,7 @@ func BenchmarkILVirtuosoBound(b *testing.B) {
 			queries = append(queries, f.ilQ[typ+"-"+itoa(size)])
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, src := range queries {
@@ -291,6 +334,7 @@ func BenchmarkThreshold(b *testing.B) {
 		b.Run(fmtTH(th), func(b *testing.B) {
 			ds := layout.Build(f.data.Triples, layout.Options{BuildExtVP: true, Threshold: th})
 			st := newStore(ds, Options{Threshold: th})
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, src := range queries {
@@ -322,6 +366,7 @@ func BenchmarkJoinOrderOptimized(b *testing.B) {
 	f := benchFixture(b)
 	queries := basicQueries(b, "all")
 	e := f.store.Engine(ModeExtVP)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, src := range queries {
@@ -338,6 +383,7 @@ func BenchmarkJoinOrderNaive(b *testing.B) {
 	e := f.store.Engine(ModeExtVP)
 	e.JoinOrderOpt = false
 	defer func() { e.JoinOrderOpt = true }()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, src := range queries {

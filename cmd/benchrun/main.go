@@ -15,7 +15,10 @@
 //
 // With -json PATH the raw measurements of every experiment that ran are
 // additionally written as one JSON document, so CI can archive them and a
-// benchmark trajectory accumulates across commits.
+// benchmark trajectory accumulates across commits. Workload cells include
+// AllocBytesPerOp/AllocsPerOp (mean heap bytes and allocations per query,
+// the -json analogue of go test's B/op and allocs/op), so allocation
+// regressions show up in the BENCH_*.json artifact alongside wall time.
 package main
 
 import (

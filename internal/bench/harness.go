@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -228,6 +229,25 @@ type Cell struct {
 	Rows     int
 	Reported time.Duration // timedOut when killed
 	Failed   bool
+	// AllocBytes and Allocs are the mean heap bytes and allocation count
+	// per query execution (runtime.MemStats deltas), the -json analogue of
+	// go test's B/op and allocs/op: CI archives them so allocation
+	// regressions surface in the benchmark artifact alongside wall time.
+	AllocBytes uint64 `json:"AllocBytesPerOp"`
+	Allocs     uint64 `json:"AllocsPerOp"`
+}
+
+// allocDelta runs fn and returns the process-wide heap allocation deltas
+// (TotalAlloc bytes, Mallocs count) around it. The counters are monotonic,
+// so no GC pacing is needed; concurrent allocation (e.g. an abandoned
+// timed-out query) can inflate a reading, which is acceptable for a
+// benchmark report.
+func allocDelta(fn func()) (bytes, allocs uint64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc, after.Mallocs - before.Mallocs
 }
 
 // RunWorkload measures every engine on every instantiated template and
@@ -249,21 +269,32 @@ func (wb *Workbench) RunWorkload(templates []watdiv.Template) []Cell {
 		}
 		for _, eng := range wb.Engines {
 			var total time.Duration
+			var bytes, allocs uint64
 			rows, failed := 0, false
 			for _, src := range queries {
-				r, _, reported, err := runWithTimeout(wb.Cfg.Timeout,
-					func() (int, time.Duration, time.Duration, error) { return eng.Run(src) })
+				var r int
+				var reported time.Duration
+				var err error
+				db, da := allocDelta(func() {
+					r, _, reported, err = runWithTimeout(wb.Cfg.Timeout,
+						func() (int, time.Duration, time.Duration, error) { return eng.Run(src) })
+				})
 				if err != nil || reported == timedOut {
 					failed = true
 					break
 				}
 				total += reported
 				rows += r
+				bytes += db
+				allocs += da
 			}
 			cell := Cell{Query: tpl.Name, Shape: tpl.Shape, Engine: eng.Name, Failed: failed}
 			if !failed {
+				n := uint64(len(queries))
 				cell.Reported = total / time.Duration(len(queries))
 				cell.Rows = rows / len(queries)
+				cell.AllocBytes = bytes / n
+				cell.Allocs = allocs / n
 			}
 			cells = append(cells, cell)
 		}

@@ -30,36 +30,47 @@ func (e *Engine) aggregate(ex *engine.Exec, rel *engine.Relation, q *sparql.Quer
 	}
 	groups := make(map[string]*groupState)
 	var order []string // deterministic output order (first appearance)
-	for ri, row := range rel.Rows() {
+	kb := make([]byte, 0, len(groupIdx)*4)
+	rel.EachRow(func(ri int, row engine.Row) bool {
 		// Coordinator-side loop: poll the execution context per row batch.
 		// The truncated output is discarded by ExecContext's error check.
 		if ex.StopAt(ri) {
-			break
+			return false
 		}
-		kb := make([]byte, 0, len(groupIdx)*4)
-		key := make(engine.Row, len(groupIdx))
-		for i, gi := range groupIdx {
+		kb = kb[:0]
+		for _, gi := range groupIdx {
 			v := dict.ID(engine.Null)
 			if gi >= 0 {
 				v = row[gi]
 			}
-			key[i] = v
 			kb = append(kb, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 		}
-		ks := string(kb)
-		g, ok := groups[ks]
+		// groups[string(kb)] is the compiler-recognized zero-copy lookup;
+		// the key string and row are only materialized on a group's first
+		// appearance, so the per-row hot path allocates nothing.
+		g, ok := groups[string(kb)]
 		if !ok {
+			key := make(engine.Row, len(groupIdx))
+			for i, gi := range groupIdx {
+				if gi >= 0 {
+					key[i] = row[gi]
+				} else {
+					key[i] = dict.ID(engine.Null)
+				}
+			}
 			g = &groupState{key: key, accs: make([]*accumulator, len(q.Aggregates))}
 			for i, a := range q.Aggregates {
 				g.accs[i] = newAccumulator(a, e.DS.Dict)
 			}
+			ks := string(kb)
 			groups[ks] = g
 			order = append(order, ks)
 		}
 		for i, acc := range g.accs {
 			acc.add(row, aggIdx[i])
 		}
-	}
+		return true
+	})
 	// A query with aggregates but no GROUP BY always yields one group,
 	// even over an empty input (e.g. COUNT(*) = 0).
 	if len(groups) == 0 && len(q.GroupBy) == 0 {

@@ -284,11 +284,10 @@ func (e *Engine) decode(ex *engine.Exec, rel *engine.Relation) ([][]rdf.Term, er
 	if err := ex.Err(); err != nil {
 		return nil, err
 	}
-	rows := rel.Rows()
-	out := make([][]rdf.Term, len(rows))
-	for i, row := range rows {
+	out := make([][]rdf.Term, rel.NumRows())
+	rel.EachRow(func(i int, row engine.Row) bool {
 		if ex.StopAt(i) {
-			return nil, ex.Err()
+			return false
 		}
 		terms := make([]rdf.Term, len(row))
 		for j, id := range row {
@@ -297,7 +296,8 @@ func (e *Engine) decode(ex *engine.Exec, rel *engine.Relation) ([][]rdf.Term, er
 			}
 		}
 		out[i] = terms
-	}
+		return true
+	})
 	return out, ex.Err()
 }
 

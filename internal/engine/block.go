@@ -1,0 +1,244 @@
+package engine
+
+import "s2rdf/internal/dict"
+
+// Block is one partition of a relation stored as a flat, fixed-width row
+// buffer: arity dictionary IDs per row, rows back to back in a single
+// []dict.ID. Compared to the previous []Row (slice-of-slices) layout it
+// allocates O(log n) times per partition instead of once per row and keeps
+// rows contiguous in memory, so operator loops stream through cache lines
+// instead of chasing row pointers.
+//
+// Invariants:
+//   - every row has exactly Arity() IDs (the relation's column count);
+//   - Row(i) returns a view into the buffer that stays valid only until the
+//     next Append* call (appends may grow and therefore move the buffer).
+//
+// Operators only ever append to the block they are producing and only read
+// the blocks of their inputs, so views handed out by a completed operator
+// are stable. A nil *Block behaves as an empty block for Len.
+type Block struct {
+	ids   []dict.ID
+	arity int
+	n     int
+}
+
+// NewBlock returns an empty block for rows of the given arity, with
+// capacity preallocated for capRows rows.
+func NewBlock(arity, capRows int) *Block {
+	if capRows < 0 {
+		capRows = 0
+	}
+	return &Block{ids: make([]dict.ID, 0, arity*capRows), arity: arity}
+}
+
+// Len returns the number of rows. A nil block is empty.
+func (b *Block) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// Arity returns the number of IDs per row.
+func (b *Block) Arity() int { return b.arity }
+
+// Row returns a view of row i. The view's capacity is clipped to the row,
+// so appending to it cannot overwrite a neighbour; it is valid until the
+// block grows.
+func (b *Block) Row(i int) Row {
+	o := i * b.arity
+	return b.ids[o : o+b.arity : o+b.arity]
+}
+
+// grow extends the buffer by k IDs (doubling the capacity as needed) and
+// returns the offset of the new region.
+func (b *Block) grow(k int) int {
+	o := len(b.ids)
+	if o+k > cap(b.ids) {
+		nc := 2 * cap(b.ids)
+		if nc < o+k {
+			nc = o + k
+		}
+		if min := 8 * b.arity; nc < min {
+			nc = min
+		}
+		ids := make([]dict.ID, o, nc)
+		copy(ids, b.ids)
+		b.ids = ids
+	}
+	b.ids = b.ids[:o+k]
+	return o
+}
+
+// appendSlot extends the block by one row and returns the writable,
+// capacity-clipped slot; the caller fills every ID. All Append* variants
+// (and producers that write columns directly, like Scan) go through it, so
+// the row-count/buffer-length invariant lives in one place.
+func (b *Block) appendSlot() Row {
+	o := b.grow(b.arity)
+	b.n++
+	return b.ids[o : o+b.arity : o+b.arity]
+}
+
+// Append copies one row (len == arity) into the block.
+func (b *Block) Append(row Row) {
+	copy(b.appendSlot(), row)
+}
+
+// AppendConcat writes one joined output row in place: l followed by the
+// entries of r whose positions are not masked by rightDup (the join columns
+// already present in l). A nil mask keeps all of r.
+func (b *Block) AppendConcat(l, r Row, rightDup []bool) {
+	concatInto(b.appendSlot(), l, r, rightDup)
+}
+
+// AppendPadded writes l extended with Nulls up to the block's arity (the
+// unmatched-left rows of an outer join).
+func (b *Block) AppendPadded(l Row) {
+	dst := b.appendSlot()
+	k := copy(dst, l)
+	for ; k < len(dst); k++ {
+		dst[k] = Null
+	}
+}
+
+// concatInto assembles a joined row into dst (sized to the join's output
+// arity): l followed by the r entries not masked by rightDup. A nil mask
+// keeps all of r. The outer-join probe also uses it directly to build its
+// predicate scratch row.
+func concatInto(dst, l, r Row, rightDup []bool) {
+	o := copy(dst, l)
+	if rightDup == nil {
+		copy(dst[o:], r)
+		return
+	}
+	for i, v := range r {
+		if !rightDup[i] {
+			dst[o] = v
+			o++
+		}
+	}
+}
+
+// AppendBlock bulk-copies every row of src (same arity) into b: one copy
+// of the flat buffer instead of a per-row loop.
+func (b *Block) AppendBlock(src *Block) {
+	if src.Len() == 0 {
+		return
+	}
+	o := b.grow(src.n * src.arity)
+	copy(b.ids[o:], src.ids[:src.n*src.arity])
+	b.n += src.n
+}
+
+// blockOfRows copies a []Row slice into a fresh block.
+func blockOfRows(arity int, rows []Row) *Block {
+	b := NewBlock(arity, len(rows))
+	for _, r := range rows {
+		b.Append(r)
+	}
+	return b
+}
+
+// indexTable is an open-addressing hash index over one block: Fibonacci-
+// hashed uint64 keys (widened join-column dict.IDs, or 64-bit row hashes
+// for DISTINCT) map to chains of row *indices* into the block (head per
+// slot, next per row). Unlike the previous map[dict.ID][]Row it performs
+// no per-key slice allocation — three flat arrays serve any number of key
+// groups — and candidate iteration walks int32 indices instead of row
+// headers. A slot is occupied iff its head is >= 0, so dict.NoID (Null) is
+// an ordinary key.
+//
+// Row indices are int32: a single partition holding more than 2^31 rows is
+// beyond this engine's in-memory scale.
+type indexTable struct {
+	keys  []uint64
+	head  []int32
+	next  []int32
+	shift uint
+}
+
+// fibonacci is the 64-bit golden-ratio multiplier used to spread dense
+// dictionary IDs across the table's power-of-two slots.
+const fibonacci = 0x9E3779B97F4A7C15
+
+// newIndexTable sizes a table for n rows at load factor <= 0.5.
+func newIndexTable(n int) *indexTable {
+	bits := uint(1)
+	for 1<<bits < 2*n {
+		bits++
+	}
+	t := &indexTable{
+		keys:  make([]uint64, 1<<bits),
+		head:  make([]int32, 1<<bits),
+		next:  make([]int32, n),
+		shift: 64 - bits,
+	}
+	for i := range t.head {
+		t.head[i] = -1
+	}
+	return t
+}
+
+// slot returns the slot holding key k, or the first empty slot of its probe
+// sequence.
+func (t *indexTable) slot(k uint64) int {
+	s := int(k * fibonacci >> t.shift)
+	for t.head[s] >= 0 && t.keys[s] != k {
+		s++
+		if s == len(t.head) {
+			s = 0
+		}
+	}
+	return s
+}
+
+// insert prepends row to key k's chain.
+func (t *indexTable) insert(k uint64, row int32) {
+	s := t.slot(k)
+	t.keys[s] = k
+	t.next[row] = t.head[s]
+	t.head[s] = row
+}
+
+// first returns the first row index of key k's chain, or -1. Iterate with
+// t.next[i]. Lookups are read-only, so one table may be probed by any
+// number of goroutines concurrently.
+func (t *indexTable) first(k dict.ID) int32 {
+	return t.head[t.slot(uint64(k))]
+}
+
+// buildJoinTable indexes block rows by their key column. Rows are inserted
+// in reverse so each chain iterates in build order (matching the emission
+// order of the map-based implementation it replaces). Returns nil when the
+// execution is cancelled mid-build.
+func (x *Exec) buildJoinTable(b *Block, key int) *indexTable {
+	n := b.Len()
+	t := newIndexTable(n)
+	for i := n - 1; i >= 0; i-- {
+		if x.stop(n - 1 - i) {
+			return nil
+		}
+		t.insert(uint64(b.Row(i)[key]), int32(i))
+	}
+	return t
+}
+
+// seen is the DISTINCT use of the table: it reports whether row (hashing
+// to h, at index i of blk) duplicates a previously admitted row — chains
+// hold the admitted rows with that hash, collision-checked against the
+// block — admitting it otherwise.
+func (t *indexTable) seen(blk *Block, i int, h uint64) bool {
+	s := t.slot(h)
+	row := blk.Row(i)
+	for j := t.head[s]; j >= 0; j = t.next[j] {
+		if rowsEqualIDs(blk.Row(int(j)), row) {
+			return true
+		}
+	}
+	t.keys[s] = h
+	t.next[i] = t.head[s]
+	t.head[s] = int32(i)
+	return false
+}

@@ -1,7 +1,5 @@
 package engine
 
-import "s2rdf/internal/dict"
-
 // Broadcast joins. The paper's evaluation runs Spark with broadcast joins
 // disabled (Sec. 7 setup); this engine supports them behind a threshold so
 // the choice can be reproduced and ablated. When one join side is smaller
@@ -13,7 +11,9 @@ import "s2rdf/internal/dict"
 func (c *Cluster) SetBroadcastThreshold(n int) { c.broadcastThreshold = n }
 
 // broadcastJoin joins left and right by replicating the smaller side to
-// every partition of the bigger one.
+// every partition of the bigger one. The small side is gathered into one
+// block and indexed once; every big-side partition probes the shared
+// read-only join table in place.
 func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation {
 	leftSmall := left.NumRows() <= right.NumRows()
 	small, big := left, right
@@ -22,25 +22,22 @@ func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation 
 		small, big = right, left
 		sIdx, bIdx = rIdx, lIdx
 	}
-	srows := small.Rows()
+	sblk := small.gather()
 	// Replicating the small side to every partition is the broadcast cost.
-	x.addShuffled(int64(len(srows)) * int64(len(big.Parts)))
+	x.addShuffled(int64(sblk.Len()) * int64(len(big.Parts)))
 
 	outSchema := joinSchema(left.Schema, right.Schema, rIdx)
 	out := newRelation(outSchema, len(big.Parts))
 	// Output partitioning follows the big side, whose rows stay in place;
 	// translate its key column into output-schema coordinates.
 	out.keyCol = broadcastKeyCol(big, small, bIdx, sIdx, leftSmall)
-	if len(srows) == 0 {
+	if sblk.Len() == 0 {
 		return out
 	}
 
-	ht := make(map[dict.ID][]Row, len(srows))
-	for i, row := range srows {
-		if x.stop(i) {
-			return out
-		}
-		ht[row[sIdx[0]]] = append(ht[row[sIdx[0]]], row)
+	ht := x.buildJoinTable(sblk, sIdx[0])
+	if ht == nil {
+		return out // cancelled mid-build
 	}
 	// The output drops the right side's join columns: when the small side
 	// is left, the mask covers the big (right) rows, otherwise the
@@ -53,25 +50,27 @@ func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation 
 		rightDup = dupMask(len(small.Schema), sIdx)
 	}
 	x.parallel(len(big.Parts), func(p int) {
-		var rows []Row
+		src := big.Parts[p]
+		rows := NewBlock(len(outSchema), 0)
 		var comparisons int64
-		for i, brow := range big.Parts[p] {
+		for i, n := 0, src.Len(); i < n; i++ {
 			if x.stop(i) {
 				break
 			}
-			cands := ht[brow[bIdx[0]]]
-			comparisons += int64(len(cands))
+			brow := src.Row(i)
 		cand:
-			for _, srow := range cands {
+			for si := ht.first(brow[bIdx[0]]); si >= 0; si = ht.next[si] {
+				comparisons++
+				srow := sblk.Row(int(si))
 				for k := 1; k < len(bIdx); k++ {
 					if brow[bIdx[k]] != srow[sIdx[k]] {
 						continue cand
 					}
 				}
 				if leftSmall {
-					rows = append(rows, concatRows(srow, brow, rightDup))
+					rows.AppendConcat(srow, brow, rightDup)
 				} else {
-					rows = append(rows, concatRows(brow, srow, rightDup))
+					rows.AppendConcat(brow, srow, rightDup)
 				}
 			}
 		}
@@ -86,16 +85,15 @@ func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation 
 // side is gathered once, hashed once, and probed by every left partition in
 // place. Left rows never move, so the output keeps the left partitioning.
 func (x *Exec) leftJoinBroadcast(left, right *Relation, lIdx, rIdx []int, outSchema []string, pred func(Row) bool) *Relation {
-	rrows := right.Rows()
+	rblk := right.gather()
 	// Replicating the right side to every left partition is the broadcast
 	// cost, exactly as in the inner broadcast join.
-	x.addShuffled(int64(len(rrows)) * int64(len(left.Parts)))
-	ht := x.buildJoinTable(rrows, rIdx[0])
+	x.addShuffled(int64(rblk.Len()) * int64(len(left.Parts)))
+	ht := x.buildJoinTable(rblk, rIdx[0])
 	out := newRelation(outSchema, len(left.Parts))
 	out.keyCol = left.keyCol
-	rightOnly := len(outSchema) - len(left.Schema)
 	x.parallel(len(left.Parts), func(p int) {
-		out.Parts[p] = x.probeOuter(left.Parts[p], ht, lIdx, rIdx, rightOnly, pred)
+		out.Parts[p] = x.probeOuter(left.Parts[p], ht, rblk, lIdx, rIdx, len(outSchema), pred)
 	})
 	x.addOutput(int64(out.NumRows()))
 	return out

@@ -2,8 +2,11 @@
 // engine: the stand-in for Spark SQL in the S2RDF reproduction.
 //
 // Relations are horizontally partitioned collections of fixed-width rows of
-// dictionary IDs. Joins repartition ("shuffle") both inputs by the hash of
-// the join key and then run per-partition hash joins on a pool of worker
+// dictionary IDs; each partition is a flat row Block (one contiguous
+// []dict.ID buffer, rows addressed by index — see block.go), so operators
+// allocate per partition, not per row. Joins repartition ("shuffle") both
+// inputs by the hash of the join key and then run per-partition hash joins
+// — open-addressing index tables over the build block — on a pool of worker
 // goroutines. The engine meters the quantities the paper's argument rests
 // on: rows scanned, rows shuffled and join comparisons. Input-size
 // reduction (what ExtVP buys) therefore translates directly into lower
@@ -279,10 +282,12 @@ func (x *Exec) parallel(n int, fn func(p int)) {
 	wg.Wait()
 }
 
-// Relation is a horizontally partitioned table with named columns.
+// Relation is a horizontally partitioned table with named columns. Each
+// partition is a flat row Block; a nil entry in Parts is an empty partition
+// (left behind when a cancelled execution skips a partition task).
 type Relation struct {
 	Schema []string
-	Parts  [][]Row
+	Parts  []*Block
 	// keyCol is the column index the relation is hash-partitioned by,
 	// or -1 when the partitioning is arbitrary (e.g. block-partitioned
 	// scan output). Joins use it to skip redundant shuffles.
@@ -293,7 +298,7 @@ type Relation struct {
 func (r *Relation) NumRows() int {
 	n := 0
 	for _, p := range r.Parts {
-		n += len(p)
+		n += p.Len()
 	}
 	return n
 }
@@ -308,26 +313,62 @@ func (r *Relation) ColIndex(name string) int {
 	return -1
 }
 
-// Rows gathers all rows into one slice (coordinator-side collect).
+// Rows gathers all rows into one slice (coordinator-side collect). The
+// returned rows are views into the relation's blocks: cheap, but shared —
+// callers may reorder the slice yet must not modify row contents. It exists
+// as a compatibility adapter; hot paths should iterate blocks directly or
+// via EachRow.
 func (r *Relation) Rows() []Row {
 	out := make([]Row, 0, r.NumRows())
 	for _, p := range r.Parts {
-		out = append(out, p...)
+		for i, n := 0, p.Len(); i < n; i++ {
+			out = append(out, p.Row(i))
+		}
+	}
+	return out
+}
+
+// EachRow calls fn for every row in partition order with a running global
+// index and a view of the row. fn returning false stops the iteration.
+// This is the allocation-free replacement for ranging over Rows().
+func (r *Relation) EachRow(fn func(i int, row Row) bool) {
+	i := 0
+	for _, p := range r.Parts {
+		for j, n := 0, p.Len(); j < n; j++ {
+			if !fn(i, p.Row(j)) {
+				return
+			}
+			i++
+		}
+	}
+}
+
+// gather concatenates all partitions into one block (coordinator-side
+// collect for operators that need the whole relation in place).
+func (r *Relation) gather() *Block {
+	out := NewBlock(len(r.Schema), r.NumRows())
+	for _, p := range r.Parts {
+		if p != nil {
+			out.AppendBlock(p)
+		}
 	}
 	return out
 }
 
 // newRelation allocates an empty relation with n partitions.
 func newRelation(schema []string, n int) *Relation {
-	return &Relation{Schema: schema, Parts: make([][]Row, n), keyCol: -1}
+	return &Relation{Schema: schema, Parts: make([]*Block, n), keyCol: -1}
 }
 
-// FromRows builds a relation from a row slice, block-partitioned.
+// FromRows builds a relation from a row slice, block-partitioned. It is the
+// compatibility constructor for coordinator-side row sets; the rows are
+// copied into flat blocks.
 func (c *Cluster) FromRows(schema []string, rows []Row) *Relation {
 	rel := newRelation(schema, c.partitions)
 	if len(rows) == 0 {
 		return rel
 	}
+	arity := len(schema)
 	chunk := (len(rows) + c.partitions - 1) / c.partitions
 	for p := 0; p < c.partitions; p++ {
 		lo := p * chunk
@@ -338,7 +379,7 @@ func (c *Cluster) FromRows(schema []string, rows []Row) *Relation {
 		if hi > len(rows) {
 			hi = len(rows)
 		}
-		rel.Parts[p] = rows[lo:hi]
+		rel.Parts[p] = blockOfRows(arity, rows[lo:hi])
 	}
 	return rel
 }
@@ -360,9 +401,50 @@ type ScanProjection struct {
 	As  string // output variable name
 }
 
+// scanPlan resolves projections and conditions against a table's schema,
+// panicking on references to columns the table does not have: a silently
+// empty scan would mask a compiler bug (it did once — the condIdx < 0 path
+// used to drop every row).
+type scanPlan struct {
+	schema  []string
+	srcs    []int
+	condIdx []int
+	equal   [][2]int // pairs of source columns that must be equal
+}
+
+func planScan(t *store.Table, projs []ScanProjection, conds []ScanCondition) scanPlan {
+	var pl scanPlan
+	pl.condIdx = make([]int, len(conds))
+	for i, cd := range conds {
+		ci := t.ColIndex(cd.Col)
+		if ci < 0 {
+			panic(fmt.Sprintf("engine: Scan condition on unknown column %q of table %s", cd.Col, t.Name))
+		}
+		pl.condIdx[i] = ci
+	}
+	// Deduplicate projections that target the same output variable.
+	seen := map[string]int{}
+	for _, pr := range projs {
+		src := t.ColIndex(pr.Col)
+		if src < 0 {
+			panic(fmt.Sprintf("engine: Scan projection of unknown column %q of table %s", pr.Col, t.Name))
+		}
+		if prev, ok := seen[pr.As]; ok {
+			pl.equal = append(pl.equal, [2]int{pl.srcs[prev], src})
+			continue
+		}
+		seen[pr.As] = len(pl.srcs)
+		pl.schema = append(pl.schema, pr.As)
+		pl.srcs = append(pl.srcs, src)
+	}
+	return pl
+}
+
 // Scan reads a stored table, applies constant conditions, projects and
 // renames columns, and produces a block-partitioned relation. This is the
-// compiled form of one SPARQL triple pattern (paper Algorithm 2).
+// compiled form of one SPARQL triple pattern (paper Algorithm 2). A
+// condition or projection naming a column the table does not have panics:
+// that is a query-compiler bug, not an empty result.
 //
 // If two projections reference the same source column position implicitly
 // via equal variable names (e.g. pattern ?x p ?x), rows where the columns
@@ -372,31 +454,12 @@ func (x *Exec) Scan(t *store.Table, projs []ScanProjection, conds []ScanConditio
 	n := t.NumRows()
 	x.AddRowsScanned(int64(n))
 
-	condIdx := make([]int, len(conds))
-	for i, cd := range conds {
-		condIdx[i] = t.ColIndex(cd.Col)
-	}
-	// Deduplicate projections that target the same output variable.
-	type proj struct{ src int }
-	var outSchema []string
-	var outProj []proj
-	var equal [][2]int // pairs of source columns that must be equal
-	seen := map[string]int{}
-	for _, pr := range projs {
-		src := t.ColIndex(pr.Col)
-		if prev, ok := seen[pr.As]; ok {
-			equal = append(equal, [2]int{outProj[prev].src, src})
-			continue
-		}
-		seen[pr.As] = len(outProj)
-		outSchema = append(outSchema, pr.As)
-		outProj = append(outProj, proj{src: src})
-	}
-
-	rel := newRelation(outSchema, c.partitions)
+	pl := planScan(t, projs, conds)
+	rel := newRelation(pl.schema, c.partitions)
 	if n == 0 {
 		return rel
 	}
+	unconditional := len(conds) == 0 && len(pl.equal) == 0
 	chunk := (n + c.partitions - 1) / c.partitions
 	x.parallel(c.partitions, func(p int) {
 		lo := p * chunk
@@ -407,27 +470,30 @@ func (x *Exec) Scan(t *store.Table, projs []ScanProjection, conds []ScanConditio
 		if hi > n {
 			hi = n
 		}
-		var out []Row
+		hint := 0
+		if unconditional {
+			hint = hi - lo // exact: every row survives
+		}
+		out := NewBlock(len(pl.srcs), hint)
 	rows:
 		for i := lo; i < hi; i++ {
 			if x.stop(i - lo) {
 				break
 			}
 			for k, cd := range conds {
-				if ci := condIdx[k]; ci < 0 || t.Data[ci][i] != cd.Value {
+				if t.Data[pl.condIdx[k]][i] != cd.Value {
 					continue rows
 				}
 			}
-			for _, eq := range equal {
+			for _, eq := range pl.equal {
 				if t.Data[eq[0]][i] != t.Data[eq[1]][i] {
 					continue rows
 				}
 			}
-			row := make(Row, len(outProj))
-			for j, pr := range outProj {
-				row[j] = t.Data[pr.src][i]
+			dst := out.appendSlot()
+			for j, src := range pl.srcs {
+				dst[j] = t.Data[src][i]
 			}
-			out = append(out, row)
 		}
 		rel.Parts[p] = out
 	})
@@ -435,22 +501,26 @@ func (x *Exec) Scan(t *store.Table, projs []ScanProjection, conds []ScanConditio
 	return rel
 }
 
-// Filter keeps the rows satisfying pred.
+// Filter keeps the rows satisfying pred. The predicate receives row views
+// into the input blocks and must not retain or modify them.
 func (x *Exec) Filter(r *Relation, pred func(Row) bool) *Relation {
 	out := newRelation(r.Schema, len(r.Parts))
 	out.keyCol = r.keyCol
+	arity := len(r.Schema)
 	x.parallel(len(r.Parts), func(p int) {
-		var kept []Row
-		for i, row := range r.Parts[p] {
+		src := r.Parts[p]
+		kept := NewBlock(arity, 0)
+		for i, n := 0, src.Len(); i < n; i++ {
 			if x.stop(i) {
 				break
 			}
-			if pred(row) {
-				kept = append(kept, row)
+			if row := src.Row(i); pred(row) {
+				kept.Append(row)
 			}
 		}
 		out.Parts[p] = kept
 	})
+	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
@@ -462,20 +532,22 @@ func (x *Exec) Project(r *Relation, cols []string) *Relation {
 	}
 	out := newRelation(cols, len(r.Parts))
 	x.parallel(len(r.Parts), func(p int) {
-		rows := make([]Row, len(r.Parts[p]))
-		for i, row := range r.Parts[p] {
-			nr := make(Row, len(idx))
+		src := r.Parts[p]
+		rows := NewBlock(len(idx), src.Len())
+		for i, n := 0, src.Len(); i < n; i++ {
+			row := src.Row(i)
+			dst := rows.appendSlot()
 			for j, ci := range idx {
 				if ci < 0 {
-					nr[j] = Null
+					dst[j] = Null
 				} else {
-					nr[j] = row[ci]
+					dst[j] = row[ci]
 				}
 			}
-			rows[i] = nr
 		}
 		out.Parts[p] = rows
 	})
+	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
@@ -493,17 +565,25 @@ func (x *Exec) shuffle(r *Relation, key int) *Relation {
 		return r
 	}
 	n := len(r.Parts)
-	// Each source partition builds per-target buckets; then targets are
-	// assembled in parallel.
-	buckets := make([][][]Row, n)
+	arity := len(r.Schema)
+	// Each source partition builds per-target bucket blocks; then targets
+	// are assembled in parallel with one bulk copy per bucket.
+	buckets := make([][]*Block, n)
 	x.parallel(n, func(p int) {
-		local := make([][]Row, c.partitions)
-		for i, row := range r.Parts[p] {
+		src := r.Parts[p]
+		local := make([]*Block, c.partitions)
+		for i, rows := 0, src.Len(); i < rows; i++ {
 			if x.stop(i) {
 				break
 			}
+			row := src.Row(i)
 			t := int(hashID(row[key])) % c.partitions
-			local[t] = append(local[t], row)
+			b := local[t]
+			if b == nil {
+				b = NewBlock(arity, rows/c.partitions+1)
+				local[t] = b
+			}
+			b.Append(row)
 		}
 		buckets[p] = local
 	})
@@ -511,12 +591,20 @@ func (x *Exec) shuffle(r *Relation, key int) *Relation {
 	out := newRelation(r.Schema, c.partitions)
 	out.keyCol = key
 	x.parallel(c.partitions, func(t int) {
-		var rows []Row
+		total := 0
+		for p := 0; p < n; p++ {
+			if buckets[p] != nil {
+				total += buckets[p][t].Len()
+			}
+		}
+		rows := NewBlock(arity, total)
 		for p := 0; p < n; p++ {
 			if buckets[p] == nil {
 				continue // source task skipped after cancellation
 			}
-			rows = append(rows, buckets[p][t]...)
+			if b := buckets[p][t]; b != nil {
+				rows.AppendBlock(b)
+			}
 		}
 		out.Parts[t] = rows
 	})
@@ -610,7 +698,7 @@ func (x *Exec) JoinWith(left, right *Relation, strat JoinStrategy) *Relation {
 	out := newRelation(outSchema, c.partitions)
 	out.keyCol = lIdx[0]
 	x.parallel(c.partitions, func(p int) {
-		out.Parts[p] = x.hashJoinPartition(l.Parts[p], r.Parts[p], lIdx, rIdx, false)
+		out.Parts[p] = x.hashJoinPartition(l.Parts[p], r.Parts[p], lIdx, rIdx, false, len(outSchema))
 	})
 	x.addOutput(int64(out.NumRows()))
 	return out
@@ -632,16 +720,12 @@ func (x *Exec) LeftJoinWith(left, right *Relation, pred func(Row) bool, strat Jo
 	lIdx, rIdx := sharedCols(left.Schema, right.Schema)
 	outSchema := joinSchema(left.Schema, right.Schema, rIdx)
 	if len(lIdx) == 0 {
-		// Cross-style OPTIONAL: every left row pairs with every right row;
-		// if right is empty, left rows survive padded.
-		cross := x.cross(left, right)
-		if pred != nil {
-			cross = x.Filter(cross, pred)
-		}
-		if cross.NumRows() > 0 {
-			return cross
-		}
-		return x.padRight(left, outSchema)
+		// Cross-style OPTIONAL: every left row pairs with every right row
+		// that satisfies pred; a left row none of whose pairs survive is
+		// padded — per row, as SPARQL semantics require (an all-or-nothing
+		// fallback would drop unmatched left rows whenever any other left
+		// row matched).
+		return x.crossOuter(left, right, outSchema, pred)
 	}
 	if strat == StrategyBroadcast {
 		return x.leftJoinBroadcast(left, right, lIdx, rIdx, outSchema, pred)
@@ -650,10 +734,13 @@ func (x *Exec) LeftJoinWith(left, right *Relation, pred func(Row) bool, strat Jo
 	r := x.shuffle(right, rIdx[0])
 	out := newRelation(outSchema, c.partitions)
 	out.keyCol = lIdx[0]
-	rightOnly := len(outSchema) - len(left.Schema)
 	x.parallel(c.partitions, func(p int) {
-		ht := x.buildJoinTable(r.Parts[p], rIdx[0])
-		out.Parts[p] = x.probeOuter(l.Parts[p], ht, lIdx, rIdx, rightOnly, pred)
+		rblk := r.Parts[p]
+		if rblk == nil {
+			rblk = NewBlock(len(right.Schema), 0)
+		}
+		ht := x.buildJoinTable(rblk, rIdx[0])
+		out.Parts[p] = x.probeOuter(l.Parts[p], ht, rblk, lIdx, rIdx, len(outSchema), pred)
 	})
 	x.addOutput(int64(out.NumRows()))
 	return out
@@ -675,125 +762,114 @@ func (x *Exec) SemiJoin(left, right *Relation) *Relation {
 	out := newRelation(left.Schema, c.partitions)
 	out.keyCol = lIdx[0]
 	x.parallel(c.partitions, func(p int) {
-		out.Parts[p] = x.hashJoinPartition(l.Parts[p], r.Parts[p], lIdx, rIdx, true)
+		out.Parts[p] = x.hashJoinPartition(l.Parts[p], r.Parts[p], lIdx, rIdx, true, len(left.Schema))
 	})
 	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
 // hashJoinPartition joins one co-partition pair. When semi is true it emits
-// each matching left row once instead of concatenated rows.
-func (x *Exec) hashJoinPartition(lrows, rrows []Row, lIdx, rIdx []int, semi bool) []Row {
-	if len(lrows) == 0 || len(rrows) == 0 {
-		return nil
+// each matching left row once instead of concatenated rows. Output rows are
+// written in place into a flat block of the given arity.
+func (x *Exec) hashJoinPartition(lblk, rblk *Block, lIdx, rIdx []int, semi bool, outArity int) *Block {
+	out := NewBlock(outArity, 0)
+	if lblk.Len() == 0 || rblk.Len() == 0 {
+		return out
 	}
 	// Build on the smaller side unless emitting semi-join output, which
 	// must preserve left rows.
-	build, probe := rrows, lrows
+	build, probe := rblk, lblk
 	bIdx, pIdx := rIdx, lIdx
 	swapped := false
-	if !semi && len(lrows) < len(rrows) {
-		build, probe = lrows, rrows
+	if !semi && lblk.Len() < rblk.Len() {
+		build, probe = lblk, rblk
 		bIdx, pIdx = lIdx, rIdx
 		swapped = true
 	}
-	ht := make(map[dict.ID][]Row, len(build))
-	for i, row := range build {
-		if x.stop(i) {
-			return nil
-		}
-		k := row[bIdx[0]]
-		ht[k] = append(ht[k], row)
+	ht := x.buildJoinTable(build, bIdx[0])
+	if ht == nil {
+		return out // cancelled mid-build
 	}
-	var out []Row
 	var comparisons int64
-	rightDup := dupMask(len(build[0]), bIdx)
+	rightDup := dupMask(build.Arity(), bIdx)
 	if swapped {
-		rightDup = dupMask(len(probe[0]), pIdx)
+		rightDup = dupMask(probe.Arity(), pIdx)
 	}
-	for i, prow := range probe {
+	for i, n := 0, probe.Len(); i < n; i++ {
 		if x.stop(i) {
 			break
 		}
-		cands := ht[prow[pIdx[0]]]
-		comparisons += int64(len(cands))
+		prow := probe.Row(i)
 	cand:
-		for _, brow := range cands {
+		for bi := ht.first(prow[pIdx[0]]); bi >= 0; bi = ht.next[bi] {
+			comparisons++
+			brow := build.Row(int(bi))
 			for k := 1; k < len(pIdx); k++ {
 				if prow[pIdx[k]] != brow[bIdx[k]] {
 					continue cand
 				}
 			}
 			if semi {
-				out = append(out, prow)
-				break cand
+				out.Append(prow)
+				break
 			}
-			var lrow, rrow Row
 			if swapped {
-				lrow, rrow = brow, prow
+				out.AppendConcat(brow, prow, rightDup)
 			} else {
-				lrow, rrow = prow, brow
+				out.AppendConcat(prow, brow, rightDup)
 			}
-			out = append(out, concatRows(lrow, rrow, rightDup))
 		}
 	}
 	x.addComparisons(comparisons)
 	return out
 }
 
-// buildJoinTable hashes rows by their key column; it returns nil when the
-// execution is cancelled mid-build.
-func (x *Exec) buildJoinTable(rows []Row, key int) map[dict.ID][]Row {
-	ht := make(map[dict.ID][]Row, len(rows))
-	for i, row := range rows {
-		if x.stop(i) {
-			return nil
-		}
-		ht[row[key]] = append(ht[row[key]], row)
-	}
-	return ht
-}
-
-// probeOuter probes a prebuilt right-side hash table with the left rows of
+// probeOuter probes a prebuilt right-side join table with the left rows of
 // one partition, producing left-outer output: matched rows (filtered by
 // pred when set) plus Null-padded survivors. It is safe to share one ht
-// across concurrent partition probes — the table is read-only here.
-func (x *Exec) probeOuter(lrows []Row, ht map[dict.ID][]Row, lIdx, rIdx []int, rightOnly int, pred func(Row) bool) []Row {
-	var rightDup []bool
-	for _, rows := range ht {
-		rightDup = dupMask(len(rows[0]), rIdx)
-		break
+// and build block across concurrent partition probes — both are read-only
+// here. A nil ht (cancelled build) matches nothing.
+func (x *Exec) probeOuter(lblk *Block, ht *indexTable, build *Block, lIdx, rIdx []int, outArity int, pred func(Row) bool) *Block {
+	rightDup := dupMask(build.Arity(), rIdx)
+	out := NewBlock(outArity, 0)
+	// scratch assembles the joined row when a predicate must inspect it
+	// before it is admitted; reused across rows, so predicates must not
+	// retain it.
+	var scratch Row
+	if pred != nil {
+		scratch = make(Row, outArity)
 	}
-	var out []Row
 	var comparisons int64
-	for i, lrow := range lrows {
+	for i, n := 0, lblk.Len(); i < n; i++ {
 		if x.stop(i) {
 			break
 		}
-		cands := ht[lrow[lIdx[0]]]
-		comparisons += int64(len(cands))
+		lrow := lblk.Row(i)
 		matched := false
-	cand:
-		for _, rrow := range cands {
-			for k := 1; k < len(lIdx); k++ {
-				if lrow[lIdx[k]] != rrow[rIdx[k]] {
-					continue cand
+		if ht != nil {
+		cand:
+			for bi := ht.first(lrow[lIdx[0]]); bi >= 0; bi = ht.next[bi] {
+				comparisons++
+				rrow := build.Row(int(bi))
+				for k := 1; k < len(lIdx); k++ {
+					if lrow[lIdx[k]] != rrow[rIdx[k]] {
+						continue cand
+					}
 				}
+				if pred != nil {
+					concatInto(scratch, lrow, rrow, rightDup)
+					if !pred(scratch) {
+						continue cand
+					}
+					out.Append(scratch)
+				} else {
+					out.AppendConcat(lrow, rrow, rightDup)
+				}
+				matched = true
 			}
-			joined := concatRows(lrow, rrow, rightDup)
-			if pred != nil && !pred(joined) {
-				continue cand
-			}
-			matched = true
-			out = append(out, joined)
 		}
 		if !matched {
-			padded := make(Row, len(lrow)+rightOnly)
-			copy(padded, lrow)
-			for i := len(lrow); i < len(padded); i++ {
-				padded[i] = Null
-			}
-			out = append(out, padded)
+			out.AppendPadded(lrow)
 		}
 	}
 	x.addComparisons(comparisons)
@@ -808,17 +884,6 @@ func dupMask(n int, rIdx []int) []bool {
 		mask[i] = true
 	}
 	return mask
-}
-
-func concatRows(l, r Row, rightDup []bool) Row {
-	out := make(Row, 0, len(l)+len(r)-countTrue(rightDup))
-	out = append(out, l...)
-	for i, v := range r {
-		if !rightDup[i] {
-			out = append(out, v)
-		}
-	}
-	return out
 }
 
 func countTrue(b []bool) int {
@@ -846,28 +911,69 @@ func joinSchema(left, right []string, rIdx []int) []string {
 // cross computes the cartesian product.
 func (x *Exec) cross(left, right *Relation) *Relation {
 	outSchema := append(append([]string{}, left.Schema...), right.Schema...)
-	rrows := right.Rows()
-	x.addShuffled(int64(len(rrows)) * int64(len(left.Parts)))
+	rblk := right.gather()
+	x.addShuffled(int64(rblk.Len()) * int64(len(left.Parts)))
 	out := newRelation(outSchema, len(left.Parts))
 	x.parallel(len(left.Parts), func(p int) {
-		var rows []Row
+		src := left.Parts[p]
+		rows := NewBlock(len(outSchema), 0)
+		out.Parts[p] = rows
 		produced := 0
-		for _, lrow := range left.Parts[p] {
-			for _, rrow := range rrows {
+		for i, n := 0, src.Len(); i < n; i++ {
+			lrow := src.Row(i)
+			for j, rn := 0, rblk.Len(); j < rn; j++ {
 				if x.stop(produced) {
-					out.Parts[p] = rows
 					return
 				}
 				produced++
-				nr := make(Row, 0, len(lrow)+len(rrow))
-				nr = append(nr, lrow...)
-				nr = append(nr, rrow...)
-				rows = append(rows, nr)
+				rows.AppendConcat(lrow, rblk.Row(j), nil)
 			}
 		}
-		out.Parts[p] = rows
 	})
-	x.addComparisons(int64(left.NumRows()) * int64(len(rrows)))
+	x.addComparisons(int64(left.NumRows()) * int64(rblk.Len()))
+	x.addOutput(int64(out.NumRows()))
+	return out
+}
+
+// crossOuter is the left outer join with no shared columns (cross-style
+// OPTIONAL): each left row pairs with every right row passing pred, and
+// left rows with no surviving pair are padded with Nulls.
+func (x *Exec) crossOuter(left, right *Relation, outSchema []string, pred func(Row) bool) *Relation {
+	rblk := right.gather()
+	x.addShuffled(int64(rblk.Len()) * int64(len(left.Parts)))
+	out := newRelation(outSchema, len(left.Parts))
+	x.parallel(len(left.Parts), func(p int) {
+		src := left.Parts[p]
+		rows := NewBlock(len(outSchema), 0)
+		out.Parts[p] = rows
+		scratch := make(Row, len(outSchema))
+		produced := 0
+		for i, n := 0, src.Len(); i < n; i++ {
+			lrow := src.Row(i)
+			matched := false
+			for j, rn := 0, rblk.Len(); j < rn; j++ {
+				if x.stop(produced) {
+					return
+				}
+				produced++
+				rrow := rblk.Row(j)
+				if pred != nil {
+					concatInto(scratch, lrow, rrow, nil)
+					if !pred(scratch) {
+						continue
+					}
+					rows.Append(scratch)
+				} else {
+					rows.AppendConcat(lrow, rrow, nil)
+				}
+				matched = true
+			}
+			if !matched {
+				rows.AppendPadded(lrow)
+			}
+		}
+	})
+	x.addComparisons(int64(left.NumRows()) * int64(rblk.Len()))
 	x.addOutput(int64(out.NumRows()))
 	return out
 }
@@ -876,22 +982,23 @@ func (x *Exec) cross(left, right *Relation) *Relation {
 func (x *Exec) padRight(left *Relation, outSchema []string) *Relation {
 	out := newRelation(outSchema, len(left.Parts))
 	x.parallel(len(left.Parts), func(p int) {
-		rows := make([]Row, len(left.Parts[p]))
-		for i, lrow := range left.Parts[p] {
-			nr := make(Row, len(outSchema))
-			copy(nr, lrow)
-			for j := len(lrow); j < len(nr); j++ {
-				nr[j] = Null
-			}
-			rows[i] = nr
+		src := left.Parts[p]
+		rows := NewBlock(len(outSchema), src.Len())
+		for i, n := 0, src.Len(); i < n; i++ {
+			rows.AppendPadded(src.Row(i))
 		}
 		out.Parts[p] = rows
 	})
+	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
 // Union concatenates two relations, aligning columns by name; columns
-// missing on one side become Null.
+// missing on one side become Null. The output shares the (immutable)
+// aligned input blocks, so a same-schema union moves no rows; note its
+// partition count is the sum of the inputs', which may exceed the
+// cluster's — downstream joins re-shuffle it (the co-partitioning fast
+// path requires the cluster's partition count).
 func (x *Exec) Union(a, b *Relation) *Relation {
 	schema := append([]string{}, a.Schema...)
 	for _, name := range b.Schema {
@@ -909,19 +1016,24 @@ func (x *Exec) Union(a, b *Relation) *Relation {
 	out := newRelation(schema, len(a2.Parts)+len(b2.Parts))
 	copy(out.Parts, a2.Parts)
 	copy(out.Parts[len(a2.Parts):], b2.Parts)
+	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
 // Distinct removes duplicate rows (hash-shuffled on the first column so
-// deduplication runs partition-parallel). Per-partition deduplication uses
-// a 64-bit FNV-1a hash table with collision-checked buckets, avoiding the
-// per-row string-key allocation of the naive approach.
+// deduplication runs partition-parallel). Per-partition deduplication runs
+// over an open-addressing table of 64-bit FNV-1a row hashes whose chains
+// hold indices of the kept rows (collision-checked against the block), so
+// the only allocations are the table's three flat arrays and the output
+// block.
 func (x *Exec) Distinct(r *Relation) *Relation {
 	if len(r.Schema) == 0 {
 		// Degenerate: at most one empty row.
 		out := newRelation(r.Schema, 1)
 		if r.NumRows() > 0 {
-			out.Parts[0] = []Row{{}}
+			b := NewBlock(0, 0)
+			b.Append(Row{})
+			out.Parts[0] = b
 		}
 		return out
 	}
@@ -929,24 +1041,20 @@ func (x *Exec) Distinct(r *Relation) *Relation {
 	out := newRelation(r.Schema, len(s.Parts))
 	out.keyCol = 0
 	x.parallel(len(s.Parts), func(p int) {
-		seen := make(map[uint64][]Row, len(s.Parts[p]))
-		var rows []Row
-	next:
-		for i, row := range s.Parts[p] {
+		src := s.Parts[p]
+		seen := newIndexTable(src.Len())
+		rows := NewBlock(len(r.Schema), 0)
+		for i, n := 0, src.Len(); i < n; i++ {
 			if x.stop(i) {
 				break
 			}
-			h := hashRow(row)
-			for _, prev := range seen[h] {
-				if rowsEqualIDs(prev, row) {
-					continue next
-				}
+			if !seen.seen(src, i, hashRow(src.Row(i))) {
+				rows.Append(src.Row(i))
 			}
-			seen[h] = append(seen[h], row)
-			rows = append(rows, row)
 		}
 		out.Parts[p] = rows
 	})
+	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
@@ -985,22 +1093,33 @@ func (x *Exec) OrderBy(r *Relation, less func(a, b Row) bool) *Relation {
 	rows := r.Rows()
 	x.mergeSortRows(rows, less)
 	out := newRelation(r.Schema, 1)
-	out.Parts[0] = rows
+	out.Parts[0] = blockOfRows(len(r.Schema), rows)
 	return out
 }
 
 // Limit returns at most n rows after skipping offset rows.
 func (x *Exec) Limit(r *Relation, offset, n int) *Relation {
-	rows := r.Rows()
-	if offset > len(rows) {
-		offset = len(rows)
+	total := r.NumRows()
+	if offset > total {
+		offset = total
 	}
-	rows = rows[offset:]
-	if n >= 0 && n < len(rows) {
-		rows = rows[:n]
+	keep := total - offset
+	if n >= 0 && n < keep {
+		keep = n
 	}
 	out := newRelation(r.Schema, 1)
+	rows := NewBlock(len(r.Schema), keep)
 	out.Parts[0] = rows
+	r.EachRow(func(i int, row Row) bool {
+		if i < offset {
+			return true
+		}
+		if rows.Len() >= keep {
+			return false
+		}
+		rows.Append(row)
+		return true
+	})
 	return out
 }
 

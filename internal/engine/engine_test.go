@@ -357,6 +357,20 @@ func TestLeftJoinNoSharedColumns(t *testing.T) {
 	rowsEqual(t, res, []Row{{1, Null}, {2, Null}})
 }
 
+// TestLeftJoinCrossPadsPerRow pins SPARQL OPTIONAL semantics on the
+// no-shared-columns path: padding is decided per left row, so a row whose
+// every pairing fails the filter survives padded even when other left rows
+// matched (the old all-or-nothing fallback dropped it).
+func TestLeftJoinCrossPadsPerRow(t *testing.T) {
+	c := NewCluster(2)
+	left := c.FromRows([]string{"x"}, []Row{{1}, {2}})
+	right := c.FromRows([]string{"y"}, []Row{{9}, {8}})
+	// Only the pairing (x=1, y=9) passes the OPTIONAL filter: row x=2 must
+	// survive Null-padded, not disappear.
+	res := c.LeftJoin(left, right, func(r Row) bool { return r[0] == 1 && r[1] == 9 })
+	rowsEqual(t, res, []Row{{1, 9}, {2, Null}})
+}
+
 func TestClusterDefaults(t *testing.T) {
 	c := NewCluster(0)
 	if c.Partitions() <= 0 {

@@ -110,9 +110,11 @@ func distinctStringKey(c *Cluster, r *Relation) *Relation {
 	s := x.shuffle(r, 0)
 	out := newRelation(r.Schema, len(s.Parts))
 	x.parallel(len(s.Parts), func(p int) {
-		seen := make(map[string]struct{}, len(s.Parts[p]))
-		var rows []Row
-		for _, row := range s.Parts[p] {
+		src := s.Parts[p]
+		seen := make(map[string]struct{}, src.Len())
+		rows := NewBlock(len(r.Schema), 0)
+		for i, n := 0, src.Len(); i < n; i++ {
+			row := src.Row(i)
 			b := make([]byte, 0, len(row)*4)
 			for _, v := range row {
 				b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
@@ -122,7 +124,7 @@ func distinctStringKey(c *Cluster, r *Relation) *Relation {
 				continue
 			}
 			seen[k] = struct{}{}
-			rows = append(rows, row)
+			rows.Append(row)
 		}
 		out.Parts[p] = rows
 	})

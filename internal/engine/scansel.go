@@ -18,27 +18,8 @@ func (x *Exec) ScanSel(t *store.Table, sel *bitvec.Bitset, projs []ScanProjectio
 	n := t.NumRows()
 	x.AddRowsScanned(int64(sel.Count()))
 
-	condIdx := make([]int, len(conds))
-	for i, cd := range conds {
-		condIdx[i] = t.ColIndex(cd.Col)
-	}
-	type proj struct{ src int }
-	var outSchema []string
-	var outProj []proj
-	var equal [][2]int
-	seen := map[string]int{}
-	for _, pr := range projs {
-		src := t.ColIndex(pr.Col)
-		if prev, ok := seen[pr.As]; ok {
-			equal = append(equal, [2]int{outProj[prev].src, src})
-			continue
-		}
-		seen[pr.As] = len(outProj)
-		outSchema = append(outSchema, pr.As)
-		outProj = append(outProj, proj{src: src})
-	}
-
-	rel := newRelation(outSchema, c.partitions)
+	pl := planScan(t, projs, conds)
+	rel := newRelation(pl.schema, c.partitions)
 	if n == 0 {
 		return rel
 	}
@@ -52,7 +33,7 @@ func (x *Exec) ScanSel(t *store.Table, sel *bitvec.Bitset, projs []ScanProjectio
 		if hi > n {
 			hi = n
 		}
-		var out []Row
+		out := NewBlock(len(pl.srcs), 0)
 	rows:
 		for i := lo; i < hi; i++ {
 			if x.stop(i - lo) {
@@ -62,20 +43,19 @@ func (x *Exec) ScanSel(t *store.Table, sel *bitvec.Bitset, projs []ScanProjectio
 				continue
 			}
 			for k, cd := range conds {
-				if ci := condIdx[k]; ci < 0 || t.Data[ci][i] != cd.Value {
+				if t.Data[pl.condIdx[k]][i] != cd.Value {
 					continue rows
 				}
 			}
-			for _, eq := range equal {
+			for _, eq := range pl.equal {
 				if t.Data[eq[0]][i] != t.Data[eq[1]][i] {
 					continue rows
 				}
 			}
-			row := make(Row, len(outProj))
-			for j, pr := range outProj {
-				row[j] = t.Data[pr.src][i]
+			dst := out.appendSlot()
+			for j, src := range pl.srcs {
+				dst[j] = t.Data[src][i]
 			}
-			out = append(out, row)
 		}
 		rel.Parts[p] = out
 	})

@@ -124,7 +124,21 @@ type Dataset struct {
 	// ExtVP bumps it whenever a new reduction's statistics land, which
 	// lets selection caches keyed on the old epoch invalidate themselves.
 	statsEpoch atomic.Int64
+
+	// mu guards the maps lazy ExtVP counting mutates after Build (Info and
+	// ExtVP): LazyExtVP takes the write lock around its map writes, and
+	// Sizes/Save — which may run while a lazy store is serving queries —
+	// take the read lock. Eagerly built datasets have no post-Build writers,
+	// so the lock is uncontended there. Query-path readers in lazy mode go
+	// through LazyExtVP (serialized on its own mutex) and need no lock.
+	mu sync.RWMutex
 }
+
+// statsLock acquires the write lock for a lazy statistics/table mutation.
+func (d *Dataset) statsLock() { d.mu.Lock() }
+
+// statsUnlock releases statsLock.
+func (d *Dataset) statsUnlock() { d.mu.Unlock() }
 
 // StatsEpoch returns the current statistics revision; any cached decision
 // derived from the dataset's statistics is stale once the value changes.
@@ -406,8 +420,11 @@ type SizeSummary struct {
 	ExtBitBytes int
 }
 
-// Sizes computes the dataset's size summary.
+// Sizes computes the dataset's size summary. It is safe to call while a
+// lazy ("pay as you go") store is concurrently materializing reductions.
 func (ds *Dataset) Sizes() SizeSummary {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
 	s := SizeSummary{
 		Triples:  ds.NumTriples(),
 		VPTables: len(ds.VP),

@@ -69,7 +69,11 @@ func (l *LazyExtVP) ensureInfoLocked(key ExtKey) TableInfo {
 	l.ensureSet(l.objects, key.P2, 1)
 	info := l.ds.reduceStats(key, l.subjects, l.objects, l.ds.Threshold)
 	if info.SF < 1 {
+		// The dataset lock orders the write against concurrent Sizes/Save
+		// readers; l.mu already serializes it against other lazy writers.
+		l.ds.statsLock()
 		l.ds.Info[key] = info
+		l.ds.statsUnlock()
 		// New statistics landed: caches planning off the old epoch must
 		// re-plan to see them.
 		l.ds.bumpStatsEpoch()
@@ -101,7 +105,9 @@ func (l *LazyExtVP) EnsureTable(key ExtKey) (*store.Table, TableInfo) {
 	l.ensureSet(l.subjects, key.P2, 0)
 	l.ensureSet(l.objects, key.P2, 1)
 	tbl := l.ds.materializeReduction(key, l.subjects, l.objects, info.Rows)
+	l.ds.statsLock()
 	l.ds.ExtVP[key] = tbl
+	l.ds.statsUnlock()
 	l.Computed++
 	return tbl, info
 }

@@ -77,6 +77,44 @@ func TestLazyConcurrentEnsure(t *testing.T) {
 	}
 }
 
+// TestSizesConcurrentWithLazy pins the monitoring contract: Sizes (and
+// Save) may run while lazy ExtVP counting is mutating the dataset's
+// Info/ExtVP maps — under -race this is the regression test for the
+// unsynchronized-map crash a serving lazy store could hit.
+func TestSizesConcurrentWithLazy(t *testing.T) {
+	ds := Build(g1(), Options{BuildExtVP: false})
+	lazy := NewLazyExtVP(ds)
+	f, l := pid(ds, "follows"), pid(ds, "likes")
+	keys := []ExtKey{
+		{OS, f, l}, {OS, f, f}, {SO, f, f}, {SS, f, l}, {SO, l, f},
+	}
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, k := range keys {
+				lazy.Ensure(k)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			ds.Sizes()
+		}
+		if err := Save(ds, dir); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	if got := ds.Sizes(); got.ExtTables+got.ExtPending == 0 {
+		t.Errorf("no reductions visible after concurrent ensure: %+v", got)
+	}
+}
+
 // TestLazyEnsureInfoDoesNotMaterialize pins the stats-first contract: the
 // counting pass alone must not build row copies (the planner consults SFs
 // for every candidate correlation and pays for the winner only).

@@ -79,6 +79,10 @@ func Save(ds *Dataset, dir string) error {
 	for _, p := range ds.Predicates {
 		meta.Predicates = append(meta.Predicates, string(ds.Dict.Decode(p)))
 	}
+	// Hold the statistics read lock across the Info/ExtVP walk: a lazy
+	// store may be materializing reductions while it is being persisted.
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
 	for key, info := range ds.Info {
 		entry := metaEntry{
 			Kind:         key.Kind.String(),
