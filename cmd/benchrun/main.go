@@ -17,16 +17,27 @@
 // additionally written as one JSON document, so CI can archive them and a
 // benchmark trajectory accumulates across commits. Workload cells include
 // AllocBytesPerOp/AllocsPerOp (mean heap bytes and allocations per query,
-// the -json analogue of go test's B/op and allocs/op), so allocation
-// regressions show up in the BENCH_*.json artifact alongside wall time.
+// the -json analogue of go test's B/op and allocs/op) plus
+// RowsScanned/RowsPruned (mean metered scan input and rows skipped by scan
+// pruning), so allocation and scan-volume regressions show up in the
+// BENCH_*.json artifact alongside wall time.
+//
+// With -compare OLD.json the basic-workload cells of a previous run (for
+// example the BENCH_baseline.json committed to the repository) are diffed
+// against this run and printed as a delta table, so CI job logs surface
+// scan and allocation regressions without downloading artifacts. A missing
+// OLD.json is reported and skipped, not fatal: the first run of a new
+// baseline has nothing to compare against.
 package main
 
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"s2rdf/internal/bench"
@@ -42,6 +53,7 @@ func main() {
 	timeout := flag.Duration("timeout", 120*time.Second, "per-query timeout (timed-out entries print F)")
 	engines := flag.String("engines", "", "comma-separated engine subset (default all)")
 	jsonOut := flag.String("json", "", "write raw results of the executed experiments to this JSON file")
+	compare := flag.String("compare", "", "previous -json output to diff the basic workload against (delta table)")
 	flag.Parse()
 
 	tmp, err := os.MkdirTemp("", "s2rdf-bench-*")
@@ -110,4 +122,60 @@ func main() {
 		}
 		log.Printf("wrote %s", *jsonOut)
 	}
+	if *compare != "" {
+		if cells, ok := results["basic"].([]bench.Cell); ok {
+			printDelta(os.Stdout, *compare, cells)
+		} else {
+			log.Printf("-compare: basic workload did not run, nothing to diff")
+		}
+	}
+}
+
+// printDelta diffs this run's basic-workload cells against a previous -json
+// document and renders a per-(query, engine) delta table: wall time, allocs
+// and scan volume, plus the pruning counts themselves. A missing or
+// unreadable previous file only logs a note — the first run after adding a
+// baseline has nothing to compare against and must not fail CI.
+func printDelta(w *os.File, oldPath string, cells []bench.Cell) {
+	raw, err := os.ReadFile(oldPath)
+	if err != nil {
+		log.Printf("-compare: %v (skipping delta)", err)
+		return
+	}
+	var doc struct {
+		Basic []bench.Cell `json:"basic"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		log.Printf("-compare: parsing %s: %v (skipping delta)", oldPath, err)
+		return
+	}
+	old := make(map[[2]string]bench.Cell, len(doc.Basic))
+	for _, c := range doc.Basic {
+		old[[2]string{c.Query, c.Engine}] = c
+	}
+	pct := func(oldV, newV int64) string {
+		if oldV == 0 {
+			if newV == 0 {
+				return "0%"
+			}
+			return "new"
+		}
+		return fmt.Sprintf("%+.0f%%", 100*float64(newV-oldV)/float64(oldV))
+	}
+	fmt.Fprintf(w, "\n=== delta vs %s (basic workload) ===\n", oldPath)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "query\tengine\ttime\tΔtime\tallocs\tΔallocs\tscanned\tΔscanned\tpruned")
+	for _, c := range cells {
+		o, ok := old[[2]string{c.Query, c.Engine}]
+		if !ok || c.Failed || o.Failed {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%s\t%d\t%s\t%d\t%s\t%d\n",
+			c.Query, c.Engine, c.Reported.Round(time.Microsecond),
+			pct(int64(o.Reported), int64(c.Reported)),
+			c.Allocs, pct(int64(o.Allocs), int64(c.Allocs)),
+			c.RowsScanned, pct(o.RowsScanned, c.RowsScanned),
+			c.RowsPruned)
+	}
+	tw.Flush()
 }

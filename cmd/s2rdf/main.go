@@ -126,7 +126,8 @@ func cmdQuery(args []string) {
 	if *explain {
 		fmt.Println("# plan:")
 		for _, p := range res.Plan {
-			fmt.Printf("#   %-40s -> %s (rows %d, SF %.2f)\n", p.Pattern, p.Table, p.Rows, p.SF)
+			fmt.Printf("#   %-40s -> %s (rows %d, est %d, SF %.2f; scanned %d, pruned %d)\n",
+				p.Pattern, p.Table, p.Rows, p.Est, p.SF, p.Scanned, p.Pruned)
 		}
 		if len(res.JoinOrder) > 0 {
 			order := make([]string, len(res.JoinOrder))
@@ -158,9 +159,9 @@ func cmdQuery(args []string) {
 		}
 		fmt.Println(strings.Join(parts, "\t"))
 	}
-	fmt.Fprintf(os.Stderr, "%d solutions in %v (scanned %d rows, shuffled %d)\n",
+	fmt.Fprintf(os.Stderr, "%d solutions in %v (scanned %d rows, pruned %d, shuffled %d)\n",
 		res.Len(), res.Duration.Round(time.Microsecond),
-		res.Metrics.RowsScanned, res.Metrics.RowsShuffled)
+		res.Metrics.RowsScanned, res.Metrics.RowsPruned, res.Metrics.RowsShuffled)
 }
 
 func cmdServe(args []string) {

@@ -183,13 +183,13 @@ func TestRunOO(t *testing.T) {
 }
 
 func TestWorkbenchTimeout(t *testing.T) {
-	got, wall, _, err := runWithTimeout(10*time.Millisecond,
-		func() (int, time.Duration, time.Duration, error) {
+	st, err := runWithTimeout(10*time.Millisecond,
+		func() (RunStats, error) {
 			time.Sleep(time.Second)
-			return 1, 0, 0, nil
+			return RunStats{Rows: 1}, nil
 		})
-	if err != nil || wall != timedOut || got != 0 {
-		t.Errorf("timeout not detected: %d %v %v", got, wall, err)
+	if err != nil || st.Wall != timedOut || st.Rows != 0 {
+		t.Errorf("timeout not detected: %d %v %v", st.Rows, st.Wall, err)
 	}
 }
 

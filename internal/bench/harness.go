@@ -58,13 +58,23 @@ func (c *Config) defaults() {
 	}
 }
 
+// RunStats is one query execution's outcome as reported by an Engine.
+type RunStats struct {
+	Rows int
+	// Wall is measured wall time; Reported is the engine's reported time
+	// (simulated for the MapReduce systems, equal to Wall otherwise).
+	Wall, Reported time.Duration
+	// Scanned and Pruned are the engine's metered scan input and the rows
+	// its scans skipped via sort order and zone maps (0 for systems that do
+	// not meter them).
+	Scanned, Pruned int64
+}
+
 // Engine is a uniform wrapper over all compared systems.
 type Engine struct {
 	Name string
-	// Run executes a query, returning the result cardinality, measured
-	// wall time and reported time (simulated for the MapReduce systems,
-	// equal to wall otherwise).
-	Run func(src string) (rows int, wall, reported time.Duration, err error)
+	// Run executes a query.
+	Run func(src string) (RunStats, error)
 }
 
 // timedOut is the sentinel duration for queries killed by the timeout.
@@ -73,22 +83,21 @@ const timedOut = time.Duration(-1)
 // runWithTimeout executes fn with the configured timeout. On timeout the
 // query goroutine is abandoned (like the paper's "F" entries for queries
 // that exceeded the evaluation timeout).
-func runWithTimeout(timeout time.Duration, fn func() (int, time.Duration, time.Duration, error)) (int, time.Duration, time.Duration, error) {
+func runWithTimeout(timeout time.Duration, fn func() (RunStats, error)) (RunStats, error) {
 	type out struct {
-		rows           int
-		wall, reported time.Duration
-		err            error
+		st  RunStats
+		err error
 	}
 	ch := make(chan out, 1)
 	go func() {
-		r, w, rep, err := fn()
-		ch <- out{r, w, rep, err}
+		st, err := fn()
+		ch <- out{st, err}
 	}()
 	select {
 	case o := <-ch:
-		return o.rows, o.wall, o.reported, o.err
+		return o.st, o.err
 	case <-time.After(timeout):
-		return 0, timedOut, timedOut, nil
+		return RunStats{Wall: timedOut, Reported: timedOut}, nil
 	}
 }
 
@@ -134,12 +143,15 @@ func NewWorkbench(cfg Config) (*Workbench, error) {
 
 	coreEngine := func(name string, mode core.Mode) Engine {
 		e := core.New(ds, mode)
-		return Engine{Name: name, Run: func(src string) (int, time.Duration, time.Duration, error) {
+		return Engine{Name: name, Run: func(src string) (RunStats, error) {
 			res, err := e.Query(src)
 			if err != nil {
-				return 0, 0, 0, err
+				return RunStats{}, err
 			}
-			return res.Len(), res.Duration, res.Duration, nil
+			return RunStats{
+				Rows: res.Len(), Wall: res.Duration, Reported: res.Duration,
+				Scanned: res.Metrics.RowsScanned, Pruned: res.Metrics.RowsPruned,
+			}, nil
 		}}
 	}
 	if want("S2RDF-ExtVP") {
@@ -165,12 +177,12 @@ func NewWorkbench(cfg Config) (*Workbench, error) {
 			}
 			wb.LoadTimes["SHARD"] = time.Since(t0)
 			wb.Engines = append(wb.Engines, Engine{Name: "SHARD",
-				Run: func(src string) (int, time.Duration, time.Duration, error) {
+				Run: func(src string) (RunStats, error) {
 					res, err := shard.Query(src)
 					if err != nil {
-						return 0, 0, 0, err
+						return RunStats{}, err
 					}
-					return res.Len(), res.Wall, res.Simulated, nil
+					return RunStats{Rows: res.Len(), Wall: res.Wall, Reported: res.Simulated}, nil
 				}})
 		}
 		if want("PigSPARQL") {
@@ -181,12 +193,12 @@ func NewWorkbench(cfg Config) (*Workbench, error) {
 			}
 			wb.LoadTimes["PigSPARQL"] = time.Since(t0)
 			wb.Engines = append(wb.Engines, Engine{Name: "PigSPARQL",
-				Run: func(src string) (int, time.Duration, time.Duration, error) {
+				Run: func(src string) (RunStats, error) {
 					res, err := pig.Query(src)
 					if err != nil {
-						return 0, 0, 0, err
+						return RunStats{}, err
 					}
-					return res.Len(), res.Wall, res.Simulated, nil
+					return RunStats{Rows: res.Len(), Wall: res.Wall, Reported: res.Simulated}, nil
 				}})
 		}
 	}
@@ -198,23 +210,23 @@ func NewWorkbench(cfg Config) (*Workbench, error) {
 		if want("H2RDF+") {
 			h2 := triplestore.NewEngine(ts, triplestore.H2RDFPlus)
 			wb.Engines = append(wb.Engines, Engine{Name: "H2RDF+",
-				Run: func(src string) (int, time.Duration, time.Duration, error) {
+				Run: func(src string) (RunStats, error) {
 					res, err := h2.Query(src)
 					if err != nil {
-						return 0, 0, 0, err
+						return RunStats{}, err
 					}
-					return res.Len(), res.Wall, res.Simulated, nil
+					return RunStats{Rows: res.Len(), Wall: res.Wall, Reported: res.Simulated}, nil
 				}})
 		}
 		if want("Virtuoso") {
 			v := triplestore.NewEngine(ts, triplestore.Virtuoso)
 			wb.Engines = append(wb.Engines, Engine{Name: "Virtuoso",
-				Run: func(src string) (int, time.Duration, time.Duration, error) {
+				Run: func(src string) (RunStats, error) {
 					res, err := v.Query(src)
 					if err != nil {
-						return 0, 0, 0, err
+						return RunStats{}, err
 					}
-					return res.Len(), res.Wall, res.Simulated, nil
+					return RunStats{Rows: res.Len(), Wall: res.Wall, Reported: res.Simulated}, nil
 				}})
 		}
 	}
@@ -235,6 +247,13 @@ type Cell struct {
 	// regressions surface in the benchmark artifact alongside wall time.
 	AllocBytes uint64 `json:"AllocBytesPerOp"`
 	Allocs     uint64 `json:"AllocsPerOp"`
+	// RowsScanned and RowsPruned are the engine's mean metered scan input
+	// and the mean rows its scans skipped via sort order and zone maps per
+	// query (0 for systems that do not meter them), so scan-volume
+	// regressions — and pruning effectiveness — are visible in the
+	// artifact.
+	RowsScanned int64 `json:"RowsScanned"`
+	RowsPruned  int64 `json:"RowsPruned"`
 }
 
 // allocDelta runs fn and returns the process-wide heap allocation deltas
@@ -270,23 +289,25 @@ func (wb *Workbench) RunWorkload(templates []watdiv.Template) []Cell {
 		for _, eng := range wb.Engines {
 			var total time.Duration
 			var bytes, allocs uint64
+			var scanned, pruned int64
 			rows, failed := 0, false
 			for _, src := range queries {
-				var r int
-				var reported time.Duration
+				var st RunStats
 				var err error
 				db, da := allocDelta(func() {
-					r, _, reported, err = runWithTimeout(wb.Cfg.Timeout,
-						func() (int, time.Duration, time.Duration, error) { return eng.Run(src) })
+					st, err = runWithTimeout(wb.Cfg.Timeout,
+						func() (RunStats, error) { return eng.Run(src) })
 				})
-				if err != nil || reported == timedOut {
+				if err != nil || st.Reported == timedOut {
 					failed = true
 					break
 				}
-				total += reported
-				rows += r
+				total += st.Reported
+				rows += st.Rows
 				bytes += db
 				allocs += da
+				scanned += st.Scanned
+				pruned += st.Pruned
 			}
 			cell := Cell{Query: tpl.Name, Shape: tpl.Shape, Engine: eng.Name, Failed: failed}
 			if !failed {
@@ -295,6 +316,8 @@ func (wb *Workbench) RunWorkload(templates []watdiv.Template) []Cell {
 				cell.Rows = rows / len(queries)
 				cell.AllocBytes = bytes / n
 				cell.Allocs = allocs / n
+				cell.RowsScanned = scanned / int64(n)
+				cell.RowsPruned = pruned / int64(n)
 			}
 			cells = append(cells, cell)
 		}

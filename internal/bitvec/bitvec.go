@@ -41,6 +41,31 @@ func (b *Bitset) Count() int {
 	return n
 }
 
+// CountRange returns the number of set bits in [lo, hi), word-wise: the
+// scan pipeline uses it to express zone-map pruning in selected rows.
+func (b *Bitset) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	wlo, whi := lo>>6, (hi-1)>>6
+	// Mask off bits below lo in the first word and above hi-1 in the last.
+	first := b.words[wlo] &^ (1<<(uint(lo)&63) - 1)
+	if wlo == whi {
+		return bits.OnesCount64(first & (1<<(uint(hi-1)&63+1) - 1))
+	}
+	n := bits.OnesCount64(first)
+	for w := wlo + 1; w < whi; w++ {
+		n += bits.OnesCount64(b.words[w])
+	}
+	return n + bits.OnesCount64(b.words[whi]&(1<<(uint(hi-1)&63+1)-1))
+}
+
 // And returns a new bitset holding the intersection of b and other. The
 // lengths must match.
 func (b *Bitset) And(other *Bitset) *Bitset {

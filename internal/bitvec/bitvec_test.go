@@ -130,3 +130,30 @@ func TestAndIsIntersectionProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCountRange(t *testing.T) {
+	b := New(200)
+	set := []int{0, 1, 63, 64, 65, 127, 128, 130, 199}
+	for _, i := range set {
+		b.Set(i)
+	}
+	ref := func(lo, hi int) int {
+		n := 0
+		for _, i := range set {
+			if i >= lo && i < hi {
+				n++
+			}
+		}
+		return n
+	}
+	cases := [][2]int{{0, 200}, {0, 64}, {64, 128}, {63, 65}, {1, 199},
+		{199, 200}, {128, 128}, {130, 64}, {-5, 500}, {0, 1}, {64, 65}}
+	for _, c := range cases {
+		if got, want := b.CountRange(c[0], c[1]), ref(max(c[0], 0), min(c[1], 200)); got != want {
+			t.Errorf("CountRange(%d, %d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+	if got := b.CountRange(0, 200); got != b.Count() {
+		t.Errorf("full range %d != Count %d", got, b.Count())
+	}
+}

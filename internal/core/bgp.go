@@ -18,6 +18,11 @@ type selection struct {
 	rows  int
 	sf    float64
 	empty bool
+	// est is the planner's row estimate: rows scaled down by bound-term
+	// selectivity (1/NDV per bound column, from the chosen table's
+	// distinct-value counts). The join planner orders and sizes joins on
+	// est; rows stays the table cardinality.
+	est int
 	// tt is true when the triples table was selected (predicate must be
 	// constrained or projected during the scan).
 	tt bool
@@ -173,10 +178,42 @@ func (e *Engine) selectTable(i int, bgp []sparql.TriplePattern) selection {
 	return best
 }
 
+// estimatePatternRows scales a selection's row count by the bound-term
+// selectivity of the pattern: each bound position divides the estimate by
+// the distinct-value count of the corresponding column in the chosen table
+// (independence assumption), so `?x follows <alice>` is estimated at
+// |table| / NDV(o) rather than |table|. Columns without statistics leave
+// the estimate unchanged.
+func estimatePatternRows(sel selection, tp sparql.TriplePattern) int {
+	est := sel.rows
+	if sel.table == nil || est == 0 {
+		return est
+	}
+	scale := func(col string, n sparql.Node) {
+		if n.IsVar() {
+			return
+		}
+		if ndv := sel.table.DistinctOf(col); ndv > 1 {
+			est = (est + ndv - 1) / ndv
+		}
+	}
+	scale("s", tp.S)
+	if sel.tt {
+		scale("p", tp.P)
+	}
+	scale("o", tp.O)
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
 // compilePattern is the paper's Algorithm 2 (TP2SQL): turn one triple
 // pattern plus its selected table into an engine scan with projections for
-// variables and conditions for bound positions.
-func (e *Engine) compilePattern(ex *engine.Exec, tp sparql.TriplePattern, sel selection) (*engine.Relation, bool) {
+// variables and conditions for bound positions. pred, when non-nil, is a
+// pushed-down filter evaluated at the scan's materialization boundary. The
+// returned stats report the scan's metered and pruned input rows.
+func (e *Engine) compilePattern(ex *engine.Exec, tp sparql.TriplePattern, sel selection, pred func(engine.Row) bool) (*engine.Relation, engine.ScanStats, bool) {
 	var projs []engine.ScanProjection
 	var conds []engine.ScanCondition
 
@@ -194,20 +231,20 @@ func (e *Engine) compilePattern(ex *engine.Exec, tp sparql.TriplePattern, sel se
 	}
 
 	if !bindCol("s", tp.S) {
-		return nil, false
+		return nil, engine.ScanStats{}, false
 	}
 	if sel.tt {
 		if !bindCol("p", tp.P) {
-			return nil, false
+			return nil, engine.ScanStats{}, false
 		}
 	}
 	if !bindCol("o", tp.O) {
-		return nil, false
+		return nil, engine.ScanStats{}, false
 	}
-	if sel.bits != nil {
-		return ex.ScanSel(sel.table, sel.bits, projs, conds), true
-	}
-	return ex.Scan(sel.table, projs, conds), true
+	rel, st := ex.ScanTable(sel.table, engine.ScanSpec{
+		Projs: projs, Conds: conds, Sel: sel.bits, Pred: pred,
+	})
+	return rel, st, true
 }
 
 // evalBGP compiles and executes a basic graph pattern. Table selections
@@ -215,9 +252,11 @@ func (e *Engine) compilePattern(ex *engine.Exec, tp sparql.TriplePattern, sel se
 // planner then fixes the join order (greedy smallest-estimate-first,
 // connectivity-preserving, when JoinOrderOpt; textual order — the paper's
 // Algorithm 3 — otherwise) and picks a broadcast or shuffle strategy per
-// join from the estimated side sizes. ModePT routes to the property-table
-// planner.
-func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, res *Result) (*engine.Relation, error) {
+// join from the estimated side sizes. Filters whose variables are covered
+// by a single pattern are compiled into that pattern's scan (the matching
+// consumed entry is set). ModePT routes to the property-table planner,
+// which consumes no filters.
+func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, filters []sparql.Expression, consumed []bool, res *Result) (*engine.Relation, error) {
 	if e.Mode == ModePT {
 		return e.evalBGPPT(ex, bgp, res)
 	}
@@ -231,13 +270,34 @@ func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, res *Resul
 	base := len(res.Plan)
 	for i, sel := range sels {
 		res.Plan = append(res.Plan, PatternPlan{
-			Pattern: bgp[i].String(), Table: sel.name, Rows: sel.rows, SF: sel.sf,
+			Pattern: bgp[i].String(), Table: sel.name, Rows: sel.rows, SF: sel.sf, Est: sel.est,
 		})
 	}
 	if empty {
 		// Statistics-only answer (paper Sec. 6.1): no execution at all.
 		res.StatsOnly = true
 		return e.emptyRelation(ex, bgp), nil
+	}
+
+	// Assign each filter covered by a single pattern to the first such
+	// pattern; the scan evaluates it before rows reach the output block.
+	// (Pushing past the join is sound: the filter only references that
+	// pattern's variables, which the join preserves per row.)
+	var preds []func(engine.Row) bool
+	if len(filters) > 0 {
+		preds = make([]func(engine.Row) bool, len(bgp))
+		for i, tp := range bgp {
+			var exprs []sparql.Expression
+			for fi, f := range filters {
+				if !consumed[fi] && varsSubset(f.Vars(), tp.Vars()) {
+					exprs = append(exprs, f)
+					consumed[fi] = true
+				}
+			}
+			if len(exprs) > 0 {
+				preds[i] = e.filterPred(tp.Vars(), exprs)
+			}
+		}
 	}
 
 	order := e.planJoinOrder(bgp, sels)
@@ -255,30 +315,35 @@ func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, res *Resul
 			return nil, err
 		}
 		tp, sel := bgp[idx], sels[idx]
-		scan, ok := e.compilePattern(ex, tp, sel)
+		var pred func(engine.Row) bool
+		if preds != nil {
+			pred = preds[idx]
+		}
+		scan, st, ok := e.compilePattern(ex, tp, sel, pred)
 		if !ok {
 			res.StatsOnly = true
 			return e.emptyRelation(ex, bgp), nil
 		}
+		res.Plan[base+idx].Scanned, res.Plan[base+idx].Pruned = st.Scanned, st.Pruned
 		if rel == nil {
-			rel, est = scan, sel.rows
+			rel, est = scan, sel.est
 			bound = joinedSchema(bound, tp.Vars())
 			continue
 		}
-		strat := chooseJoinStrategy(est, sel.rows, e.Cluster.Partitions())
+		strat := chooseJoinStrategy(est, sel.est, e.Cluster.Partitions())
 		if !sharesVar(bound, tp) {
 			// Disconnected BGP: the cross join is unavoidable here (the
 			// planner already deferred it past every connected pattern).
 			strat = strategyCross
 		}
 		res.Joins = append(res.Joins, JoinPlan{
-			Right: tp.String(), Strategy: strat, LeftRows: est, RightRows: sel.rows,
+			Right: tp.String(), Strategy: strat, LeftRows: est, RightRows: sel.est,
 		})
 		rel = ex.JoinWith(rel, scan, engineStrategy(strat))
 		if strat == strategyCross {
-			est = est * sel.rows
+			est = est * sel.est
 		} else {
-			est = estimateJoinRows(est, sel.rows)
+			est = estimateJoinRows(est, sel.est)
 		}
 		bound = joinedSchema(bound, tp.Vars())
 	}

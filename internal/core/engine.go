@@ -127,6 +127,15 @@ type PatternPlan struct {
 	Table   string
 	Rows    int
 	SF      float64
+	// Est is the planner's row estimate after bound-term selectivity
+	// scaling (Rows divided by the distinct-value count of each bound
+	// column); equal to Rows when no statistics apply.
+	Est int
+	// Scanned and Pruned report the executed scan's work: metered input
+	// rows, and rows eliminated by sort-order binary search or zone-map
+	// skips without evaluating any condition. Both stay zero when the
+	// pattern was never executed (statistics-only answers).
+	Scanned, Pruned int64
 }
 
 // Result is a solved query: variable names, decoded rows, the physical
@@ -366,12 +375,24 @@ func (e *Engine) unitRelation(ex *engine.Exec) *engine.Relation {
 // pushable filters, then OPTIONALs, then remaining filters.
 func (e *Engine) evalGroup(ex *engine.Exec, g *sparql.Group, res *Result) (*engine.Relation, error) {
 	var rel *engine.Relation
+	// Filters whose variables are covered by a single triple pattern are
+	// pushed into that pattern's scan, where they run at the scan's
+	// materialization boundary instead of over an already-built relation.
+	filters := g.Filters
 	if len(g.Triples) > 0 {
-		r, err := e.evalBGP(ex, g.Triples, res)
+		consumed := make([]bool, len(filters))
+		r, err := e.evalBGP(ex, g.Triples, filters, consumed, res)
 		if err != nil {
 			return nil, err
 		}
 		rel = r
+		rest := make([]sparql.Expression, 0, len(filters))
+		for i, f := range filters {
+			if !consumed[i] {
+				rest = append(rest, f)
+			}
+		}
+		filters = rest
 	}
 	for _, u := range g.Unions {
 		if err := ex.Err(); err != nil {
@@ -401,11 +422,11 @@ func (e *Engine) evalGroup(ex *engine.Exec, g *sparql.Group, res *Result) (*engi
 		rel = e.unitRelation(ex)
 	}
 
-	// Filter pushing: apply filters whose variables are all bound by the
-	// pattern evaluated so far (paper Sec. 6: "basic algebraic
+	// Filter pushing: apply the remaining filters whose variables are all
+	// bound by the pattern evaluated so far (paper Sec. 6: "basic algebraic
 	// optimizations, e.g. filter pushing").
 	var deferred []sparql.Expression
-	for _, f := range g.Filters {
+	for _, f := range filters {
 		if varsSubset(f.Vars(), rel.Schema) {
 			rel = e.applyFilter(ex, rel, f)
 		} else {

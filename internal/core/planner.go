@@ -11,8 +11,10 @@ import (
 )
 
 // Cost-based BGP planning. Algorithm 1 already estimates, per triple
-// pattern, the rows of the selected table and its selectivity factor; this
-// layer spends those statistics twice more:
+// pattern, the rows of the selected table and its selectivity factor;
+// bound-term selectivity then scales that estimate by 1/NDV per bound
+// position using the chosen table's distinct-value counts (selection.est).
+// This layer spends those statistics twice more:
 //
 //   - join ORDER: greedy smallest-estimate-first, restricted to patterns
 //     connected to what is already joined so no accidental cross join is
@@ -108,6 +110,9 @@ func (e *Engine) planJoinOrder(bgp []sparql.TriplePattern, sels []selection) []i
 	used := make([]bool, n)
 	var bound []string
 	better := func(i, j int) bool { // prefer i over j among equal connectivity
+		if sels[i].est != sels[j].est {
+			return sels[i].est < sels[j].est
+		}
 		if sels[i].rows != sels[j].rows {
 			return sels[i].rows < sels[j].rows
 		}
@@ -262,6 +267,11 @@ func (e *Engine) bgpSelections(bgp []sparql.TriplePattern) (sels []selection, em
 	sels = make([]selection, 0, len(bgp))
 	for i := range bgp {
 		sel := e.selectTable(i, bgp)
+		// Bound-term selectivity: scale the table cardinality by 1/NDV per
+		// bound position, from the chosen table's distinct counts. The
+		// estimate is cached with the selection (bound terms are part of
+		// the BGP key).
+		sel.est = estimatePatternRows(sel, bgp[i])
 		sels = append(sels, sel)
 		if sel.empty {
 			empty = true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -274,6 +275,56 @@ func TestSelectionCacheInvalidatesOnNewStats(t *testing.T) {
 	}
 	if res2.SelectionCacheHits != 1 {
 		t.Errorf("re-planned entry not cached: hits = %d", res2.SelectionCacheHits)
+	}
+}
+
+// TestBoundTermSelectivityFlipsJoinOrder: on skewed data, a pattern over a
+// big table with a bound object drawn from many distinct values (high NDV,
+// so the bound term is highly selective) must now be ordered before a
+// smaller table whose object column holds a single value (NDV 1, the bound
+// term filters nothing). Table cardinalities alone order them the other way
+// round.
+func TestBoundTermSelectivityFlipsJoinOrder(t *testing.T) {
+	iri := rdf.NewIRI
+	big, small := iri("urn:big"), iri("urn:small")
+	var ts []rdf.Triple
+	// big: 300 triples, every object distinct → NDV(o) = 300, so
+	// `?x big <o7>` is estimated at 300/300 = 1 row.
+	for i := 0; i < 300; i++ {
+		ts = append(ts, rdf.Triple{
+			S: iri(fmt.Sprintf("urn:s%d", i)), P: big, O: iri(fmt.Sprintf("urn:o%d", i)),
+		})
+	}
+	// small: 60 triples, all sharing one object → NDV(o) = 1; without
+	// bound-term statistics its 60 rows would win the first slot.
+	for i := 0; i < 60; i++ {
+		ts = append(ts, rdf.Triple{
+			S: iri(fmt.Sprintf("urn:s%d", i)), P: small, O: iri("urn:same"),
+		})
+	}
+	ds := layout.Build(ts, layout.Options{BuildExtVP: false})
+	e := &Engine{DS: ds, Cluster: engine.NewCluster(4), Mode: ModeVP, JoinOrderOpt: true}
+
+	res, err := e.Query(`SELECT * WHERE { ?x <urn:small> ?z . ?x <urn:big> <urn:o7> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JoinOrder) != 2 || res.JoinOrder[0] != 1 {
+		t.Fatalf("JoinOrder = %v, want the bound-object big pattern (index 1) first", res.JoinOrder)
+	}
+	if res.Plan[1].Rows != 300 || res.Plan[1].Est != 1 {
+		t.Errorf("big pattern rows/est = %d/%d, want 300/1", res.Plan[1].Rows, res.Plan[1].Est)
+	}
+	if res.Plan[0].Est != 60 {
+		t.Errorf("small pattern est = %d, want 60 (NDV 1 must not shrink it)", res.Plan[0].Est)
+	}
+	// The 1-row estimate also drives the join strategy: broadcasting the
+	// tiny side beats shuffling 60+1 rows at 4 partitions.
+	if len(res.Joins) != 1 || res.Joins[0].Strategy != "broadcast" {
+		t.Errorf("Joins = %+v, want one broadcast", res.Joins)
+	}
+	if res.Len() != 1 {
+		t.Errorf("rows = %d, want 1 (s7 has both predicates)", res.Len())
 	}
 }
 

@@ -41,7 +41,13 @@ func (e *Engine) ptTable() *ptView {
 			cols = append(cols, name)
 			data = append(data, pt.Columns[p])
 		}
-		v.table = &store.Table{Name: "PT", Cols: cols, Data: data}
+		v.table = &store.Table{Name: "PT", Cols: cols, Data: data, SortCol: -1}
+		// Subjects are sorted, so the zone pass records "s" as the sort
+		// column and per-column zone maps; star scans with a bound subject
+		// then binary search instead of reading the wide table. The PT
+		// planner never consults NDV, so the exact distinct counts (a hash
+		// set per wide column) are skipped.
+		v.table.FinalizeZones()
 		v.triple = pt.NumRows() * (len(cols) - 1)
 		e.pt = v
 	})
@@ -67,8 +73,11 @@ func (e *Engine) evalBGPPT(ex *engine.Exec, bgp []sparql.TriplePattern, res *Res
 		desc string
 	}
 	var units []unit
-	addPlan := func(pattern, table string, rows int) {
-		res.Plan = append(res.Plan, PatternPlan{Pattern: pattern, Table: table, Rows: rows, SF: 1})
+	addPlan := func(pattern, table string, rows int, st engine.ScanStats) {
+		res.Plan = append(res.Plan, PatternPlan{
+			Pattern: pattern, Table: table, Rows: rows, SF: 1, Est: rows,
+			Scanned: st.Scanned, Pruned: st.Pruned,
+		})
 	}
 
 	// Group PT-answerable patterns by subject node.
@@ -134,12 +143,13 @@ func (e *Engine) evalBGPPT(ex *engine.Exec, bgp []sparql.TriplePattern, res *Res
 			}
 			desc += tp.String() + "; "
 		}
-		rel := ex.Scan(view.table, projs, conds)
+		rel, st := ex.ScanTable(view.table, engine.ScanSpec{Projs: projs, Conds: conds})
 		// A property-table scan touches the full width of the unified
 		// table; meter the extra cells the narrow Scan did not count.
 		extra := int64(view.triple - pt.NumRows())
 		if extra > 0 {
 			ex.AddRowsScanned(extra)
+			st.Scanned += extra
 		}
 		// Required patterns must have a value: drop Null cells.
 		if len(nullChecks) > 0 {
@@ -158,19 +168,20 @@ func (e *Engine) evalBGPPT(ex *engine.Exec, bgp []sparql.TriplePattern, res *Res
 				return true
 			})
 		}
-		addPlan(desc, "PT", pt.NumRows())
+		addPlan(desc, "PT", pt.NumRows(), st)
 		units = append(units, unit{rel: rel, vars: vars, rows: rel.NumRows(), desc: desc})
 	}
 
 	// Compile fallback patterns over VP/TT (auxiliary tables).
 	for _, tp := range fallback {
 		sel := e.selectTableVP(tp)
-		addPlan(tp.String(), sel.name, sel.rows)
 		if sel.empty {
+			addPlan(tp.String(), sel.name, sel.rows, engine.ScanStats{})
 			res.StatsOnly = true
 			return e.emptyRelation(ex, bgp), nil
 		}
-		scan, ok := e.compilePattern(ex, tp, sel)
+		scan, st, ok := e.compilePattern(ex, tp, sel, nil)
+		addPlan(tp.String(), sel.name, sel.rows, st)
 		if !ok {
 			res.StatsOnly = true
 			return e.emptyRelation(ex, bgp), nil

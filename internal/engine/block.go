@@ -132,6 +132,44 @@ func (b *Block) AppendBlock(src *Block) {
 	b.n += src.n
 }
 
+// AppendColumnsRange appends rows [lo, hi) of a column-major source, taking
+// source column srcs[j] for output position j. The copy runs column-wise:
+// one strided pass per output column over the contiguous source column,
+// which is how the late-materializing scan fills its output exactly once.
+func (b *Block) AppendColumnsRange(cols [][]dict.ID, srcs []int, lo, hi int) {
+	nrows := hi - lo
+	if nrows <= 0 {
+		return
+	}
+	o := b.grow(nrows * b.arity)
+	b.n += nrows
+	for j, src := range srcs {
+		dst := b.ids[o+j:]
+		col := cols[src][lo:hi]
+		for i, v := range col {
+			dst[i*b.arity] = v
+		}
+	}
+}
+
+// AppendColumnsSelected appends the rows at the selected indices of a
+// column-major source, like AppendColumnsRange but gathering through a
+// selection vector.
+func (b *Block) AppendColumnsSelected(cols [][]dict.ID, srcs []int, sel []int32) {
+	if len(sel) == 0 {
+		return
+	}
+	o := b.grow(len(sel) * b.arity)
+	b.n += len(sel)
+	for j, src := range srcs {
+		dst := b.ids[o+j:]
+		col := cols[src]
+		for i, ri := range sel {
+			dst[i*b.arity] = col[ri]
+		}
+	}
+}
+
 // blockOfRows copies a []Row slice into a fresh block.
 func blockOfRows(arity int, rows []Row) *Block {
 	b := NewBlock(arity, len(rows))

@@ -48,7 +48,12 @@ type Row []dict.ID
 // Metrics counts the work performed by a cluster or a single query. All
 // fields are updated atomically and may be read concurrently.
 type Metrics struct {
-	RowsScanned     atomic.Int64
+	RowsScanned atomic.Int64
+	// RowsPruned counts input rows a scan eliminated without evaluating any
+	// condition on them: rows outside the sort-column binary-search range
+	// plus rows in chunks a zone map excluded. It reports savings relative
+	// to RowsScanned (the logical input volume), never extra work.
+	RowsPruned      atomic.Int64
 	RowsShuffled    atomic.Int64
 	JoinComparisons atomic.Int64
 	RowsOutput      atomic.Int64
@@ -59,6 +64,7 @@ type Metrics struct {
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
 		RowsScanned:     m.RowsScanned.Load(),
+		RowsPruned:      m.RowsPruned.Load(),
 		RowsShuffled:    m.RowsShuffled.Load(),
 		JoinComparisons: m.JoinComparisons.Load(),
 		RowsOutput:      m.RowsOutput.Load(),
@@ -69,6 +75,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 // Reset zeroes all counters.
 func (m *Metrics) Reset() {
 	m.RowsScanned.Store(0)
+	m.RowsPruned.Store(0)
 	m.RowsShuffled.Store(0)
 	m.JoinComparisons.Store(0)
 	m.RowsOutput.Store(0)
@@ -78,6 +85,7 @@ func (m *Metrics) Reset() {
 // MetricsSnapshot is a point-in-time copy of Metrics.
 type MetricsSnapshot struct {
 	RowsScanned     int64
+	RowsPruned      int64
 	RowsShuffled    int64
 	JoinComparisons int64
 	RowsOutput      int64
@@ -88,6 +96,7 @@ type MetricsSnapshot struct {
 func (s MetricsSnapshot) Sub(other MetricsSnapshot) MetricsSnapshot {
 	return MetricsSnapshot{
 		RowsScanned:     s.RowsScanned - other.RowsScanned,
+		RowsPruned:      s.RowsPruned - other.RowsPruned,
 		RowsShuffled:    s.RowsShuffled - other.RowsShuffled,
 		JoinComparisons: s.JoinComparisons - other.JoinComparisons,
 		RowsOutput:      s.RowsOutput - other.RowsOutput,
@@ -99,6 +108,7 @@ func (s MetricsSnapshot) Sub(other MetricsSnapshot) MetricsSnapshot {
 func (s MetricsSnapshot) Add(other MetricsSnapshot) MetricsSnapshot {
 	return MetricsSnapshot{
 		RowsScanned:     s.RowsScanned + other.RowsScanned,
+		RowsPruned:      s.RowsPruned + other.RowsPruned,
 		RowsShuffled:    s.RowsShuffled + other.RowsShuffled,
 		JoinComparisons: s.JoinComparisons + other.JoinComparisons,
 		RowsOutput:      s.RowsOutput + other.RowsOutput,
@@ -140,6 +150,11 @@ type Exec struct {
 	// done caches ctx.Done(); nil means the context can never be cancelled
 	// and all cancellation checks compile down to a nil comparison.
 	done <-chan struct{}
+	// scanPruned is ScanTable's scratch pruning counter. Operators on one
+	// Exec run sequentially (only a single operator's partition tasks run
+	// concurrently), so reusing one counter avoids a per-scan heap
+	// allocation for a variable the partition closures must share.
+	scanPruned atomic.Int64
 }
 
 // NewExec returns an execution handle metering into m (which may be nil for
@@ -214,6 +229,13 @@ func (x *Exec) AddRowsScanned(n int64) {
 	x.c.Metrics.RowsScanned.Add(n)
 	if x.m != nil {
 		x.m.RowsScanned.Add(n)
+	}
+}
+
+func (x *Exec) addPruned(n int64) {
+	x.c.Metrics.RowsPruned.Add(n)
+	if x.m != nil {
+		x.m.RowsPruned.Add(n)
 	}
 }
 
@@ -360,6 +382,26 @@ func newRelation(schema []string, n int) *Relation {
 	return &Relation{Schema: schema, Parts: make([]*Block, n), keyCol: -1}
 }
 
+// splitRange returns the half-open sub-range of [0, n) assigned to partition
+// p of parts. Sizes differ by at most one row: the remainder of n/parts is
+// spread over the leading partitions (the previous ceil-division chunking
+// left the trailing partitions systematically empty whenever n%parts was
+// small relative to parts).
+func splitRange(n, parts, p int) (lo, hi int) {
+	base, rem := n/parts, n%parts
+	lo = p * base
+	if p < rem {
+		lo += p
+	} else {
+		lo += rem
+	}
+	hi = lo + base
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
 // FromRows builds a relation from a row slice, block-partitioned. It is the
 // compatibility constructor for coordinator-side row sets; the rows are
 // copied into flat blocks.
@@ -369,17 +411,11 @@ func (c *Cluster) FromRows(schema []string, rows []Row) *Relation {
 		return rel
 	}
 	arity := len(schema)
-	chunk := (len(rows) + c.partitions - 1) / c.partitions
 	for p := 0; p < c.partitions; p++ {
-		lo := p * chunk
-		if lo >= len(rows) {
-			break
+		lo, hi := splitRange(len(rows), c.partitions, p)
+		if lo < hi {
+			rel.Parts[p] = blockOfRows(arity, rows[lo:hi])
 		}
-		hi := lo + chunk
-		if hi > len(rows) {
-			hi = len(rows)
-		}
-		rel.Parts[p] = blockOfRows(arity, rows[lo:hi])
 	}
 	return rel
 }
@@ -387,118 +423,6 @@ func (c *Cluster) FromRows(schema []string, rows []Row) *Relation {
 // FromRows builds a relation from a row slice, block-partitioned.
 func (x *Exec) FromRows(schema []string, rows []Row) *Relation {
 	return x.c.FromRows(schema, rows)
-}
-
-// ScanCondition restricts a scanned column to a constant.
-type ScanCondition struct {
-	Col   string
-	Value dict.ID
-}
-
-// ScanProjection renames a stored column to an output variable.
-type ScanProjection struct {
-	Col string // column name in the stored table
-	As  string // output variable name
-}
-
-// scanPlan resolves projections and conditions against a table's schema,
-// panicking on references to columns the table does not have: a silently
-// empty scan would mask a compiler bug (it did once — the condIdx < 0 path
-// used to drop every row).
-type scanPlan struct {
-	schema  []string
-	srcs    []int
-	condIdx []int
-	equal   [][2]int // pairs of source columns that must be equal
-}
-
-func planScan(t *store.Table, projs []ScanProjection, conds []ScanCondition) scanPlan {
-	var pl scanPlan
-	pl.condIdx = make([]int, len(conds))
-	for i, cd := range conds {
-		ci := t.ColIndex(cd.Col)
-		if ci < 0 {
-			panic(fmt.Sprintf("engine: Scan condition on unknown column %q of table %s", cd.Col, t.Name))
-		}
-		pl.condIdx[i] = ci
-	}
-	// Deduplicate projections that target the same output variable.
-	seen := map[string]int{}
-	for _, pr := range projs {
-		src := t.ColIndex(pr.Col)
-		if src < 0 {
-			panic(fmt.Sprintf("engine: Scan projection of unknown column %q of table %s", pr.Col, t.Name))
-		}
-		if prev, ok := seen[pr.As]; ok {
-			pl.equal = append(pl.equal, [2]int{pl.srcs[prev], src})
-			continue
-		}
-		seen[pr.As] = len(pl.srcs)
-		pl.schema = append(pl.schema, pr.As)
-		pl.srcs = append(pl.srcs, src)
-	}
-	return pl
-}
-
-// Scan reads a stored table, applies constant conditions, projects and
-// renames columns, and produces a block-partitioned relation. This is the
-// compiled form of one SPARQL triple pattern (paper Algorithm 2). A
-// condition or projection naming a column the table does not have panics:
-// that is a query-compiler bug, not an empty result.
-//
-// If two projections reference the same source column position implicitly
-// via equal variable names (e.g. pattern ?x p ?x), rows where the columns
-// differ are dropped and the duplicate column is projected once.
-func (x *Exec) Scan(t *store.Table, projs []ScanProjection, conds []ScanCondition) *Relation {
-	c := x.c
-	n := t.NumRows()
-	x.AddRowsScanned(int64(n))
-
-	pl := planScan(t, projs, conds)
-	rel := newRelation(pl.schema, c.partitions)
-	if n == 0 {
-		return rel
-	}
-	unconditional := len(conds) == 0 && len(pl.equal) == 0
-	chunk := (n + c.partitions - 1) / c.partitions
-	x.parallel(c.partitions, func(p int) {
-		lo := p * chunk
-		if lo >= n {
-			return
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		hint := 0
-		if unconditional {
-			hint = hi - lo // exact: every row survives
-		}
-		out := NewBlock(len(pl.srcs), hint)
-	rows:
-		for i := lo; i < hi; i++ {
-			if x.stop(i - lo) {
-				break
-			}
-			for k, cd := range conds {
-				if t.Data[pl.condIdx[k]][i] != cd.Value {
-					continue rows
-				}
-			}
-			for _, eq := range pl.equal {
-				if t.Data[eq[0]][i] != t.Data[eq[1]][i] {
-					continue rows
-				}
-			}
-			dst := out.appendSlot()
-			for j, src := range pl.srcs {
-				dst[j] = t.Data[src][i]
-			}
-		}
-		rel.Parts[p] = out
-	})
-	x.addOutput(int64(rel.NumRows()))
-	return rel
 }
 
 // Filter keeps the rows satisfying pred. The predicate receives row views

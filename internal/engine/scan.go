@@ -1,0 +1,444 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"s2rdf/internal/bitvec"
+	"s2rdf/internal/dict"
+	"s2rdf/internal/store"
+)
+
+// This file implements the late-materializing columnar scan: the compiled
+// form of one SPARQL triple pattern (paper Algorithm 2), evaluated
+// column-at-a-time against the stored table instead of row-at-a-time.
+//
+// The pass works on row *indices* until the very end:
+//
+//  1. equality conditions on the table's sort column become one binary
+//     search, narrowing the scan to a contiguous run without touching rows;
+//  2. the surviving range is split across partitions; each partition walks
+//     it in ZoneSize chunks, skipping every chunk whose zone map proves a
+//     condition cannot hold inside it;
+//  3. within a surviving chunk the remaining conditions, the optional
+//     bit-vector pre-selection (the ExtVP bit-vector representation) and
+//     the equal-variable check each run over one column, compacting a
+//     []int32 selection vector;
+//  4. only then are the selected rows materialized — once, column-wise —
+//     into the partition's output Block. An optional late predicate (a
+//     pushed-down SPARQL filter) vetoes rows at this boundary.
+//
+// Rows eliminated in steps 1–2 are metered as RowsPruned: input the scan
+// never had to evaluate. RowsScanned stays the logical input volume (table
+// rows, or selected rows under a bit-vector), the quantity the paper's
+// input-size argument is stated in.
+
+// ScanCondition restricts a scanned column to a constant.
+type ScanCondition struct {
+	Col   string
+	Value dict.ID
+}
+
+// ScanProjection renames a stored column to an output variable.
+type ScanProjection struct {
+	Col string // column name in the stored table
+	As  string // output variable name
+}
+
+// ScanSpec describes one table scan: projections for variables, constant
+// conditions for bound positions, an optional pre-selection bit vector
+// (bit-vector ExtVP reductions) and an optional predicate evaluated on the
+// projected row just before it is admitted to the output (pushed-down
+// filters).
+type ScanSpec struct {
+	Projs []ScanProjection
+	Conds []ScanCondition
+	Sel   *bitvec.Bitset
+	Pred  func(Row) bool
+}
+
+// ScanStats reports one scan's work: Scanned is the metered input volume
+// (all table rows, or the selected rows under a bit-vector); Pruned counts
+// the table rows eliminated by the sort-column binary search and zone-map
+// chunk skips without evaluating any condition.
+type ScanStats struct {
+	Scanned int64
+	Pruned  int64
+}
+
+// scanCond is a resolved condition: column index and required value.
+type scanCond struct {
+	col int
+	val dict.ID
+}
+
+// scanPlan resolves projections and conditions against a table's schema,
+// panicking on references to columns the table does not have: a silently
+// empty scan would mask a compiler bug (it did once — the unresolved-column
+// path used to drop every row).
+type scanPlan struct {
+	schema []string
+	srcs   []int
+	conds  []scanCond
+	equal  [][2]int // pairs of source columns that must be equal
+}
+
+func planScan(t *store.Table, projs []ScanProjection, conds []ScanCondition) scanPlan {
+	var pl scanPlan
+	pl.conds = make([]scanCond, len(conds))
+	for i, cd := range conds {
+		ci := t.ColIndex(cd.Col)
+		if ci < 0 {
+			panic(fmt.Sprintf("engine: Scan condition on unknown column %q of table %s", cd.Col, t.Name))
+		}
+		pl.conds[i] = scanCond{col: ci, val: cd.Value}
+	}
+	// Deduplicate projections that target the same output variable; the
+	// schema holds at most a handful of names, so a linear probe beats a
+	// per-scan map allocation.
+	for _, pr := range projs {
+		src := t.ColIndex(pr.Col)
+		if src < 0 {
+			panic(fmt.Sprintf("engine: Scan projection of unknown column %q of table %s", pr.Col, t.Name))
+		}
+		if prev := indexOf(pl.schema, pr.As); prev >= 0 {
+			pl.equal = append(pl.equal, [2]int{pl.srcs[prev], src})
+			continue
+		}
+		pl.schema = append(pl.schema, pr.As)
+		pl.srcs = append(pl.srcs, src)
+	}
+	return pl
+}
+
+// sortedRun narrows [lo, hi) to the run where col equals v, by binary
+// search; col must be non-decreasing. Hand-rolled (no sort.Search closures)
+// so the scan's hot path stays allocation-free.
+func sortedRun(col []dict.ID, lo, hi int, v dict.ID) (int, int) {
+	l, h := lo, hi
+	for l < h {
+		m := int(uint(l+h) >> 1)
+		if col[m] < v {
+			l = m + 1
+		} else {
+			h = m
+		}
+	}
+	first := l
+	h = hi
+	for l < h {
+		m := int(uint(l+h) >> 1)
+		if col[m] <= v {
+			l = m + 1
+		} else {
+			h = m
+		}
+	}
+	return first, l
+}
+
+// ScanTable reads a stored table under spec and produces a block-partitioned
+// relation plus the scan's work statistics. A condition or projection naming
+// a column the table does not have panics: that is a query-compiler bug, not
+// an empty result.
+//
+// If two projections reference the same source column position implicitly
+// via equal variable names (e.g. pattern ?x p ?x), rows where the columns
+// differ are dropped and the duplicate column is projected once.
+func (x *Exec) ScanTable(t *store.Table, spec ScanSpec) (*Relation, ScanStats) {
+	c := x.c
+	n := t.NumRows()
+	var st ScanStats
+	if spec.Sel != nil {
+		st.Scanned = int64(spec.Sel.Count())
+	} else {
+		st.Scanned = int64(n)
+	}
+	x.AddRowsScanned(st.Scanned)
+
+	pl := planScan(t, spec.Projs, spec.Conds)
+	rel := newRelation(pl.schema, c.partitions)
+	if n == 0 {
+		return rel, st
+	}
+
+	// Step 1: conditions on the sort column collapse into one binary-searched
+	// run; everything outside it is pruned without being read. The slice is
+	// freshly allocated by planScan, so in-place compaction is safe.
+	lo, hi := 0, n
+	conds := pl.conds
+	if t.SortCol >= 0 {
+		kept := conds[:0]
+		for _, cd := range conds {
+			if cd.col == t.SortCol {
+				lo, hi = sortedRun(t.Data[cd.col], lo, hi, cd.val)
+			} else {
+				kept = append(kept, cd)
+			}
+		}
+		conds = kept
+	}
+	// Rows outside the binary-searched run are pruned. Under a bit-vector
+	// pre-selection only the *selected* rows among them count, so RowsPruned
+	// stays a savings figure relative to the Sel.Count()-based RowsScanned
+	// (never exceeding it).
+	pruned := &x.scanPruned
+	if spec.Sel != nil {
+		pruned.Store(int64(spec.Sel.CountRange(0, lo) + spec.Sel.CountRange(hi, n)))
+	} else {
+		pruned.Store(int64(n - (hi - lo)))
+	}
+
+	// The general pass builds an explicit selection vector; scans whose only
+	// remaining work is constant conditions (the common compiled pattern)
+	// materialize directly while walking the zones, saving the vector.
+	simple := spec.Sel == nil && len(pl.equal) == 0 && spec.Pred == nil
+	span := hi - lo
+	if span == 0 {
+		// The binary search proved the scan empty; all partitions stay nil.
+		st.Pruned = pruned.Load()
+		x.addPruned(st.Pruned)
+		return rel, st
+	}
+	x.parallel(c.partitions, func(p int) {
+		plo, phi := splitRange(span, c.partitions, p)
+		plo, phi = lo+plo, lo+phi
+		if plo >= phi {
+			return // empty partition: nil entry, like a skipped task
+		}
+		if simple && len(conds) == 0 {
+			// Every row in range survives: bulk column-wise copy, polling
+			// cancellation between batches so a huge unconditional scan
+			// still stops promptly.
+			out := NewBlock(len(pl.srcs), phi-plo)
+			for b := plo; b < phi; b += cancelBatch {
+				if x.Cancelled() {
+					break
+				}
+				bh := b + cancelBatch
+				if bh > phi {
+					bh = phi
+				}
+				out.AppendColumnsRange(t.Data, pl.srcs, b, bh)
+			}
+			rel.Parts[p] = out
+			return
+		}
+		if simple {
+			rel.Parts[p] = x.scanDirect(t, pl, conds, plo, phi, pruned)
+			return
+		}
+		rel.Parts[p] = x.scanVector(t, spec, pl, conds, plo, phi, pruned)
+	})
+	st.Pruned = pruned.Load()
+	x.addPruned(st.Pruned)
+	x.addOutput(int64(rel.NumRows()))
+	return rel, st
+}
+
+// zoneSkips reports whether zone z of the table provably excludes any of the
+// condition values.
+func zoneSkips(t *store.Table, conds []scanCond, z int) bool {
+	for _, cd := range conds {
+		if cd.col < len(t.Meta) && t.Meta[cd.col].ZoneSkips(z, cd.val) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanDirect evaluates constant conditions over [plo, phi) zone by zone in
+// two column-at-a-time passes: the first counts survivors (performing the
+// zone-map skips), the second fills an exactly-sized output block — no
+// selection vector, no block growth reallocation.
+func (x *Exec) scanDirect(t *store.Table, pl scanPlan, conds []scanCond, plo, phi int, pruned *atomic.Int64) *Block {
+	count := 0
+	zonePruned := 0
+	cancelled := false
+	// Zone chunks are at most ZoneSize (= cancelBatch) rows, so polling the
+	// context once per chunk preserves the engine's row-batch cancellation
+	// granularity.
+	for zlo := plo; zlo < phi; {
+		zhi := (zlo/store.ZoneSize + 1) * store.ZoneSize
+		if zhi > phi {
+			zhi = phi
+		}
+		if x.Cancelled() {
+			cancelled = true
+			break
+		}
+		if zoneSkips(t, conds, zlo/store.ZoneSize) {
+			zonePruned += zhi - zlo
+			zlo = zhi
+			continue
+		}
+	countRows:
+		for i := zlo; i < zhi; i++ {
+			for _, cd := range conds {
+				if t.Data[cd.col][i] != cd.val {
+					continue countRows
+				}
+			}
+			count++
+		}
+		zlo = zhi
+	}
+	pruned.Add(int64(zonePruned))
+	out := NewBlock(len(pl.srcs), count)
+	if count == 0 || cancelled {
+		return out
+	}
+	for zlo := plo; zlo < phi && out.Len() < count; {
+		zhi := (zlo/store.ZoneSize + 1) * store.ZoneSize
+		if zhi > phi {
+			zhi = phi
+		}
+		if x.Cancelled() {
+			break // truncated output, discarded by the caller via Exec.Err
+		}
+		if zoneSkips(t, conds, zlo/store.ZoneSize) {
+			zlo = zhi
+			continue
+		}
+	fillRows:
+		for i := zlo; i < zhi; i++ {
+			for _, cd := range conds {
+				if t.Data[cd.col][i] != cd.val {
+					continue fillRows
+				}
+			}
+			dst := out.appendSlot()
+			for j, src := range pl.srcs {
+				dst[j] = t.Data[src][i]
+			}
+		}
+		zlo = zhi
+	}
+	return out
+}
+
+// scanVector is the general pass for scans that carry a bit-vector
+// pre-selection, an equal-variable check or a late predicate: steps 2+3
+// compact a []int32 selection vector column-at-a-time over the surviving
+// zones, step 4 materializes the selected rows exactly once (column-wise
+// gather, or through the predicate's scratch row).
+func (x *Exec) scanVector(t *store.Table, spec ScanSpec, pl scanPlan, conds []scanCond, plo, phi int, pruned *atomic.Int64) *Block {
+	// Size the vector from the pre-selection's population when there is
+	// one (a sparse bit-vector reduction selects far fewer rows than the
+	// span); without one, grow from empty — this path only runs for the
+	// rare equal-variable / predicate / multi-condition shapes, and a
+	// span-sized buffer would cost 4 bytes per row of a possibly huge run.
+	cap0 := 0
+	if spec.Sel != nil {
+		cap0 = spec.Sel.CountRange(plo, phi)
+	}
+	sel := make([]int32, 0, cap0)
+	zonePruned := 0
+	// As in scanDirect, one cancellation poll per ≤ZoneSize-row chunk keeps
+	// the engine's row-batch granularity.
+	for zlo := plo; zlo < phi; {
+		zhi := (zlo/store.ZoneSize + 1) * store.ZoneSize
+		if zhi > phi {
+			zhi = phi
+		}
+		if x.Cancelled() {
+			break
+		}
+		if zoneSkips(t, conds, zlo/store.ZoneSize) {
+			if spec.Sel != nil {
+				// Under a bit-vector pre-selection, only selected rows
+				// count as pruned: RowsPruned must stay comparable to the
+				// Sel.Count()-based RowsScanned.
+				zonePruned += spec.Sel.CountRange(zlo, zhi)
+			} else {
+				zonePruned += zhi - zlo
+			}
+			zlo = zhi
+			continue
+		}
+		base := len(sel)
+		first := 0
+		if spec.Sel != nil {
+			for i := zlo; i < zhi; i++ {
+				if spec.Sel.Get(i) {
+					sel = append(sel, int32(i))
+				}
+			}
+		} else if len(conds) > 0 {
+			col, v := t.Data[conds[0].col], conds[0].val
+			for i := zlo; i < zhi; i++ {
+				if col[i] == v {
+					sel = append(sel, int32(i))
+				}
+			}
+			first = 1
+		} else {
+			for i := zlo; i < zhi; i++ {
+				sel = append(sel, int32(i))
+			}
+		}
+		for _, cd := range conds[first:] {
+			col, v := t.Data[cd.col], cd.val
+			k := base
+			for _, ri := range sel[base:] {
+				if col[ri] == v {
+					sel[k] = ri
+					k++
+				}
+			}
+			sel = sel[:k]
+		}
+		zlo = zhi
+	}
+	for _, eq := range pl.equal {
+		a, b := t.Data[eq[0]], t.Data[eq[1]]
+		k := 0
+		for _, ri := range sel {
+			if a[ri] == b[ri] {
+				sel[k] = ri
+				k++
+			}
+		}
+		sel = sel[:k]
+	}
+	pruned.Add(int64(zonePruned))
+
+	if spec.Pred == nil {
+		out := NewBlock(len(pl.srcs), len(sel))
+		out.AppendColumnsSelected(t.Data, pl.srcs, sel)
+		return out
+	}
+	out := NewBlock(len(pl.srcs), 0)
+	scratch := make(Row, len(pl.srcs))
+	for _, ri := range sel {
+		for j, src := range pl.srcs {
+			scratch[j] = t.Data[src][ri]
+		}
+		if spec.Pred(scratch) {
+			out.Append(scratch)
+		}
+	}
+	return out
+}
+
+// Scan reads a stored table, applies constant conditions, projects and
+// renames columns, and produces a block-partitioned relation; see ScanTable.
+func (x *Exec) Scan(t *store.Table, projs []ScanProjection, conds []ScanCondition) *Relation {
+	rel, _ := x.ScanTable(t, ScanSpec{Projs: projs, Conds: conds})
+	return rel
+}
+
+// ScanSel is Scan restricted to the rows whose bit is set in sel — the scan
+// operator for the bit-vector ExtVP representation: the base VP table is
+// read through a selection vector instead of reading a materialized
+// reduction. Only selected rows are metered as scanned, mirroring the I/O a
+// materialized reduction of the same size would cost.
+func (x *Exec) ScanSel(t *store.Table, sel *bitvec.Bitset, projs []ScanProjection, conds []ScanCondition) *Relation {
+	rel, _ := x.ScanTable(t, ScanSpec{Projs: projs, Conds: conds, Sel: sel})
+	return rel
+}
+
+// ScanSel is the aggregate-only convenience wrapper; see Exec.ScanSel.
+func (c *Cluster) ScanSel(t *store.Table, sel *bitvec.Bitset, projs []ScanProjection, conds []ScanCondition) *Relation {
+	return c.exec().ScanSel(t, sel, projs, conds)
+}

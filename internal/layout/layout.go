@@ -182,6 +182,9 @@ func Encode(triples []rdf.Triple, d *dict.Dict) *store.Table {
 		tt.Data[1][i] = r.p
 		tt.Data[2][i] = r.o
 	}
+	// The (p,s,o) sort makes p the detected sort column: TT-mode scans
+	// binary search the predicate run instead of reading the whole table.
+	tt.Finalize()
 	return tt
 }
 
@@ -223,6 +226,9 @@ func (ds *Dataset) buildVP() {
 		t := store.NewTable(VPName(ds.Dict, p), "s", "o")
 		t.Data[0] = ds.TT.Data[0][i:j]
 		t.Data[1] = ds.TT.Data[2][i:j]
+		// The TT (p,s,o) sort leaves each slice sorted by (s,o): Finalize
+		// records s as the sort column plus zone maps and distinct counts.
+		t.Finalize()
 		ds.VP[p] = t
 		ds.VPRows[p] = j - i
 		ds.Predicates = append(ds.Predicates, p)
@@ -353,6 +359,8 @@ func (ds *Dataset) materializeReduction(key ExtKey, subjects, objects map[dict.I
 			t.Data[1] = append(t.Data[1], vp.Data[1][i])
 		}
 	}
+	// Reductions preserve the VP (s,o) order, so they stay sorted by s.
+	t.Finalize()
 	return t
 }
 

@@ -3,9 +3,11 @@ package layout
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"s2rdf/internal/bitvec"
+	"s2rdf/internal/store"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -44,6 +46,57 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 					t.Fatalf("%v: cell (%d,%d) differs", key, c, r)
 				}
 			}
+		}
+	}
+}
+
+// TestSaveLoadScanStatistics asserts the scan statistics the layout
+// builders compute — sort column, zone maps, distinct counts — survive a
+// Save/Load round trip on every kind of table (TT, VP, ExtVP).
+func TestSaveLoadScanStatistics(t *testing.T) {
+	dir := t.TempDir()
+	ds := Build(g1(), DefaultOptions())
+	if err := Save(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, want, g *store.Table) {
+		t.Helper()
+		if g.SortCol != want.SortCol {
+			t.Errorf("%s: SortCol = %d, want %d", name, g.SortCol, want.SortCol)
+		}
+		if !reflect.DeepEqual(g.Meta, want.Meta) {
+			t.Errorf("%s: column statistics differ after round trip", name)
+		}
+	}
+	if ds.TT.SortColName() != "p" {
+		t.Fatalf("TT sort column = %q, want p", ds.TT.SortColName())
+	}
+	check("TT", ds.TT, got.TT)
+	for p, tbl := range ds.VP {
+		if tbl.SortColName() != "s" {
+			t.Fatalf("%s sort column = %q, want s", tbl.Name, tbl.SortColName())
+		}
+		check(tbl.Name, tbl, got.VP[p])
+	}
+	for key, tbl := range ds.ExtVP {
+		if tbl.SortColName() != "s" {
+			t.Fatalf("%s sort column = %q, want s", tbl.Name, tbl.SortColName())
+		}
+		check(tbl.Name, tbl, got.ExtVP[key])
+	}
+	// Distinct counts are the planner's NDV input; spot-check one VP table
+	// against a direct count.
+	for _, tbl := range ds.VP {
+		seen := map[uint32]struct{}{}
+		for _, v := range tbl.Data[0] {
+			seen[uint32(v)] = struct{}{}
+		}
+		if tbl.DistinctOf("s") != len(seen) {
+			t.Errorf("%s: NDV(s) = %d, want %d", tbl.Name, tbl.DistinctOf("s"), len(seen))
 		}
 	}
 }

@@ -16,15 +16,23 @@ import (
 
 // File format ("parquet-lite"): a little-endian binary layout per table.
 //
-//	magic "S2TB" | version u32 | ncols u32 | nrows u64
+//	magic "S2TB" | version u32 | ncols u32 | nrows u64 | sortcol u32 (v2)
 //	per column: name-len u32 | name | nruns u64 | runs (value uvarint, length uvarint)
+//	            distinct u64 | nzones u64 | zones (min uvarint, max uvarint)  (v2)
 //
 // Columns are run-length encoded; dictionary encoding already happened via
-// the global term dictionary, so values are uint32 IDs.
+// the global term dictionary, so values are uint32 IDs. Version 2 added the
+// scan statistics Table.Finalize computes — the sort column, per-column
+// distinct counts and zone maps — so a loaded store prunes scans without
+// re-deriving them; version 1 files are still readable (their statistics
+// are recomputed on load).
 
 const (
-	magic   = "S2TB"
-	version = 1
+	magic    = "S2TB"
+	version  = 2
+	version1 = 1
+	// noSortCol encodes Table.SortCol == -1.
+	noSortCol = ^uint32(0)
 )
 
 // WriteTable serializes t to w. It returns the number of bytes written.
@@ -38,6 +46,11 @@ func WriteTable(w io.Writer, t *Table) (int64, error) {
 	writeU32(cw, version)
 	writeU32(cw, uint32(len(t.Cols)))
 	writeU64(cw, uint64(t.NumRows()))
+	if t.SortCol >= 0 {
+		writeU32(cw, uint32(t.SortCol))
+	} else {
+		writeU32(cw, noSortCol)
+	}
 	for c, name := range t.Cols {
 		writeU32(cw, uint32(len(name)))
 		if _, err := cw.Write([]byte(name)); err != nil {
@@ -51,6 +64,22 @@ func WriteTable(w io.Writer, t *Table) (int64, error) {
 				return cw.n, err
 			}
 			n = binary.PutUvarint(buf, uint64(r.length))
+			if _, err := cw.Write(buf[:n]); err != nil {
+				return cw.n, err
+			}
+		}
+		var m ColMeta
+		if c < len(t.Meta) {
+			m = t.Meta[c]
+		}
+		writeU64(cw, uint64(m.Distinct))
+		writeU64(cw, uint64(len(m.ZoneMin)))
+		for z := range m.ZoneMin {
+			n := binary.PutUvarint(buf, uint64(m.ZoneMin[z]))
+			if _, err := cw.Write(buf[:n]); err != nil {
+				return cw.n, err
+			}
+			n = binary.PutUvarint(buf, uint64(m.ZoneMax[z]))
 			if _, err := cw.Write(buf[:n]); err != nil {
 				return cw.n, err
 			}
@@ -76,7 +105,7 @@ func ReadTable(r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != version {
+	if ver != version && ver != version1 {
 		return nil, fmt.Errorf("store: unsupported version %d", ver)
 	}
 	ncols, err := readU32(br)
@@ -87,7 +116,20 @@ func ReadTable(r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{}
+	t := &Table{SortCol: -1}
+	if ver >= version {
+		sc, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if sc != noSortCol {
+			if sc >= ncols {
+				return nil, fmt.Errorf("store: sort column %d out of range", sc)
+			}
+			t.SortCol = int(sc)
+		}
+		t.Meta = make([]ColMeta, 0, ncols)
+	}
 	for c := uint32(0); c < ncols; c++ {
 		nameLen, err := readU32(br)
 		if err != nil {
@@ -121,6 +163,42 @@ func ReadTable(r io.Reader) (*Table, error) {
 				string(name), len(col), nrows)
 		}
 		t.Data = append(t.Data, col)
+		if ver >= version {
+			var m ColMeta
+			distinct, err := readU64(br)
+			if err != nil {
+				return nil, err
+			}
+			m.Distinct = int(distinct)
+			nzones, err := readU64(br)
+			if err != nil {
+				return nil, err
+			}
+			// nzones is 0 when the table was never finalized (no zone map).
+			if want := (nrows + ZoneSize - 1) / ZoneSize; nzones != 0 && nzones != want {
+				return nil, fmt.Errorf("store: column %q has %d zones, want %d",
+					string(name), nzones, want)
+			}
+			m.ZoneMin = make([]dict.ID, nzones)
+			m.ZoneMax = make([]dict.ID, nzones)
+			for z := uint64(0); z < nzones; z++ {
+				lo, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				hi, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				m.ZoneMin[z], m.ZoneMax[z] = dict.ID(lo), dict.ID(hi)
+			}
+			t.Meta = append(t.Meta, m)
+		}
+	}
+	if ver < version {
+		// Version 1 predates the scan statistics; derive them now so loaded
+		// stores prune the same way freshly built ones do.
+		t.Finalize()
 	}
 	return t, nil
 }
@@ -230,7 +308,13 @@ func (d *Dir) SaveTable(t *Table, sf float64) (Stats, error) {
 	if cerr != nil {
 		return Stats{}, cerr
 	}
-	st := Stats{Name: t.Name, Rows: t.NumRows(), SF: sf, Bytes: n}
+	st := Stats{Name: t.Name, Rows: t.NumRows(), SF: sf, Bytes: n, SortCol: t.SortColName()}
+	if len(t.Meta) == len(t.Cols) && len(t.Cols) > 0 {
+		st.Distinct = make([]int, len(t.Meta))
+		for i := range t.Meta {
+			st.Distinct[i] = t.Meta[i].Distinct
+		}
+	}
 	d.manifest[t.Name] = st
 	return st, nil
 }

@@ -330,6 +330,7 @@ func writeResult(w http.ResponseWriter, mode Mode, res *Result) {
 	h.Set("X-S2RDF-Mode", mode.String())
 	h.Set("X-S2RDF-Duration", res.Duration.String())
 	h.Set("X-S2RDF-Rows-Scanned", strconv.FormatInt(res.Metrics.RowsScanned, 10))
+	h.Set("X-S2RDF-Rows-Pruned", strconv.FormatInt(res.Metrics.RowsPruned, 10))
 	h.Set("X-S2RDF-Rows-Shuffled", strconv.FormatInt(res.Metrics.RowsShuffled, 10))
 	h.Set("X-S2RDF-Join-Comparisons", strconv.FormatInt(res.Metrics.JoinComparisons, 10))
 	h.Set("X-S2RDF-Rows-Output", strconv.FormatInt(res.Metrics.RowsOutput, 10))
