@@ -54,6 +54,7 @@ func main() {
 	engines := flag.String("engines", "", "comma-separated engine subset (default all)")
 	jsonOut := flag.String("json", "", "write raw results of the executed experiments to this JSON file")
 	compare := flag.String("compare", "", "previous -json output to diff the basic workload against (delta table)")
+	failAbove := flag.Float64("fail-above", 0, "with -compare: exit non-zero when any basic cell's wall time regresses by more than this fraction (e.g. 0.25 = +25%); 0 only prints the delta")
 	flag.Parse()
 
 	tmp, err := os.MkdirTemp("", "s2rdf-bench-*")
@@ -124,7 +125,11 @@ func main() {
 	}
 	if *compare != "" {
 		if cells, ok := results["basic"].([]bench.Cell); ok {
-			printDelta(os.Stdout, *compare, cells)
+			regressed := printDelta(os.Stdout, *compare, cells, *failAbove)
+			if *failAbove > 0 && len(regressed) > 0 {
+				log.Fatalf("-fail-above %.2f: %d cell(s) regressed: %s",
+					*failAbove, len(regressed), strings.Join(regressed, ", "))
+			}
 		} else {
 			log.Printf("-compare: basic workload did not run, nothing to diff")
 		}
@@ -133,21 +138,23 @@ func main() {
 
 // printDelta diffs this run's basic-workload cells against a previous -json
 // document and renders a per-(query, engine) delta table: wall time, allocs
-// and scan volume, plus the pruning counts themselves. A missing or
-// unreadable previous file only logs a note — the first run after adding a
-// baseline has nothing to compare against and must not fail CI.
-func printDelta(w *os.File, oldPath string, cells []bench.Cell) {
+// and scan volume, plus the pruning counts themselves. With failAbove > 0 it
+// returns the "query/engine" labels of cells whose wall time regressed past
+// that fraction, for the caller to fail on. A missing or unreadable previous
+// file only logs a note — the first run after adding a baseline has nothing
+// to compare against and must not fail CI.
+func printDelta(w *os.File, oldPath string, cells []bench.Cell, failAbove float64) []string {
 	raw, err := os.ReadFile(oldPath)
 	if err != nil {
 		log.Printf("-compare: %v (skipping delta)", err)
-		return
+		return nil
 	}
 	var doc struct {
 		Basic []bench.Cell `json:"basic"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		log.Printf("-compare: parsing %s: %v (skipping delta)", oldPath, err)
-		return
+		return nil
 	}
 	old := make(map[[2]string]bench.Cell, len(doc.Basic))
 	for _, c := range doc.Basic {
@@ -165,6 +172,7 @@ func printDelta(w *os.File, oldPath string, cells []bench.Cell) {
 	fmt.Fprintf(w, "\n=== delta vs %s (basic workload) ===\n", oldPath)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "query\tengine\ttime\tΔtime\tallocs\tΔallocs\tscanned\tΔscanned\tpruned")
+	var regressed []string
 	for _, c := range cells {
 		o, ok := old[[2]string{c.Query, c.Engine}]
 		if !ok || c.Failed || o.Failed {
@@ -176,6 +184,11 @@ func printDelta(w *os.File, oldPath string, cells []bench.Cell) {
 			c.Allocs, pct(int64(o.Allocs), int64(c.Allocs)),
 			c.RowsScanned, pct(o.RowsScanned, c.RowsScanned),
 			c.RowsPruned)
+		if failAbove > 0 && o.Reported > 0 &&
+			float64(c.Reported-o.Reported) > failAbove*float64(o.Reported) {
+			regressed = append(regressed, c.Query+"/"+c.Engine)
+		}
 	}
 	tw.Flush()
+	return regressed
 }

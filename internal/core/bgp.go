@@ -214,8 +214,10 @@ func estimatePatternRows(sel selection, tp sparql.TriplePattern) int {
 // pushed-down filter evaluated at the scan's materialization boundary. The
 // returned stats report the scan's metered and pruned input rows.
 func (e *Engine) compilePattern(ex *engine.Exec, tp sparql.TriplePattern, sel selection, pred func(engine.Row) bool) (*engine.Relation, engine.ScanStats, bool) {
-	var projs []engine.ScanProjection
-	var conds []engine.ScanCondition
+	// At most three positions bind either way; exact capacities keep the
+	// per-pattern compile to two fixed allocations.
+	projs := make([]engine.ScanProjection, 0, 3)
+	conds := make([]engine.ScanCondition, 0, 3)
 
 	bindCol := func(col string, n sparql.Node) bool {
 		if n.IsVar() {
@@ -261,7 +263,15 @@ func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, filters []
 		return e.evalBGPPT(ex, bgp, res)
 	}
 
-	sels, empty, cached := e.bgpSelections(bgp)
+	// Pattern strings feed the selection-cache key, the plan rows and the
+	// per-join explain entries; String() allocates, so render each exactly
+	// once per evaluation.
+	tpStrs := make([]string, len(bgp))
+	for i, tp := range bgp {
+		tpStrs[i] = tp.String()
+	}
+
+	sels, empty, cached := e.bgpSelections(bgp, tpStrs)
 	if cached {
 		res.SelectionCacheHits++
 	} else {
@@ -270,13 +280,21 @@ func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, filters []
 	base := len(res.Plan)
 	for i, sel := range sels {
 		res.Plan = append(res.Plan, PatternPlan{
-			Pattern: bgp[i].String(), Table: sel.name, Rows: sel.rows, SF: sel.sf, Est: sel.est,
+			Pattern: tpStrs[i], Table: sel.name, Rows: sel.rows, SF: sel.sf, Est: sel.est,
 		})
 	}
 	if empty {
 		// Statistics-only answer (paper Sec. 6.1): no execution at all.
 		res.StatsOnly = true
 		return e.emptyRelation(ex, bgp), nil
+	}
+
+	// Pattern variable lists are consulted all over the planning loop
+	// (ordering, star detection, schema accumulation); Vars() allocates, so
+	// compute each one exactly once.
+	tpVars := make([][]string, len(bgp))
+	for i, tp := range bgp {
+		tpVars[i] = tp.Vars()
 	}
 
 	// Assign each filter covered by a single pattern to the first such
@@ -286,29 +304,31 @@ func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, filters []
 	var preds []func(engine.Row) bool
 	if len(filters) > 0 {
 		preds = make([]func(engine.Row) bool, len(bgp))
-		for i, tp := range bgp {
+		for i := range bgp {
 			var exprs []sparql.Expression
 			for fi, f := range filters {
-				if !consumed[fi] && varsSubset(f.Vars(), tp.Vars()) {
+				if !consumed[fi] && varsSubset(f.Vars(), tpVars[i]) {
 					exprs = append(exprs, f)
 					consumed[fi] = true
 				}
 			}
 			if len(exprs) > 0 {
-				preds[i] = e.filterPred(tp.Vars(), exprs)
+				preds[i] = e.filterPred(tpVars[i], exprs)
 			}
 		}
 	}
 
-	order := e.planJoinOrder(bgp, sels)
+	order := e.planJoinOrder(bgp, tpVars, sels)
 	for _, idx := range order {
 		res.JoinOrder = append(res.JoinOrder, base+idx)
 	}
 
+	parts := e.Cluster.Partitions()
 	var rel *engine.Relation
 	var bound []string
 	est := 0 // estimated cardinality of the accumulated intermediate
-	for _, idx := range order {
+	for oi := 0; oi < len(order); oi++ {
+		idx := order[oi]
 		// A cancelled query stops between pattern joins; the row-batch
 		// checks inside each operator cover the stretch in between.
 		if err := ex.Err(); err != nil {
@@ -319,38 +339,133 @@ func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, filters []
 		if preds != nil {
 			pred = preds[idx]
 		}
+		if rel == nil {
+			scan, st, ok := e.compilePattern(ex, tp, sel, pred)
+			if !ok {
+				res.StatsOnly = true
+				return e.emptyRelation(ex, bgp), nil
+			}
+			res.Plan[base+idx].Scanned, res.Plan[base+idx].Pruned = st.Scanned, st.Pruned
+			rel, est = scan, sel.est
+			bound = joinedSchema(bound, tpVars[idx])
+			continue
+		}
+		// A run of ≥2 upcoming shuffle joins all hitting the same hub
+		// variable evaluates as one star join: the intermediate is hashed
+		// once and the star's output materialized once.
+		if run, hub := e.starRun(tpVars, sels, order, oi, bound, rel, est); len(run) >= 2 {
+			rights := make([]*engine.Relation, len(run))
+			for i, ridx := range run {
+				var rpred func(engine.Row) bool
+				if preds != nil {
+					rpred = preds[ridx]
+				}
+				scan, st, ok := e.compilePattern(ex, bgp[ridx], sels[ridx], rpred)
+				if !ok {
+					res.StatsOnly = true
+					return e.emptyRelation(ex, bgp), nil
+				}
+				res.Plan[base+ridx].Scanned, res.Plan[base+ridx].Pruned = st.Scanned, st.Pruned
+				rights[i] = scan
+			}
+			coPart := rel.CoPartitionedBy(rel.ColIndex(hub), parts)
+			joined, stats := ex.StarJoin(rel, rights)
+			for i, ridx := range run {
+				res.Joins = append(res.Joins, JoinPlan{
+					Right: tpStrs[ridx], Strategy: strategyStar,
+					LeftRows: est, RightRows: sels[ridx].est,
+					RowsShuffled: stats[i].RowsShuffled, Comparisons: stats[i].Comparisons,
+					CoPartitioned: coPart || i > 0,
+				})
+				est = estimateJoinRows(est, sels[ridx].est)
+				bound = joinedSchema(bound, tpVars[ridx])
+			}
+			rel = joined
+			oi += len(run) - 1
+			continue
+		}
 		scan, st, ok := e.compilePattern(ex, tp, sel, pred)
 		if !ok {
 			res.StatsOnly = true
 			return e.emptyRelation(ex, bgp), nil
 		}
 		res.Plan[base+idx].Scanned, res.Plan[base+idx].Pruned = st.Scanned, st.Pruned
-		if rel == nil {
-			rel, est = scan, sel.est
-			bound = joinedSchema(bound, tp.Vars())
-			continue
-		}
-		strat := chooseJoinStrategy(est, sel.est, e.Cluster.Partitions())
-		if !sharesVar(bound, tp) {
+		coPart := coPartitionedLeft(rel, tpVars[idx], parts)
+		strat := chooseJoinStrategy(est, sel.est, parts, coPart)
+		if !sharesVar(bound, tpVars[idx]) {
 			// Disconnected BGP: the cross join is unavoidable here (the
 			// planner already deferred it past every connected pattern).
 			strat = strategyCross
 		}
-		res.Joins = append(res.Joins, JoinPlan{
-			Right: tp.String(), Strategy: strat, LeftRows: est, RightRows: sel.est,
-		})
+		before := ex.MetricsSnapshot()
 		rel = ex.JoinWith(rel, scan, engineStrategy(strat))
+		d := ex.MetricsSnapshot().Sub(before)
+		res.Joins = append(res.Joins, JoinPlan{
+			Right: tpStrs[idx], Strategy: strat, LeftRows: est, RightRows: sel.est,
+			RowsShuffled: d.RowsShuffled, Comparisons: d.JoinComparisons,
+			CoPartitioned: coPart && strat == strategyShuffle,
+		})
 		if strat == strategyCross {
 			est = est * sel.est
 		} else {
 			est = estimateJoinRows(est, sel.est)
 		}
-		bound = joinedSchema(bound, tp.Vars())
+		bound = joinedSchema(bound, tpVars[idx])
 	}
 	if rel == nil {
 		rel = e.unitRelation(ex)
 	}
 	return rel, nil
+}
+
+// starRun finds the maximal run of order members starting at oi that can
+// evaluate as one engine StarJoin against the current intermediate: each
+// member shares exactly one variable — the same hub — with the bound
+// schema, members pairwise share no variable beyond the hub, and the
+// planner would pick a shuffle for every one of them (a broadcast-sized
+// side keeps the ordinary per-join path, which replicates it instead of
+// shuffling the intermediate). Runs shorter than two are not stars.
+func (e *Engine) starRun(tpVars [][]string, sels []selection, order []int, oi int, bound []string, rel *engine.Relation, est int) ([]int, string) {
+	parts := e.Cluster.Partitions()
+	hub := ""
+	var run []int
+	runningEst := est
+	for ; oi < len(order); oi++ {
+		idx := order[oi]
+		shared := ""
+		for _, v := range tpVars[idx] {
+			if indexOf(bound, v) < 0 {
+				continue
+			}
+			if shared != "" && shared != v {
+				return run, hub // two bound vars: not a star arm
+			}
+			shared = v
+		}
+		if shared == "" {
+			return run, hub
+		}
+		if hub == "" {
+			hub = shared
+		} else if shared != hub {
+			return run, hub
+		}
+		// Arms must be independent of each other beyond the hub.
+		for _, prev := range run {
+			for _, v := range tpVars[idx] {
+				if v != hub && indexOf(tpVars[prev], v) >= 0 {
+					return run, hub
+				}
+			}
+		}
+		coPart := len(run) > 0 || rel.CoPartitionedBy(rel.ColIndex(hub), parts)
+		if chooseJoinStrategy(runningEst, sels[idx].est, parts, coPart) != strategyShuffle {
+			return run, hub
+		}
+		run = append(run, idx)
+		runningEst = estimateJoinRows(runningEst, sels[idx].est)
+	}
+	return run, hub
 }
 
 // emptyRelation returns a zero-row relation over all the BGP's variables.
@@ -362,8 +477,8 @@ func (e *Engine) emptyRelation(ex *engine.Exec, bgp []sparql.TriplePattern) *eng
 	return ex.FromRows(vars, nil)
 }
 
-func sharesVar(bound []string, tp sparql.TriplePattern) bool {
-	for _, v := range tp.Vars() {
+func sharesVar(bound, vars []string) bool {
+	for _, v := range vars {
 		if indexOf(bound, v) >= 0 {
 			return true
 		}

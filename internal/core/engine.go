@@ -206,15 +206,19 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) 
 		}
 		return e.ExecContext(ctx, q)
 	}
-	key := NormalizeQuery(src)
-	q, cached := e.Plans.get(key)
+	q, cached := e.Plans.getRaw(src)
 	if !cached {
-		var err error
-		q, err = sparql.Parse(src)
-		if err != nil {
-			return nil, err
+		key := NormalizeQuery(src)
+		q, cached = e.Plans.get(key)
+		if !cached {
+			var err error
+			q, err = sparql.Parse(src)
+			if err != nil {
+				return nil, err
+			}
+			e.Plans.put(key, q)
 		}
-		e.Plans.put(key, q)
+		e.Plans.alias(src, key)
 	}
 	res, err := e.ExecContext(ctx, q)
 	if res != nil {
@@ -407,15 +411,21 @@ func (e *Engine) evalGroup(ex *engine.Exec, g *sparql.Group, res *Result) (*engi
 		} else {
 			// Group-level joins see materialized inputs, so the strategy
 			// choice runs on exact cardinalities.
-			strat := chooseJoinStrategy(rel.NumRows(), ur.NumRows(), e.Cluster.Partitions())
+			coPart := coPartitionedLeft(rel, ur.Schema, e.Cluster.Partitions())
+			strat := chooseJoinStrategy(rel.NumRows(), ur.NumRows(), e.Cluster.Partitions(), coPart)
 			if !overlap(rel.Schema, ur.Schema) {
 				strat = strategyCross
 			}
+			leftRows := rel.NumRows()
+			before := ex.MetricsSnapshot()
+			rel = ex.JoinWith(rel, ur, engineStrategy(strat))
+			d := ex.MetricsSnapshot().Sub(before)
 			res.Joins = append(res.Joins, JoinPlan{
 				Right: "UNION", Strategy: strat,
-				LeftRows: rel.NumRows(), RightRows: ur.NumRows(),
+				LeftRows: leftRows, RightRows: ur.NumRows(),
+				RowsShuffled: d.RowsShuffled, Comparisons: d.JoinComparisons,
+				CoPartitioned: coPart && strat == strategyShuffle,
 			})
-			rel = ex.JoinWith(rel, ur, engineStrategy(strat))
 		}
 	}
 	if rel == nil {
@@ -451,11 +461,17 @@ func (e *Engine) evalGroup(ex *engine.Exec, g *sparql.Group, res *Result) (*engi
 		if !overlap(rel.Schema, right.Schema) {
 			strat = strategyCross
 		}
+		coPart := coPartitionedLeft(rel, right.Schema, e.Cluster.Partitions())
+		leftRows := rel.NumRows()
+		before := ex.MetricsSnapshot()
+		rel = ex.LeftJoinWith(rel, right, pred, engineStrategy(strat))
+		d := ex.MetricsSnapshot().Sub(before)
 		res.Joins = append(res.Joins, JoinPlan{
 			Right: "OPTIONAL", Strategy: strat,
-			LeftRows: rel.NumRows(), RightRows: right.NumRows(),
+			LeftRows: leftRows, RightRows: right.NumRows(),
+			RowsShuffled: d.RowsShuffled, Comparisons: d.JoinComparisons,
+			CoPartitioned: coPart && strat == strategyShuffle,
 		})
-		rel = ex.LeftJoinWith(rel, right, pred, engineStrategy(strat))
 	}
 
 	for _, f := range deferred {
@@ -520,8 +536,21 @@ func (e *Engine) filterPred(schema []string, exprs []sparql.Expression) func(eng
 	}
 }
 
+// joinedSchema returns left extended with right's new names. When right
+// adds nothing — the common case once a star's hub variables are bound —
+// left is returned as-is; callers treat schemas as immutable.
 func joinedSchema(left, right []string) []string {
-	out := append([]string{}, left...)
+	extra := 0
+	for _, name := range right {
+		if indexOf(left, name) < 0 {
+			extra++
+		}
+	}
+	if extra == 0 {
+		return left
+	}
+	out := make([]string, len(left), len(left)+extra)
+	copy(out, left)
 	for _, name := range right {
 		if indexOf(out, name) < 0 {
 			out = append(out, name)

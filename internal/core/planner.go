@@ -28,17 +28,25 @@ import (
 // dataset's statistics epoch moves (lazy ExtVP materialization).
 
 // JoinPlan records one executed join step for EXPLAIN-style inspection: the
-// right-hand input joined in, the physical strategy chosen, and the input
-// size estimates the choice was based on.
+// right-hand input joined in, the physical strategy chosen, the input size
+// estimates the choice was based on, and the work the step actually
+// performed. The executed-work fields are deterministic for a given dataset
+// and cluster, so a plan-cache re-run reports identical JoinPlans.
 type JoinPlan struct {
 	// Right describes the right input: a triple pattern, or "UNION" /
 	// "OPTIONAL" for group-level joins.
 	Right string
-	// Strategy is "shuffle", "broadcast" or "cross".
+	// Strategy is "shuffle", "broadcast", "cross" or "star".
 	Strategy string
 	// LeftRows and RightRows are the estimated (BGP joins) or exact
 	// (group-level joins) input cardinalities the decision used.
 	LeftRows, RightRows int
+	// RowsShuffled and Comparisons are the rows this step moved and the
+	// hash-chain comparisons it performed, measured by the engine.
+	RowsShuffled, Comparisons int64
+	// CoPartitioned reports that the left input arrived already hash-
+	// partitioned on the join key, making its half of the shuffle free.
+	CoPartitioned bool
 }
 
 // Join strategy names as reported in JoinPlan and the HTTP headers.
@@ -46,21 +54,43 @@ const (
 	strategyShuffle   = "shuffle"
 	strategyBroadcast = "broadcast"
 	strategyCross     = "cross"
+	strategyStar      = "star"
 )
 
 // chooseJoinStrategy picks the physical join from estimated side sizes. A
 // broadcast replicates the smaller side to every partition (≈ small ×
 // partitions rows moved) while a shuffle repartitions both sides (≈ left +
 // right rows moved); broadcast wins when its replication cost is lower.
-func chooseJoinStrategy(leftRows, rightRows, partitions int) string {
+// When the left side is already co-partitioned on the join key its half of
+// the shuffle is free, so only the right side counts against broadcast.
+func chooseJoinStrategy(leftRows, rightRows, partitions int, coPart bool) string {
 	small := leftRows
 	if rightRows < small {
 		small = rightRows
 	}
-	if small*partitions < leftRows+rightRows {
+	shuffleCost := leftRows + rightRows
+	if coPart {
+		shuffleCost = rightRows
+	}
+	if small*partitions < shuffleCost {
 		return strategyBroadcast
 	}
 	return strategyShuffle
+}
+
+// coPartitionedLeft reports whether the left relation is already hash-
+// partitioned on the column a natural join with rightVars would shuffle by
+// (the first left-schema column both sides share), at the cluster's
+// partition count — i.e. whether the engine would skip the left shuffle.
+func coPartitionedLeft(left *engine.Relation, rightVars []string, partitions int) bool {
+	for i, name := range left.Schema {
+		for _, rv := range rightVars {
+			if name == rv {
+				return left.CoPartitionedBy(i, partitions)
+			}
+		}
+	}
+	return false
 }
 
 // chooseLeftJoinStrategy is chooseJoinStrategy for a left outer join, where
@@ -98,7 +128,7 @@ func estimateJoinRows(left, right int) int {
 // joined, so cross joins happen only when the BGP itself is disconnected.
 // Ties break toward more bound positions, then textual order. With
 // JoinOrderOpt off it is the identity (the paper's Algorithm 3).
-func (e *Engine) planJoinOrder(bgp []sparql.TriplePattern, sels []selection) []int {
+func (e *Engine) planJoinOrder(bgp []sparql.TriplePattern, tpVars [][]string, sels []selection) []int {
 	n := len(bgp)
 	order := make([]int, 0, n)
 	if !e.JoinOrderOpt {
@@ -124,7 +154,7 @@ func (e *Engine) planJoinOrder(bgp []sparql.TriplePattern, sels []selection) []i
 			if used[i] {
 				continue
 			}
-			conn := len(order) == 0 || sharesVar(bound, bgp[i])
+			conn := len(order) == 0 || sharesVar(bound, tpVars[i])
 			switch {
 			case next < 0, conn && !nextConn:
 				next, nextConn = i, conn
@@ -134,7 +164,7 @@ func (e *Engine) planJoinOrder(bgp []sparql.TriplePattern, sels []selection) []i
 		}
 		used[next] = true
 		order = append(order, next)
-		bound = joinedSchema(bound, bgp[next].Vars())
+		bound = joinedSchema(bound, tpVars[next])
 	}
 	return order
 }
@@ -142,14 +172,15 @@ func (e *Engine) planJoinOrder(bgp []sparql.TriplePattern, sels []selection) []i
 // bgpKey canonicalizes a BGP for selection-cache lookup: the parsed
 // patterns' rendered forms, which are whitespace- and comment-free, joined
 // in textual order. Two differently formatted query strings with the same
-// patterns share one entry.
-func bgpKey(bgp []sparql.TriplePattern) string {
+// patterns share one entry. The caller supplies the rendered patterns so
+// one rendering serves the key and the explain surface alike.
+func bgpKey(tpStrs []string) string {
 	var b strings.Builder
-	for i, tp := range bgp {
+	for i, s := range tpStrs {
 		if i > 0 {
 			b.WriteByte('\n')
 		}
-		b.WriteString(tp.String())
+		b.WriteString(s)
 	}
 	return b.String()
 }
@@ -255,10 +286,10 @@ func (sc *SelectionCache) Stats() (hits, misses int64) {
 // miss, Algorithm 1 runs and the result is stored under the statistics
 // epoch it observed. sels is truncated after the first statistics-empty
 // pattern, with empty set.
-func (e *Engine) bgpSelections(bgp []sparql.TriplePattern) (sels []selection, empty, cached bool) {
+func (e *Engine) bgpSelections(bgp []sparql.TriplePattern, tpStrs []string) (sels []selection, empty, cached bool) {
 	var key string
 	if e.Selections != nil {
-		key = bgpKey(bgp)
+		key = bgpKey(tpStrs)
 		if ent, ok := e.Selections.get(key, e.DS.StatsEpoch()); ok {
 			return ent.sels, ent.empty, true
 		}

@@ -219,15 +219,21 @@ func (e *Engine) evalBGPPT(ex *engine.Exec, bgp []sparql.TriplePattern, res *Res
 		remaining = append(remaining[:next:next], remaining[next+1:]...)
 		// PT units are already materialized, so the broadcast-vs-shuffle
 		// choice runs on exact cardinalities.
-		strat := chooseJoinStrategy(rel.NumRows(), u.rel.NumRows(), e.Cluster.Partitions())
+		coPart := coPartitionedLeft(rel, u.vars, e.Cluster.Partitions())
+		strat := chooseJoinStrategy(rel.NumRows(), u.rel.NumRows(), e.Cluster.Partitions(), coPart)
 		if cross {
 			strat = strategyCross
 		}
+		leftRows := rel.NumRows()
+		before := ex.MetricsSnapshot()
+		rel = ex.JoinWith(rel, u.rel, engineStrategy(strat))
+		d := ex.MetricsSnapshot().Sub(before)
 		res.Joins = append(res.Joins, JoinPlan{
 			Right: u.desc, Strategy: strat,
-			LeftRows: rel.NumRows(), RightRows: u.rel.NumRows(),
+			LeftRows: leftRows, RightRows: u.rel.NumRows(),
+			RowsShuffled: d.RowsShuffled, Comparisons: d.JoinComparisons,
+			CoPartitioned: coPart && strat == strategyShuffle,
 		})
-		rel = ex.JoinWith(rel, u.rel, engineStrategy(strat))
 		bound = joinedSchema(bound, u.vars)
 	}
 	return rel, nil

@@ -2,34 +2,55 @@ package engine
 
 import "s2rdf/internal/dict"
 
-// Block is one partition of a relation stored as a flat, fixed-width row
-// buffer: arity dictionary IDs per row, rows back to back in a single
-// []dict.ID. Compared to the previous []Row (slice-of-slices) layout it
-// allocates O(log n) times per partition instead of once per row and keeps
-// rows contiguous in memory, so operator loops stream through cache lines
-// instead of chasing row pointers.
+// Block is one partition of a relation stored column-major: one contiguous
+// []dict.ID per column, every column the same length. Compared to the
+// previous flat row-major buffer, operators now touch only the columns they
+// need — key hashing runs over one contiguous slice, joins gather output
+// columns once from (row-index) pair vectors, and column-copying operators
+// (Project, padRight, Union alignment) can share column slices outright
+// instead of copying rows.
 //
 // Invariants:
-//   - every row has exactly Arity() IDs (the relation's column count);
-//   - Row(i) returns a view into the buffer that stays valid only until the
-//     next Append* call (appends may grow and therefore move the buffer).
+//   - len(cols[j]) == n for every column j;
+//   - blocks are write-once: an operator appends only to the block it is
+//     producing and only reads its inputs' blocks, so completed blocks are
+//     immutable and their columns may be shared between blocks freely.
 //
-// Operators only ever append to the block they are producing and only read
-// the blocks of their inputs, so views handed out by a completed operator
-// are stable. A nil *Block behaves as an empty block for Len.
+// A nil *Block behaves as an empty block for Len.
 type Block struct {
-	ids   []dict.ID
-	arity int
-	n     int
+	cols [][]dict.ID
+	n    int
 }
 
-// NewBlock returns an empty block for rows of the given arity, with
-// capacity preallocated for capRows rows.
+// NewBlock returns an empty block for rows of the given arity, with one
+// backing buffer preallocated for capRows rows (sliced per column, so a
+// block that stays within its estimate allocates once).
 func NewBlock(arity, capRows int) *Block {
 	if capRows < 0 {
 		capRows = 0
 	}
-	return &Block{ids: make([]dict.ID, 0, arity*capRows), arity: arity}
+	b := &Block{cols: make([][]dict.ID, arity)}
+	if capRows > 0 && arity > 0 {
+		buf := make([]dict.ID, arity*capRows)
+		for j := range b.cols {
+			b.cols[j] = buf[j*capRows : j*capRows : (j+1)*capRows]
+		}
+	}
+	return b
+}
+
+// newFixedBlock returns a block of exactly n rows with all columns allocated
+// full-length (one backing buffer), for producers that scatter or gather
+// into known positions instead of appending.
+func newFixedBlock(arity, n int) *Block {
+	b := &Block{cols: make([][]dict.ID, arity), n: n}
+	if n > 0 && arity > 0 {
+		buf := make([]dict.ID, arity*n)
+		for j := range b.cols {
+			b.cols[j] = buf[j*n : (j+1)*n : (j+1)*n]
+		}
+	}
+	return b
 }
 
 // Len returns the number of rows. A nil block is empty.
@@ -41,133 +62,178 @@ func (b *Block) Len() int {
 }
 
 // Arity returns the number of IDs per row.
-func (b *Block) Arity() int { return b.arity }
+func (b *Block) Arity() int { return len(b.cols) }
 
-// Row returns a view of row i. The view's capacity is clipped to the row,
-// so appending to it cannot overwrite a neighbour; it is valid until the
-// block grows.
+// Col returns column j: a read-only view callers must not modify.
+func (b *Block) Col(j int) []dict.ID { return b.cols[j] }
+
+// Row materializes row i into a fresh slice. It allocates; hot paths read
+// columns directly or reuse a buffer via CopyRow.
 func (b *Block) Row(i int) Row {
-	o := i * b.arity
-	return b.ids[o : o+b.arity : o+b.arity]
+	row := make(Row, len(b.cols))
+	b.CopyRow(row, i)
+	return row
 }
 
-// grow extends the buffer by k IDs (doubling the capacity as needed) and
-// returns the offset of the new region.
-func (b *Block) grow(k int) int {
-	o := len(b.ids)
-	if o+k > cap(b.ids) {
-		nc := 2 * cap(b.ids)
-		if nc < o+k {
-			nc = o + k
-		}
-		if min := 8 * b.arity; nc < min {
-			nc = min
-		}
-		ids := make([]dict.ID, o, nc)
-		copy(ids, b.ids)
-		b.ids = ids
+// CopyRow copies row i into dst (len(dst) >= Arity()).
+func (b *Block) CopyRow(dst Row, i int) {
+	for j, col := range b.cols {
+		dst[j] = col[i]
 	}
-	b.ids = b.ids[:o+k]
-	return o
 }
 
-// appendSlot extends the block by one row and returns the writable,
-// capacity-clipped slot; the caller fills every ID. All Append* variants
-// (and producers that write columns directly, like Scan) go through it, so
-// the row-count/buffer-length invariant lives in one place.
-func (b *Block) appendSlot() Row {
-	o := b.grow(b.arity)
-	b.n++
-	return b.ids[o : o+b.arity : o+b.arity]
+// rowsEqualIDs reports whether two rows hold identical IDs.
+func rowsEqualIDs(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowsEqual reports whether rows i and j hold identical IDs.
+func (b *Block) rowsEqual(i, j int) bool {
+	for _, col := range b.cols {
+		if col[i] != col[j] {
+			return false
+		}
+	}
+	return true
 }
 
 // Append copies one row (len == arity) into the block.
 func (b *Block) Append(row Row) {
-	copy(b.appendSlot(), row)
-}
-
-// AppendConcat writes one joined output row in place: l followed by the
-// entries of r whose positions are not masked by rightDup (the join columns
-// already present in l). A nil mask keeps all of r.
-func (b *Block) AppendConcat(l, r Row, rightDup []bool) {
-	concatInto(b.appendSlot(), l, r, rightDup)
-}
-
-// AppendPadded writes l extended with Nulls up to the block's arity (the
-// unmatched-left rows of an outer join).
-func (b *Block) AppendPadded(l Row) {
-	dst := b.appendSlot()
-	k := copy(dst, l)
-	for ; k < len(dst); k++ {
-		dst[k] = Null
+	for j := range b.cols {
+		b.cols[j] = append(b.cols[j], row[j])
 	}
+	b.n++
 }
 
-// concatInto assembles a joined row into dst (sized to the join's output
-// arity): l followed by the r entries not masked by rightDup. A nil mask
-// keeps all of r. The outer-join probe also uses it directly to build its
-// predicate scratch row.
-func concatInto(dst, l, r Row, rightDup []bool) {
-	o := copy(dst, l)
-	if rightDup == nil {
-		copy(dst[o:], r)
-		return
-	}
-	for i, v := range r {
-		if !rightDup[i] {
-			dst[o] = v
-			o++
-		}
-	}
-}
-
-// AppendBlock bulk-copies every row of src (same arity) into b: one copy
-// of the flat buffer instead of a per-row loop.
+// AppendBlock bulk-copies every row of src (same arity) into b: one copy per
+// column instead of a per-row loop.
 func (b *Block) AppendBlock(src *Block) {
 	if src.Len() == 0 {
 		return
 	}
-	o := b.grow(src.n * src.arity)
-	copy(b.ids[o:], src.ids[:src.n*src.arity])
+	for j := range b.cols {
+		b.cols[j] = append(b.cols[j], src.cols[j]...)
+	}
 	b.n += src.n
 }
 
-// AppendColumnsRange appends rows [lo, hi) of a column-major source, taking
-// source column srcs[j] for output position j. The copy runs column-wise:
-// one strided pass per output column over the contiguous source column,
-// which is how the late-materializing scan fills its output exactly once.
-func (b *Block) AppendColumnsRange(cols [][]dict.ID, srcs []int, lo, hi int) {
-	nrows := hi - lo
-	if nrows <= 0 {
+// AppendRange bulk-copies rows [lo, hi) of src (same arity) into b.
+func (b *Block) AppendRange(src *Block, lo, hi int) {
+	if hi <= lo {
 		return
 	}
-	o := b.grow(nrows * b.arity)
-	b.n += nrows
-	for j, src := range srcs {
-		dst := b.ids[o+j:]
-		col := cols[src][lo:hi]
-		for i, v := range col {
-			dst[i*b.arity] = v
-		}
+	for j := range b.cols {
+		b.cols[j] = append(b.cols[j], src.cols[j][lo:hi]...)
 	}
+	b.n += hi - lo
+}
+
+// AppendColumnsRange appends rows [lo, hi) of a column-major source, taking
+// source column srcs[j] for output position j: one contiguous copy per
+// column, which is how the late-materializing scan fills its output.
+func (b *Block) AppendColumnsRange(cols [][]dict.ID, srcs []int, lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	for j, src := range srcs {
+		b.cols[j] = append(b.cols[j], cols[src][lo:hi]...)
+	}
+	b.n += hi - lo
 }
 
 // AppendColumnsSelected appends the rows at the selected indices of a
 // column-major source, like AppendColumnsRange but gathering through a
-// selection vector.
+// selection vector — one gather pass per column.
 func (b *Block) AppendColumnsSelected(cols [][]dict.ID, srcs []int, sel []int32) {
 	if len(sel) == 0 {
 		return
 	}
-	o := b.grow(len(sel) * b.arity)
-	b.n += len(sel)
 	for j, src := range srcs {
-		dst := b.ids[o+j:]
 		col := cols[src]
+		dst := b.cols[j]
+		for _, ri := range sel {
+			dst = append(dst, col[ri])
+		}
+		b.cols[j] = dst
+	}
+	b.n += len(sel)
+}
+
+// gatherSel materializes the rows at the selected indices of b into a fresh
+// exactly-sized block, one gather pass per column. It is the single
+// materialization point of every selection-vector operator (Filter, Distinct,
+// semi joins).
+func (b *Block) gatherSel(sel []int32) *Block {
+	out := newFixedBlock(len(b.cols), len(sel))
+	for j, col := range b.cols {
+		dst := out.cols[j]
 		for i, ri := range sel {
-			dst[i*b.arity] = col[ri]
+			dst[i] = col[ri]
 		}
 	}
+	return out
+}
+
+// gatherPairs materializes join output from pair vectors: row lsel[i] of l
+// concatenated with the rKeep columns of row rsel[i] of r. rsel[i] < 0 emits
+// Nulls in the right columns (the unmatched-left rows of an outer join).
+// Each output column is filled in one gather pass — the pipeline's single
+// materialization of the join, however many probe steps produced the pairs.
+func gatherPairs(l *Block, lsel []int32, r *Block, rKeep []int, rsel []int32) *Block {
+	out := newFixedBlock(len(l.cols)+len(rKeep), len(lsel))
+	for j, col := range l.cols {
+		dst := out.cols[j]
+		for i, ri := range lsel {
+			dst[i] = col[ri]
+		}
+	}
+	for k, rc := range rKeep {
+		col := r.cols[rc]
+		dst := out.cols[len(l.cols)+k]
+		for i, ri := range rsel {
+			if ri < 0 {
+				dst[i] = Null
+			} else {
+				dst[i] = col[ri]
+			}
+		}
+	}
+	return out
+}
+
+// keepCols returns the column indices of [0, n) not listed in drop — the
+// right-side columns a join's output keeps (its join columns are already
+// present on the left).
+func keepCols(n int, drop []int) []int {
+	out := make([]int, 0, n-len(drop))
+next:
+	for j := 0; j < n; j++ {
+		for _, d := range drop {
+			if j == d {
+				continue next
+			}
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// nullColumn returns an all-Null column of length n, shared by every padded
+// column of a block (blocks are write-once, so sharing is safe).
+func nullColumn(n int) []dict.ID {
+	col := make([]dict.ID, n)
+	for i := range col {
+		col[i] = Null
+	}
+	return col
 }
 
 // blockOfRows copies a []Row slice into a fresh block.
@@ -182,11 +248,10 @@ func blockOfRows(arity int, rows []Row) *Block {
 // indexTable is an open-addressing hash index over one block: Fibonacci-
 // hashed uint64 keys (widened join-column dict.IDs, or 64-bit row hashes
 // for DISTINCT) map to chains of row *indices* into the block (head per
-// slot, next per row). Unlike the previous map[dict.ID][]Row it performs
-// no per-key slice allocation — three flat arrays serve any number of key
-// groups — and candidate iteration walks int32 indices instead of row
-// headers. A slot is occupied iff its head is >= 0, so dict.NoID (Null) is
-// an ordinary key.
+// slot, next per row). Three flat arrays serve any number of key groups —
+// no per-key allocation — and candidate iteration walks int32 indices. A
+// slot is occupied iff its head is >= 0, so dict.NoID (Null) is an ordinary
+// key.
 //
 // Row indices are int32: a single partition holding more than 2^31 rows is
 // beyond this engine's in-memory scale.
@@ -197,9 +262,15 @@ type indexTable struct {
 	shift uint
 }
 
-// fibonacci is the 64-bit golden-ratio multiplier used to spread dense
-// dictionary IDs across the table's power-of-two slots.
+// fibonacci is the 64-bit golden-ratio multiplier behind hashID64: the one
+// hash both shuffle partitioning and index tables spread keys with.
 const fibonacci = 0x9E3779B97F4A7C15
+
+// hashID64 spreads a (widened) dictionary ID over 64 bits by golden-ratio
+// multiplication. Shuffles take the top 32 bits for the partition number;
+// index tables take the top bits for the slot — the same hash at both
+// widths, so dense IDs spread evenly everywhere.
+func hashID64(k uint64) uint64 { return k * fibonacci }
 
 // newIndexTable sizes a table for n rows at load factor <= 0.5.
 func newIndexTable(n int) *indexTable {
@@ -222,7 +293,7 @@ func newIndexTable(n int) *indexTable {
 // slot returns the slot holding key k, or the first empty slot of its probe
 // sequence.
 func (t *indexTable) slot(k uint64) int {
-	s := int(k * fibonacci >> t.shift)
+	s := int(hashID64(k) >> t.shift)
 	for t.head[s] >= 0 && t.keys[s] != k {
 		s++
 		if s == len(t.head) {
@@ -247,31 +318,62 @@ func (t *indexTable) first(k dict.ID) int32 {
 	return t.head[t.slot(uint64(k))]
 }
 
-// buildJoinTable indexes block rows by their key column. Rows are inserted
-// in reverse so each chain iterates in build order (matching the emission
-// order of the map-based implementation it replaces). Returns nil when the
-// execution is cancelled mid-build.
+// buildJoinTable indexes block rows by their key column — one pass over the
+// contiguous column. Rows are inserted in reverse so each chain iterates in
+// build order. Returns nil when the execution is cancelled mid-build.
 func (x *Exec) buildJoinTable(b *Block, key int) *indexTable {
 	n := b.Len()
 	t := newIndexTable(n)
+	col := b.cols[key]
 	for i := n - 1; i >= 0; i-- {
 		if x.stop(n - 1 - i) {
 			return nil
 		}
-		t.insert(uint64(b.Row(i)[key]), int32(i))
+		t.insert(uint64(col[i]), int32(i))
 	}
 	return t
 }
 
-// seen is the DISTINCT use of the table: it reports whether row (hashing
-// to h, at index i of blk) duplicates a previously admitted row — chains
-// hold the admitted rows with that hash, collision-checked against the
+// tableKey identifies a cached join table: the build block and key column.
+type tableKey struct {
+	b   *Block
+	col int
+}
+
+// joinTable returns the join table over (b, key), building it at most once
+// per execution: join stages that share a build side — co-partitioned
+// re-joins on the same key, a relation broadcast into several joins, the
+// star join's hub — reuse one table instead of rehashing the block. Safe
+// under concurrent partition tasks; a cancelled build is not cached.
+func (x *Exec) joinTable(b *Block, key int) *indexTable {
+	k := tableKey{b, key}
+	x.mu.Lock()
+	t, ok := x.tables[k]
+	x.mu.Unlock()
+	if ok {
+		return t
+	}
+	t = x.buildJoinTable(b, key)
+	if t == nil {
+		return nil
+	}
+	x.mu.Lock()
+	if x.tables == nil {
+		x.tables = make(map[tableKey]*indexTable)
+	}
+	x.tables[k] = t
+	x.mu.Unlock()
+	return t
+}
+
+// seen is the DISTINCT use of the table: it reports whether row i of blk
+// (hashing to h) duplicates a previously admitted row — chains hold the
+// admitted rows with that hash, collision-checked column-wise against the
 // block — admitting it otherwise.
 func (t *indexTable) seen(blk *Block, i int, h uint64) bool {
 	s := t.slot(h)
-	row := blk.Row(i)
 	for j := t.head[s]; j >= 0; j = t.next[j] {
-		if rowsEqualIDs(blk.Row(int(j)), row) {
+		if blk.rowsEqual(int(j), i) {
 			return true
 		}
 	}

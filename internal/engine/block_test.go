@@ -10,27 +10,46 @@ import (
 	"s2rdf/internal/store"
 )
 
-func TestBlockAppendAndViews(t *testing.T) {
-	b := NewBlock(3, 0)
+func TestBlockAppendAndGather(t *testing.T) {
+	b := NewBlock(3, 2)
 	b.Append(Row{1, 2, 3})
 	b.Append(Row{4, 5, 6})
-	b.AppendConcat(Row{7}, Row{8, 9, 10}, []bool{false, true, false})
-	b.AppendPadded(Row{11})
-	if b.Len() != 4 || b.Arity() != 3 {
+	b.Append(Row{7, 8, 9}) // exceeds the preallocated capacity: columns grow
+	if b.Len() != 3 || b.Arity() != 3 {
 		t.Fatalf("Len=%d Arity=%d", b.Len(), b.Arity())
 	}
-	want := []Row{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}, {11, Null, Null}}
+	want := []Row{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
 	for i, w := range want {
 		if !reflect.DeepEqual(b.Row(i), w) {
 			t.Errorf("Row(%d) = %v, want %v", i, b.Row(i), w)
 		}
 	}
-	// Views are capacity-clipped: appending to one must not clobber the
-	// next row in the flat buffer.
-	r0 := b.Row(0)
-	_ = append(r0, 99)
-	if b.Row(1)[0] != 4 {
-		t.Error("append through a row view overwrote the neighbour row")
+	// Columns are contiguous per-column slices.
+	if got := b.Col(1); !reflect.DeepEqual(got, []dict.ID{2, 5, 8}) {
+		t.Errorf("Col(1) = %v", got)
+	}
+	// Preallocated columns must be capacity-clipped so growing one column
+	// never bleeds into the backing buffer of its neighbour.
+	b2 := NewBlock(2, 2)
+	b2.Append(Row{10, 20})
+	b2.cols[0] = append(b2.cols[0], 99, 99) // grow col 0 past its share
+	if b2.cols[1][0] != 20 {
+		t.Error("growing a column overwrote the neighbour column's buffer")
+	}
+	// gatherSel materializes selected rows; gatherPairs pads rsel<0 with
+	// Nulls — the two materialization points of the pipeline.
+	g := b.gatherSel([]int32{2, 0})
+	if !reflect.DeepEqual(g.Row(0), Row{7, 8, 9}) || !reflect.DeepEqual(g.Row(1), Row{1, 2, 3}) {
+		t.Errorf("gatherSel rows = %v, %v", g.Row(0), g.Row(1))
+	}
+	r := NewBlock(2, 2)
+	r.Append(Row{100, 200})
+	p := gatherPairs(b, []int32{0, 1}, r, []int{1}, []int32{0, -1})
+	wantP := []Row{{1, 2, 3, 200}, {4, 5, 6, Null}}
+	for i, w := range wantP {
+		if !reflect.DeepEqual(p.Row(i), w) {
+			t.Errorf("gatherPairs row %d = %v, want %v", i, p.Row(i), w)
+		}
 	}
 }
 

@@ -11,9 +11,11 @@ package engine
 func (c *Cluster) SetBroadcastThreshold(n int) { c.broadcastThreshold = n }
 
 // broadcastJoin joins left and right by replicating the smaller side to
-// every partition of the bigger one. The small side is gathered into one
-// block and indexed once; every big-side partition probes the shared
-// read-only join table in place.
+// every partition of the bigger one. The small side is gathered and indexed
+// at most once per execution (joinTable/gatherCached memoize, so a relation
+// broadcast into several joins is hashed once); every big-side partition
+// probes the shared read-only join table, emitting (small-row, big-row)
+// pair vectors materialized in one gather.
 func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation {
 	leftSmall := left.NumRows() <= right.NumRows()
 	small, big := left, right
@@ -22,7 +24,7 @@ func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation 
 		small, big = right, left
 		sIdx, bIdx = rIdx, lIdx
 	}
-	sblk := small.gather()
+	sblk := x.gatherCached(small)
 	// Replicating the small side to every partition is the broadcast cost.
 	x.addShuffled(int64(sblk.Len()) * int64(len(big.Parts)))
 
@@ -35,47 +37,52 @@ func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation 
 		return out
 	}
 
-	ht := x.buildJoinTable(sblk, sIdx[0])
+	ht := x.joinTable(sblk, sIdx[0])
 	if ht == nil {
 		return out // cancelled mid-build
 	}
-	// The output drops the right side's join columns: when the small side
-	// is left, the mask covers the big (right) rows, otherwise the
-	// replicated small (right) rows. Either way it is fixed for the whole
-	// join, so it is computed once here rather than per output row.
-	var rightDup []bool
+	// The output drops the right side's join columns: when the small side is
+	// left, those live on the big side, otherwise on the replicated small
+	// side. The surviving-column list is fixed for the whole join.
+	var sKeep, bKeep []int
 	if leftSmall {
-		rightDup = dupMask(len(big.Schema), bIdx)
+		bKeep = keepCols(len(big.Schema), bIdx)
 	} else {
-		rightDup = dupMask(len(small.Schema), sIdx)
+		sKeep = keepCols(len(small.Schema), sIdx)
 	}
 	x.parallel(len(big.Parts), func(p int) {
 		src := big.Parts[p]
-		rows := NewBlock(len(outSchema), 0)
+		n := src.Len()
+		if n == 0 {
+			out.Parts[p] = newFixedBlock(len(outSchema), 0)
+			return
+		}
+		bkey := src.cols[bIdx[0]]
+		ssel := make([]int32, 0, n)
+		bsel := make([]int32, 0, n)
 		var comparisons int64
-		for i, n := 0, src.Len(); i < n; i++ {
+		for i := 0; i < n; i++ {
 			if x.stop(i) {
 				break
 			}
-			brow := src.Row(i)
 		cand:
-			for si := ht.first(brow[bIdx[0]]); si >= 0; si = ht.next[si] {
+			for si := ht.first(bkey[i]); si >= 0; si = ht.next[si] {
 				comparisons++
-				srow := sblk.Row(int(si))
 				for k := 1; k < len(bIdx); k++ {
-					if brow[bIdx[k]] != srow[sIdx[k]] {
+					if src.cols[bIdx[k]][i] != sblk.cols[sIdx[k]][si] {
 						continue cand
 					}
 				}
-				if leftSmall {
-					rows.AppendConcat(srow, brow, rightDup)
-				} else {
-					rows.AppendConcat(brow, srow, rightDup)
-				}
+				ssel = append(ssel, si)
+				bsel = append(bsel, int32(i))
 			}
 		}
 		x.addComparisons(comparisons)
-		out.Parts[p] = rows
+		if leftSmall {
+			out.Parts[p] = gatherPairs(sblk, ssel, src, bKeep, bsel)
+		} else {
+			out.Parts[p] = gatherPairs(src, bsel, sblk, sKeep, ssel)
+		}
 	})
 	x.addOutput(int64(out.NumRows()))
 	return out
@@ -85,11 +92,11 @@ func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation 
 // side is gathered once, hashed once, and probed by every left partition in
 // place. Left rows never move, so the output keeps the left partitioning.
 func (x *Exec) leftJoinBroadcast(left, right *Relation, lIdx, rIdx []int, outSchema []string, pred func(Row) bool) *Relation {
-	rblk := right.gather()
+	rblk := x.gatherCached(right)
 	// Replicating the right side to every left partition is the broadcast
 	// cost, exactly as in the inner broadcast join.
 	x.addShuffled(int64(rblk.Len()) * int64(len(left.Parts)))
-	ht := x.buildJoinTable(rblk, rIdx[0])
+	ht := x.joinTable(rblk, rIdx[0])
 	out := newRelation(outSchema, len(left.Parts))
 	out.keyCol = left.keyCol
 	x.parallel(len(left.Parts), func(p int) {

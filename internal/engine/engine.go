@@ -2,15 +2,17 @@
 // engine: the stand-in for Spark SQL in the S2RDF reproduction.
 //
 // Relations are horizontally partitioned collections of fixed-width rows of
-// dictionary IDs; each partition is a flat row Block (one contiguous
-// []dict.ID buffer, rows addressed by index — see block.go), so operators
-// allocate per partition, not per row. Joins repartition ("shuffle") both
-// inputs by the hash of the join key and then run per-partition hash joins
-// — open-addressing index tables over the build block — on a pool of worker
-// goroutines. The engine meters the quantities the paper's argument rests
-// on: rows scanned, rows shuffled and join comparisons. Input-size
-// reduction (what ExtVP buys) therefore translates directly into lower
-// metered cost and lower wall time, just as on Spark.
+// dictionary IDs; each partition is a column-major Block (one contiguous
+// []dict.ID per column — see block.go), so operators run column-at-a-time:
+// key hashing streams over one contiguous column, joins emit (build-row,
+// probe-row) index pair vectors and gather output columns exactly once, and
+// shuffles scatter columns instead of re-serializing rows. Joins repartition
+// ("shuffle") both inputs by the hash of the join key and then run
+// per-partition hash joins — open-addressing index tables over the build
+// block — on a pool of worker goroutines. The engine meters the quantities
+// the paper's argument rests on: rows scanned, rows shuffled and join
+// comparisons. Input-size reduction (what ExtVP buys) therefore translates
+// directly into lower metered cost and lower wall time, just as on Spark.
 //
 // A Cluster is safe for concurrent use: any number of queries may run
 // operators on it simultaneously. Each query obtains an Exec handle
@@ -155,6 +157,13 @@ type Exec struct {
 	// concurrently), so reusing one counter avoids a per-scan heap
 	// allocation for a variable the partition closures must share.
 	scanPruned atomic.Int64
+	// mu guards the execution-scoped caches below. tables memoizes join
+	// tables per (build block, key column) so join stages sharing a build
+	// side hash it once (see joinTable); gathers memoizes coordinator-side
+	// gathers of relations that are broadcast or crossed more than once.
+	mu      sync.Mutex
+	tables  map[tableKey]*indexTable
+	gathers map[*Relation]*Block
 }
 
 // NewExec returns an execution handle metering into m (which may be nil for
@@ -179,6 +188,16 @@ func (c *Cluster) exec() *Exec { return &Exec{c: c} }
 
 // Cluster returns the underlying cluster.
 func (x *Exec) Cluster() *Cluster { return x.c }
+
+// MetricsSnapshot returns the execution's per-query counters (or, for an
+// aggregate-only handle, the cluster-wide counters). Planners snapshot it
+// around a join to attribute shuffled rows and comparisons to that step.
+func (x *Exec) MetricsSnapshot() MetricsSnapshot {
+	if x.m != nil {
+		return x.m.Snapshot()
+	}
+	return x.c.Metrics.Snapshot()
+}
 
 // Err returns the error of the execution's context (context.Canceled or
 // context.DeadlineExceeded), or nil while execution may proceed. Operator
@@ -305,8 +324,8 @@ func (x *Exec) parallel(n int, fn func(p int)) {
 }
 
 // Relation is a horizontally partitioned table with named columns. Each
-// partition is a flat row Block; a nil entry in Parts is an empty partition
-// (left behind when a cancelled execution skips a partition task).
+// partition is a column-major Block; a nil entry in Parts is an empty
+// partition (left behind when a cancelled execution skips a partition task).
 type Relation struct {
 	Schema []string
 	Parts  []*Block
@@ -335,29 +354,57 @@ func (r *Relation) ColIndex(name string) int {
 	return -1
 }
 
-// Rows gathers all rows into one slice (coordinator-side collect). The
-// returned rows are views into the relation's blocks: cheap, but shared —
-// callers may reorder the slice yet must not modify row contents. It exists
-// as a compatibility adapter; hot paths should iterate blocks directly or
-// via EachRow.
+// PartitionKey returns the column index the relation is hash-partitioned
+// by, or -1 when the partitioning is arbitrary. Planners consult it to
+// recognize joins whose left side will not move.
+func (r *Relation) PartitionKey() int { return r.keyCol }
+
+// CoPartitionedBy reports whether a shuffle of the relation by column col
+// across partitions target partitions would be skipped: the relation is
+// already hash-partitioned by that column at that partition count.
+func (r *Relation) CoPartitionedBy(col, partitions int) bool {
+	return r.keyCol == col && col >= 0 && len(r.Parts) == partitions
+}
+
+// Rows materializes all rows into one slice (coordinator-side collect),
+// filled column-wise from one backing buffer. It exists for coordinator
+// sorts and tests; hot paths iterate columns directly or via EachRow.
 func (r *Relation) Rows() []Row {
-	out := make([]Row, 0, r.NumRows())
+	n := r.NumRows()
+	arity := len(r.Schema)
+	out := make([]Row, n)
+	buf := make([]dict.ID, n*arity)
+	base := 0
 	for _, p := range r.Parts {
-		for i, n := 0, p.Len(); i < n; i++ {
-			out = append(out, p.Row(i))
+		pn := p.Len()
+		if pn == 0 {
+			continue
 		}
+		for j, col := range p.cols {
+			for i, v := range col {
+				buf[(base+i)*arity+j] = v
+			}
+		}
+		base += pn
+	}
+	for i := range out {
+		out[i] = buf[i*arity : (i+1)*arity : (i+1)*arity]
 	}
 	return out
 }
 
 // EachRow calls fn for every row in partition order with a running global
-// index and a view of the row. fn returning false stops the iteration.
-// This is the allocation-free replacement for ranging over Rows().
+// index and a view of the row. fn returning false stops the iteration. The
+// row view is a scratch buffer reused across calls: fn must not retain or
+// modify it. This is the allocation-free replacement for ranging over
+// Rows().
 func (r *Relation) EachRow(fn func(i int, row Row) bool) {
+	scratch := make(Row, len(r.Schema))
 	i := 0
 	for _, p := range r.Parts {
 		for j, n := 0, p.Len(); j < n; j++ {
-			if !fn(i, p.Row(j)) {
+			p.CopyRow(scratch, j)
+			if !fn(i, scratch) {
 				return
 			}
 			i++
@@ -366,8 +413,21 @@ func (r *Relation) EachRow(fn func(i int, row Row) bool) {
 }
 
 // gather concatenates all partitions into one block (coordinator-side
-// collect for operators that need the whole relation in place).
+// collect for operators that need the whole relation in place). When a
+// single partition holds every row it is shared as-is: blocks are
+// write-once, so no copy is needed.
 func (r *Relation) gather() *Block {
+	var only *Block
+	populated := 0
+	for _, p := range r.Parts {
+		if p != nil && p.Len() > 0 {
+			only = p
+			populated++
+		}
+	}
+	if populated == 1 {
+		return only
+	}
 	out := NewBlock(len(r.Schema), r.NumRows())
 	for _, p := range r.Parts {
 		if p != nil {
@@ -375,6 +435,25 @@ func (r *Relation) gather() *Block {
 		}
 	}
 	return out
+}
+
+// gatherCached is gather memoized on the execution: a relation that is
+// broadcast or crossed into several joins is collected once.
+func (x *Exec) gatherCached(r *Relation) *Block {
+	x.mu.Lock()
+	b, ok := x.gathers[r]
+	x.mu.Unlock()
+	if ok {
+		return b
+	}
+	b = r.gather()
+	x.mu.Lock()
+	if x.gathers == nil {
+		x.gathers = make(map[*Relation]*Block)
+	}
+	x.gathers[r] = b
+	x.mu.Unlock()
+	return b
 }
 
 // newRelation allocates an empty relation with n partitions.
@@ -404,7 +483,7 @@ func splitRange(n, parts, p int) (lo, hi int) {
 
 // FromRows builds a relation from a row slice, block-partitioned. It is the
 // compatibility constructor for coordinator-side row sets; the rows are
-// copied into flat blocks.
+// copied into column-major blocks.
 func (c *Cluster) FromRows(schema []string, rows []Row) *Relation {
 	rel := newRelation(schema, c.partitions)
 	if len(rows) == 0 {
@@ -425,64 +504,86 @@ func (x *Exec) FromRows(schema []string, rows []Row) *Relation {
 	return x.c.FromRows(schema, rows)
 }
 
-// Filter keeps the rows satisfying pred. The predicate receives row views
-// into the input blocks and must not retain or modify them.
+// Filter keeps the rows satisfying pred. The predicate receives a reused
+// scratch row and must not retain or modify it. Survivors are tracked in a
+// selection vector and materialized once, column-wise.
 func (x *Exec) Filter(r *Relation, pred func(Row) bool) *Relation {
 	out := newRelation(r.Schema, len(r.Parts))
 	out.keyCol = r.keyCol
 	arity := len(r.Schema)
 	x.parallel(len(r.Parts), func(p int) {
 		src := r.Parts[p]
-		kept := NewBlock(arity, 0)
-		for i, n := 0, src.Len(); i < n; i++ {
+		n := src.Len()
+		if n == 0 {
+			out.Parts[p] = NewBlock(arity, 0)
+			return
+		}
+		sel := make([]int32, 0, n)
+		scratch := make(Row, arity)
+		for i := 0; i < n; i++ {
 			if x.stop(i) {
 				break
 			}
-			if row := src.Row(i); pred(row) {
-				kept.Append(row)
+			src.CopyRow(scratch, i)
+			if pred(scratch) {
+				sel = append(sel, int32(i))
 			}
 		}
-		out.Parts[p] = kept
+		out.Parts[p] = src.gatherSel(sel)
 	})
 	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
-// Project keeps the named columns, in order.
+// Project keeps the named columns, in order. Blocks are write-once, so the
+// output shares the input's column slices outright — a projection moves no
+// data; columns absent from the input become one shared Null column. The
+// partitioning column survives projection when it is kept.
 func (x *Exec) Project(r *Relation, cols []string) *Relation {
 	idx := make([]int, len(cols))
 	for i, name := range cols {
 		idx[i] = r.ColIndex(name)
 	}
 	out := newRelation(cols, len(r.Parts))
-	x.parallel(len(r.Parts), func(p int) {
-		src := r.Parts[p]
-		rows := NewBlock(len(idx), src.Len())
-		for i, n := 0, src.Len(); i < n; i++ {
-			row := src.Row(i)
-			dst := rows.appendSlot()
-			for j, ci := range idx {
-				if ci < 0 {
-					dst[j] = Null
-				} else {
-					dst[j] = row[ci]
-				}
+	if r.keyCol >= 0 {
+		for j, ci := range idx {
+			if ci == r.keyCol {
+				out.keyCol = j
+				break
 			}
 		}
-		out.Parts[p] = rows
+	}
+	x.parallel(len(r.Parts), func(p int) {
+		src := r.Parts[p]
+		n := src.Len()
+		if n == 0 {
+			out.Parts[p] = NewBlock(len(idx), 0)
+			return
+		}
+		blk := &Block{cols: make([][]dict.ID, len(idx)), n: n}
+		var nulls []dict.ID
+		for j, ci := range idx {
+			if ci < 0 {
+				if nulls == nil {
+					nulls = nullColumn(n)
+				}
+				blk.cols[j] = nulls
+			} else {
+				blk.cols[j] = src.cols[ci][:n:n]
+			}
+		}
+		out.Parts[p] = blk
 	})
 	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
-func hashID(v dict.ID) uint32 {
-	// Fibonacci hashing: good spread for dense dictionary IDs.
-	return uint32(uint64(v) * 0x9E3779B97F4A7C15 >> 32)
-}
-
-// shuffle repartitions r by the hash of column key. It meters every moved
-// row. When the relation is already partitioned by that column the shuffle
-// is skipped (mirroring Spark's co-partitioning optimization).
+// shuffle repartitions r by the hash of column key, column-at-a-time: one
+// pass over the contiguous key column tags every row with its target and
+// counts bucket sizes, then each column is scattered into exactly-sized
+// bucket blocks. It meters every moved row. When the relation is already
+// partitioned by that column the shuffle is skipped (mirroring Spark's
+// co-partitioning optimization).
 func (x *Exec) shuffle(r *Relation, key int) *Relation {
 	c := x.c
 	if r.keyCol == key && len(r.Parts) == c.partitions {
@@ -490,24 +591,59 @@ func (x *Exec) shuffle(r *Relation, key int) *Relation {
 	}
 	n := len(r.Parts)
 	arity := len(r.Schema)
-	// Each source partition builds per-target bucket blocks; then targets
-	// are assembled in parallel with one bulk copy per bucket.
+	parts := uint64(c.partitions)
 	buckets := make([][]*Block, n)
 	x.parallel(n, func(p int) {
 		src := r.Parts[p]
-		local := make([]*Block, c.partitions)
-		for i, rows := 0, src.Len(); i < rows; i++ {
+		rows := src.Len()
+		if rows == 0 {
+			return
+		}
+		keyCol := src.cols[key]
+		// Pass 1: hash the key column, tagging each row with its target
+		// partition and counting bucket sizes. m tracks how many rows were
+		// tagged before a cancellation cut the pass short.
+		tags := make([]int32, rows)
+		counts := make([]int32, c.partitions)
+		m := 0
+		for i := 0; i < rows; i++ {
 			if x.stop(i) {
 				break
 			}
-			row := src.Row(i)
-			t := int(hashID(row[key])) % c.partitions
-			b := local[t]
-			if b == nil {
-				b = NewBlock(arity, rows/c.partitions+1)
-				local[t] = b
+			t := int32((hashID64(uint64(keyCol[i])) >> 32) % parts)
+			tags[i] = t
+			counts[t]++
+			m++
+		}
+		// Pass 2: scatter each column into exactly-sized bucket blocks.
+		// cursor[i] is row i's position within its bucket, precomputed so
+		// every column pass writes to the same layout.
+		local := make([]*Block, c.partitions)
+		for t, cnt := range counts {
+			if cnt > 0 {
+				local[t] = newFixedBlock(arity, int(cnt))
 			}
-			b.Append(row)
+		}
+		cursor := make([]int32, c.partitions)
+		pos := make([]int32, m)
+		for i := 0; i < m; i++ {
+			t := tags[i]
+			pos[i] = cursor[t]
+			cursor[t]++
+		}
+		for j := 0; j < arity; j++ {
+			col := src.cols[j]
+			for i := 0; i < m; i++ {
+				local[tags[i]].cols[j][pos[i]] = col[i]
+			}
+		}
+		if arity == 0 {
+			// Zero-width rows still move: bucket lengths carry the counts.
+			for t, cnt := range counts {
+				if cnt > 0 {
+					local[t].n = int(cnt)
+				}
+			}
 		}
 		buckets[p] = local
 	})
@@ -663,7 +799,7 @@ func (x *Exec) LeftJoinWith(left, right *Relation, pred func(Row) bool, strat Jo
 		if rblk == nil {
 			rblk = NewBlock(len(right.Schema), 0)
 		}
-		ht := x.buildJoinTable(rblk, rIdx[0])
+		ht := x.joinTable(rblk, rIdx[0])
 		out.Parts[p] = x.probeOuter(l.Parts[p], ht, rblk, lIdx, rIdx, len(outSchema), pred)
 	})
 	x.addOutput(int64(out.NumRows()))
@@ -692,13 +828,14 @@ func (x *Exec) SemiJoin(left, right *Relation) *Relation {
 	return out
 }
 
-// hashJoinPartition joins one co-partition pair. When semi is true it emits
-// each matching left row once instead of concatenated rows. Output rows are
-// written in place into a flat block of the given arity.
+// hashJoinPartition joins one co-partition pair. The probe pass emits
+// (build-row, probe-row) index pair vectors — no output row is assembled
+// during probing — and the pairs are materialized once at the end, one
+// gather per output column. When semi is true it instead records each
+// matching probe (= left) row once and gathers those.
 func (x *Exec) hashJoinPartition(lblk, rblk *Block, lIdx, rIdx []int, semi bool, outArity int) *Block {
-	out := NewBlock(outArity, 0)
 	if lblk.Len() == 0 || rblk.Len() == 0 {
-		return out
+		return newFixedBlock(outArity, 0)
 	}
 	// Build on the smaller side unless emitting semi-join output, which
 	// must preserve left rows.
@@ -710,52 +847,61 @@ func (x *Exec) hashJoinPartition(lblk, rblk *Block, lIdx, rIdx []int, semi bool,
 		bIdx, pIdx = lIdx, rIdx
 		swapped = true
 	}
-	ht := x.buildJoinTable(build, bIdx[0])
+	ht := x.joinTable(build, bIdx[0])
 	if ht == nil {
-		return out // cancelled mid-build
+		return newFixedBlock(outArity, 0) // cancelled mid-build
 	}
+	pkey := probe.cols[pIdx[0]]
+	// Probe-size capacity is the exact fit for unique-key joins (the common
+	// case after ExtVP reduction); duplicate keys grow past it.
+	bsel := make([]int32, 0, probe.Len())
+	psel := make([]int32, 0, probe.Len())
 	var comparisons int64
-	rightDup := dupMask(build.Arity(), bIdx)
-	if swapped {
-		rightDup = dupMask(probe.Arity(), pIdx)
-	}
 	for i, n := 0, probe.Len(); i < n; i++ {
 		if x.stop(i) {
 			break
 		}
-		prow := probe.Row(i)
 	cand:
-		for bi := ht.first(prow[pIdx[0]]); bi >= 0; bi = ht.next[bi] {
+		for bi := ht.first(pkey[i]); bi >= 0; bi = ht.next[bi] {
 			comparisons++
-			brow := build.Row(int(bi))
 			for k := 1; k < len(pIdx); k++ {
-				if prow[pIdx[k]] != brow[bIdx[k]] {
+				if probe.cols[pIdx[k]][i] != build.cols[bIdx[k]][bi] {
 					continue cand
 				}
 			}
 			if semi {
-				out.Append(prow)
+				psel = append(psel, int32(i))
 				break
 			}
-			if swapped {
-				out.AppendConcat(brow, prow, rightDup)
-			} else {
-				out.AppendConcat(prow, brow, rightDup)
-			}
+			bsel = append(bsel, bi)
+			psel = append(psel, int32(i))
 		}
 	}
 	x.addComparisons(comparisons)
-	return out
+	if semi {
+		return probe.gatherSel(psel)
+	}
+	if swapped {
+		// build is the left input: its columns lead the output.
+		return gatherPairs(build, bsel, probe, keepCols(probe.Arity(), pIdx), psel)
+	}
+	return gatherPairs(probe, psel, build, keepCols(build.Arity(), bIdx), bsel)
 }
 
 // probeOuter probes a prebuilt right-side join table with the left rows of
-// one partition, producing left-outer output: matched rows (filtered by
-// pred when set) plus Null-padded survivors. It is safe to share one ht
-// and build block across concurrent partition probes — both are read-only
-// here. A nil ht (cancelled build) matches nothing.
+// one partition, producing left-outer output as pair vectors: matched pairs
+// (filtered by pred when set) plus rsel = -1 entries for Null-padded
+// survivors, materialized in one gather. It is safe to share one ht and
+// build block across concurrent partition probes — both are read-only here.
+// A nil ht (cancelled build) matches nothing.
 func (x *Exec) probeOuter(lblk *Block, ht *indexTable, build *Block, lIdx, rIdx []int, outArity int, pred func(Row) bool) *Block {
-	rightDup := dupMask(build.Arity(), rIdx)
-	out := NewBlock(outArity, 0)
+	n := lblk.Len()
+	rKeep := keepCols(build.Arity(), rIdx)
+	if n == 0 {
+		return newFixedBlock(outArity, 0)
+	}
+	lsel := make([]int32, 0, n)
+	rsel := make([]int32, 0, n)
 	// scratch assembles the joined row when a predicate must inspect it
 	// before it is admitted; reused across rows, so predicates must not
 	// retain it.
@@ -763,41 +909,43 @@ func (x *Exec) probeOuter(lblk *Block, ht *indexTable, build *Block, lIdx, rIdx 
 	if pred != nil {
 		scratch = make(Row, outArity)
 	}
+	lkey := lblk.cols[lIdx[0]]
 	var comparisons int64
-	for i, n := 0, lblk.Len(); i < n; i++ {
+	for i := 0; i < n; i++ {
 		if x.stop(i) {
 			break
 		}
-		lrow := lblk.Row(i)
 		matched := false
 		if ht != nil {
 		cand:
-			for bi := ht.first(lrow[lIdx[0]]); bi >= 0; bi = ht.next[bi] {
+			for bi := ht.first(lkey[i]); bi >= 0; bi = ht.next[bi] {
 				comparisons++
-				rrow := build.Row(int(bi))
 				for k := 1; k < len(lIdx); k++ {
-					if lrow[lIdx[k]] != rrow[rIdx[k]] {
+					if lblk.cols[lIdx[k]][i] != build.cols[rIdx[k]][bi] {
 						continue cand
 					}
 				}
 				if pred != nil {
-					concatInto(scratch, lrow, rrow, rightDup)
+					lblk.CopyRow(scratch, i)
+					for k, rc := range rKeep {
+						scratch[lblk.Arity()+k] = build.cols[rc][bi]
+					}
 					if !pred(scratch) {
 						continue cand
 					}
-					out.Append(scratch)
-				} else {
-					out.AppendConcat(lrow, rrow, rightDup)
 				}
+				lsel = append(lsel, int32(i))
+				rsel = append(rsel, bi)
 				matched = true
 			}
 		}
 		if !matched {
-			out.AppendPadded(lrow)
+			lsel = append(lsel, int32(i))
+			rsel = append(rsel, -1)
 		}
 	}
 	x.addComparisons(comparisons)
-	return out
+	return gatherPairs(lblk, lsel, build, rKeep, rsel)
 }
 
 // dupMask marks the right-side columns that also appear in the join key
@@ -832,29 +980,49 @@ func joinSchema(left, right []string, rIdx []int) []string {
 	return out
 }
 
-// cross computes the cartesian product.
+// cross computes the cartesian product, column-at-a-time: per left row, the
+// left values are run-length extended and the gathered right block's columns
+// are appended wholesale. Cancellation is polled between left rows at
+// cancelBatch output granularity, truncating the block consistently.
 func (x *Exec) cross(left, right *Relation) *Relation {
 	outSchema := append(append([]string{}, left.Schema...), right.Schema...)
-	rblk := right.gather()
-	x.addShuffled(int64(rblk.Len()) * int64(len(left.Parts)))
+	rblk := x.gatherCached(right)
+	rn := rblk.Len()
+	x.addShuffled(int64(rn) * int64(len(left.Parts)))
 	out := newRelation(outSchema, len(left.Parts))
 	x.parallel(len(left.Parts), func(p int) {
 		src := left.Parts[p]
+		ln := src.Len()
 		rows := NewBlock(len(outSchema), 0)
 		out.Parts[p] = rows
-		produced := 0
-		for i, n := 0, src.Len(); i < n; i++ {
-			lrow := src.Row(i)
-			for j, rn := 0, rblk.Len(); j < rn; j++ {
-				if x.stop(produced) {
+		if ln == 0 || rn == 0 {
+			return
+		}
+		lA := src.Arity()
+		produced, next := 0, 0
+		for i := 0; i < ln; i++ {
+			if produced >= next {
+				if x.Cancelled() {
 					return
 				}
-				produced++
-				rows.AppendConcat(lrow, rblk.Row(j), nil)
+				next = produced + cancelBatch
 			}
+			for j := 0; j < lA; j++ {
+				v := src.cols[j][i]
+				col := rows.cols[j]
+				for k := 0; k < rn; k++ {
+					col = append(col, v)
+				}
+				rows.cols[j] = col
+			}
+			for j, rc := range rblk.cols {
+				rows.cols[lA+j] = append(rows.cols[lA+j], rc...)
+			}
+			rows.n += rn
+			produced += rn
 		}
 	})
-	x.addComparisons(int64(left.NumRows()) * int64(rblk.Len()))
+	x.addComparisons(int64(left.NumRows()) * int64(rn))
 	x.addOutput(int64(out.NumRows()))
 	return out
 }
@@ -863,55 +1031,101 @@ func (x *Exec) cross(left, right *Relation) *Relation {
 // OPTIONAL): each left row pairs with every right row passing pred, and
 // left rows with no surviving pair are padded with Nulls.
 func (x *Exec) crossOuter(left, right *Relation, outSchema []string, pred func(Row) bool) *Relation {
-	rblk := right.gather()
-	x.addShuffled(int64(rblk.Len()) * int64(len(left.Parts)))
+	rblk := x.gatherCached(right)
+	rn := rblk.Len()
+	x.addShuffled(int64(rn) * int64(len(left.Parts)))
 	out := newRelation(outSchema, len(left.Parts))
+	lA := len(left.Schema)
 	x.parallel(len(left.Parts), func(p int) {
 		src := left.Parts[p]
+		ln := src.Len()
 		rows := NewBlock(len(outSchema), 0)
 		out.Parts[p] = rows
+		if ln == 0 {
+			return
+		}
 		scratch := make(Row, len(outSchema))
-		produced := 0
-		for i, n := 0, src.Len(); i < n; i++ {
-			lrow := src.Row(i)
-			matched := false
-			for j, rn := 0, rblk.Len(); j < rn; j++ {
-				if x.stop(produced) {
+		rsel := make([]int32, 0, rn)
+		produced, next := 0, 0
+		for i := 0; i < ln; i++ {
+			if produced >= next {
+				if x.Cancelled() {
 					return
 				}
-				produced++
-				rrow := rblk.Row(j)
-				if pred != nil {
-					concatInto(scratch, lrow, rrow, nil)
-					if !pred(scratch) {
-						continue
-					}
-					rows.Append(scratch)
-				} else {
-					rows.AppendConcat(lrow, rrow, nil)
+				next = produced + cancelBatch
+			}
+			// Collect the surviving right rows for this left row, then emit
+			// them in one column-wise pass.
+			rsel = rsel[:0]
+			if pred == nil {
+				for j := 0; j < rn; j++ {
+					rsel = append(rsel, int32(j))
 				}
-				matched = true
+			} else {
+				src.CopyRow(scratch[:lA], i)
+				for j := 0; j < rn; j++ {
+					rblk.CopyRow(scratch[lA:], j)
+					if pred(scratch) {
+						rsel = append(rsel, int32(j))
+					}
+				}
 			}
-			if !matched {
-				rows.AppendPadded(lrow)
+			produced += rn
+			if len(rsel) == 0 {
+				for j := 0; j < lA; j++ {
+					rows.cols[j] = append(rows.cols[j], src.cols[j][i])
+				}
+				for j := lA; j < len(outSchema); j++ {
+					rows.cols[j] = append(rows.cols[j], Null)
+				}
+				rows.n++
+				continue
 			}
+			for j := 0; j < lA; j++ {
+				v := src.cols[j][i]
+				col := rows.cols[j]
+				for range rsel {
+					col = append(col, v)
+				}
+				rows.cols[j] = col
+			}
+			for j, rc := range rblk.cols {
+				col := rows.cols[lA+j]
+				for _, rj := range rsel {
+					col = append(col, rc[rj])
+				}
+				rows.cols[lA+j] = col
+			}
+			rows.n += len(rsel)
 		}
 	})
-	x.addComparisons(int64(left.NumRows()) * int64(rblk.Len()))
+	x.addComparisons(int64(left.NumRows()) * int64(rn))
 	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
-// padRight extends every left row with Nulls to match outSchema.
+// padRight extends every left row with Nulls to match outSchema. The left
+// columns are shared, not copied, and the pad columns share one Null
+// column per partition; rows do not move, so the partitioning survives.
 func (x *Exec) padRight(left *Relation, outSchema []string) *Relation {
 	out := newRelation(outSchema, len(left.Parts))
+	out.keyCol = left.keyCol
 	x.parallel(len(left.Parts), func(p int) {
 		src := left.Parts[p]
-		rows := NewBlock(len(outSchema), src.Len())
-		for i, n := 0, src.Len(); i < n; i++ {
-			rows.AppendPadded(src.Row(i))
+		n := src.Len()
+		if n == 0 {
+			out.Parts[p] = NewBlock(len(outSchema), 0)
+			return
 		}
-		out.Parts[p] = rows
+		blk := &Block{cols: make([][]dict.ID, len(outSchema)), n: n}
+		for j := range src.cols {
+			blk.cols[j] = src.cols[j][:n:n]
+		}
+		nulls := nullColumn(n)
+		for j := len(src.cols); j < len(outSchema); j++ {
+			blk.cols[j] = nulls
+		}
+		out.Parts[p] = blk
 	})
 	x.addOutput(int64(out.NumRows()))
 	return out
@@ -944,12 +1158,17 @@ func (x *Exec) Union(a, b *Relation) *Relation {
 	return out
 }
 
+// fnv1a constants shared by the row-hash passes (Distinct and tests).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // Distinct removes duplicate rows (hash-shuffled on the first column so
-// deduplication runs partition-parallel). Per-partition deduplication runs
-// over an open-addressing table of 64-bit FNV-1a row hashes whose chains
-// hold indices of the kept rows (collision-checked against the block), so
-// the only allocations are the table's three flat arrays and the output
-// block.
+// deduplication runs partition-parallel). Row hashes are computed
+// column-at-a-time into one vector (FNV-1a folding each 32-bit ID), then an
+// open-addressing table dedups by hash with column-wise collision checks;
+// survivors are tracked in a selection vector and gathered once.
 func (x *Exec) Distinct(r *Relation) *Relation {
 	if len(r.Schema) == 0 {
 		// Degenerate: at most one empty row.
@@ -966,48 +1185,45 @@ func (x *Exec) Distinct(r *Relation) *Relation {
 	out.keyCol = 0
 	x.parallel(len(s.Parts), func(p int) {
 		src := s.Parts[p]
-		seen := newIndexTable(src.Len())
-		rows := NewBlock(len(r.Schema), 0)
-		for i, n := 0, src.Len(); i < n; i++ {
+		n := src.Len()
+		if n == 0 {
+			out.Parts[p] = NewBlock(len(r.Schema), 0)
+			return
+		}
+		hashes := make([]uint64, n)
+		for i := range hashes {
+			hashes[i] = fnvOffset64
+		}
+		for _, col := range src.cols {
+			for i, v := range col {
+				hashes[i] = (hashes[i] ^ uint64(v)) * fnvPrime64
+			}
+		}
+		seen := newIndexTable(n)
+		sel := make([]int32, 0, n)
+		for i := 0; i < n; i++ {
 			if x.stop(i) {
 				break
 			}
-			if !seen.seen(src, i, hashRow(src.Row(i))) {
-				rows.Append(src.Row(i))
+			if !seen.seen(src, i, hashes[i]) {
+				sel = append(sel, int32(i))
 			}
 		}
-		out.Parts[p] = rows
+		out.Parts[p] = src.gatherSel(sel)
 	})
 	x.addOutput(int64(out.NumRows()))
 	return out
 }
 
 // hashRow returns a 64-bit FNV-1a hash over the row's IDs, folding each
-// 32-bit ID in one step instead of byte-at-a-time.
+// 32-bit ID in one step instead of byte-at-a-time. It is the row-wise twin
+// of Distinct's column-wise hash pass.
 func hashRow(row Row) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
+	h := uint64(fnvOffset64)
 	for _, v := range row {
-		h ^= uint64(v)
-		h *= prime64
+		h = (h ^ uint64(v)) * fnvPrime64
 	}
 	return h
-}
-
-// rowsEqualIDs reports whether two rows hold identical IDs.
-func rowsEqualIDs(a, b Row) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // OrderBy gathers all rows and sorts them with less (coordinator-side, as
@@ -1021,7 +1237,8 @@ func (x *Exec) OrderBy(r *Relation, less func(a, b Row) bool) *Relation {
 	return out
 }
 
-// Limit returns at most n rows after skipping offset rows.
+// Limit returns at most n rows after skipping offset rows, copied out
+// column-wise per overlapping partition range.
 func (x *Exec) Limit(r *Relation, offset, n int) *Relation {
 	total := r.NumRows()
 	if offset > total {
@@ -1034,16 +1251,26 @@ func (x *Exec) Limit(r *Relation, offset, n int) *Relation {
 	out := newRelation(r.Schema, 1)
 	rows := NewBlock(len(r.Schema), keep)
 	out.Parts[0] = rows
-	r.EachRow(func(i int, row Row) bool {
-		if i < offset {
-			return true
+	skip := offset
+	for _, p := range r.Parts {
+		pn := p.Len()
+		if pn == 0 {
+			continue
 		}
+		if skip >= pn {
+			skip -= pn
+			continue
+		}
+		take := pn - skip
+		if rem := keep - rows.Len(); take > rem {
+			take = rem
+		}
+		rows.AppendRange(p, skip, skip+take)
+		skip = 0
 		if rows.Len() >= keep {
-			return false
+			break
 		}
-		rows.Append(row)
-		return true
-	})
+	}
 	return out
 }
 

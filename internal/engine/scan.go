@@ -189,9 +189,8 @@ func (x *Exec) ScanTable(t *store.Table, spec ScanSpec) (*Relation, ScanStats) {
 		pruned.Store(int64(n - (hi - lo)))
 	}
 
-	// The general pass builds an explicit selection vector; scans whose only
-	// remaining work is constant conditions (the common compiled pattern)
-	// materialize directly while walking the zones, saving the vector.
+	// Scans with no surviving conditions bulk-copy the whole range; every
+	// other shape compacts a selection vector and gathers once (scanVector).
 	simple := spec.Sel == nil && len(pl.equal) == 0 && spec.Pred == nil
 	span := hi - lo
 	if span == 0 {
@@ -224,10 +223,6 @@ func (x *Exec) ScanTable(t *store.Table, spec ScanSpec) (*Relation, ScanStats) {
 			rel.Parts[p] = out
 			return
 		}
-		if simple {
-			rel.Parts[p] = x.scanDirect(t, pl, conds, plo, phi, pruned)
-			return
-		}
 		rel.Parts[p] = x.scanVector(t, spec, pl, conds, plo, phi, pruned)
 	})
 	st.Pruned = pruned.Load()
@@ -247,87 +242,17 @@ func zoneSkips(t *store.Table, conds []scanCond, z int) bool {
 	return false
 }
 
-// scanDirect evaluates constant conditions over [plo, phi) zone by zone in
-// two column-at-a-time passes: the first counts survivors (performing the
-// zone-map skips), the second fills an exactly-sized output block — no
-// selection vector, no block growth reallocation.
-func (x *Exec) scanDirect(t *store.Table, pl scanPlan, conds []scanCond, plo, phi int, pruned *atomic.Int64) *Block {
-	count := 0
-	zonePruned := 0
-	cancelled := false
-	// Zone chunks are at most ZoneSize (= cancelBatch) rows, so polling the
-	// context once per chunk preserves the engine's row-batch cancellation
-	// granularity.
-	for zlo := plo; zlo < phi; {
-		zhi := (zlo/store.ZoneSize + 1) * store.ZoneSize
-		if zhi > phi {
-			zhi = phi
-		}
-		if x.Cancelled() {
-			cancelled = true
-			break
-		}
-		if zoneSkips(t, conds, zlo/store.ZoneSize) {
-			zonePruned += zhi - zlo
-			zlo = zhi
-			continue
-		}
-	countRows:
-		for i := zlo; i < zhi; i++ {
-			for _, cd := range conds {
-				if t.Data[cd.col][i] != cd.val {
-					continue countRows
-				}
-			}
-			count++
-		}
-		zlo = zhi
-	}
-	pruned.Add(int64(zonePruned))
-	out := NewBlock(len(pl.srcs), count)
-	if count == 0 || cancelled {
-		return out
-	}
-	for zlo := plo; zlo < phi && out.Len() < count; {
-		zhi := (zlo/store.ZoneSize + 1) * store.ZoneSize
-		if zhi > phi {
-			zhi = phi
-		}
-		if x.Cancelled() {
-			break // truncated output, discarded by the caller via Exec.Err
-		}
-		if zoneSkips(t, conds, zlo/store.ZoneSize) {
-			zlo = zhi
-			continue
-		}
-	fillRows:
-		for i := zlo; i < zhi; i++ {
-			for _, cd := range conds {
-				if t.Data[cd.col][i] != cd.val {
-					continue fillRows
-				}
-			}
-			dst := out.appendSlot()
-			for j, src := range pl.srcs {
-				dst[j] = t.Data[src][i]
-			}
-		}
-		zlo = zhi
-	}
-	return out
-}
-
-// scanVector is the general pass for scans that carry a bit-vector
-// pre-selection, an equal-variable check or a late predicate: steps 2+3
-// compact a []int32 selection vector column-at-a-time over the surviving
-// zones, step 4 materializes the selected rows exactly once (column-wise
-// gather, or through the predicate's scratch row).
+// scanVector is the single conditioned-scan pass: steps 2+3 compact a
+// []int32 selection vector column-at-a-time over the surviving zones
+// (constant conditions, the optional bit-vector pre-selection, the
+// equal-variable check), step 4 materializes the selected rows exactly once
+// — a column-wise gather, or through the late predicate's scratch row.
 func (x *Exec) scanVector(t *store.Table, spec ScanSpec, pl scanPlan, conds []scanCond, plo, phi int, pruned *atomic.Int64) *Block {
 	// Size the vector from the pre-selection's population when there is
 	// one (a sparse bit-vector reduction selects far fewer rows than the
-	// span); without one, grow from empty — this path only runs for the
-	// rare equal-variable / predicate / multi-condition shapes, and a
-	// span-sized buffer would cost 4 bytes per row of a possibly huge run.
+	// span); without one, grow from empty — conditioned scans are usually
+	// selective, and a span-sized buffer would cost 4 bytes per row of a
+	// possibly huge run.
 	cap0 := 0
 	if spec.Sel != nil {
 		cap0 = spec.Sel.CountRange(plo, phi)

@@ -1,0 +1,234 @@
+package engine
+
+import "sync/atomic"
+
+// Star joins. A star-shaped BGP — k triple patterns all sharing one join
+// variable — would run as k-1 independent hash joins in a chain, each one
+// rebuilding a table over (a superset of) the same hub column and each one
+// materializing an intermediate result the next join immediately tears
+// apart. StarJoin instead evaluates the whole star as one operator: the
+// center relation is shuffled and indexed once, every stage probes that one
+// shared table collecting (center-row, right-row) pair vectors, and the
+// full star output is materialized in a single gather at the top — the
+// columnar pipeline's cross-operator late materialization.
+
+// StarStageStats reports per-stage work for the explain surface: the rows
+// the stage's input had to move (zero when it arrived co-partitioned) and
+// the hash-chain comparisons its probe performed. Both are deterministic
+// for a given dataset and cluster, so plans replay identically from cache.
+type StarStageStats struct {
+	RowsShuffled int64
+	Comparisons  int64
+}
+
+// shuffleCost returns the rows a shuffle of r by key across partitions
+// would move: zero when the relation is already co-partitioned (mirroring
+// shuffle's skip condition), its row count otherwise.
+func shuffleCost(r *Relation, key, partitions int) int64 {
+	if r.CoPartitionedBy(key, partitions) {
+		return 0
+	}
+	return int64(r.NumRows())
+}
+
+// StarJoin joins center with every relation in rights, where each right
+// shares exactly one column — the same hub column — with the center (the
+// caller, internal/core's planner, guarantees the shape). Rights must not
+// share columns with each other beyond the hub. It returns the joined
+// relation plus one StarStageStats per right, in order; the center's own
+// shuffle cost is attributed to stage 0.
+func (x *Exec) StarJoin(center *Relation, rights []*Relation) (*Relation, []StarStageStats) {
+	c := x.c
+	k := len(rights)
+	stats := make([]StarStageStats, k)
+	hub := -1
+	rJoin := make([]int, k)
+	rKeep := make([][]int, k)
+	for i, r := range rights {
+		lIdx, rIdx := sharedCols(center.Schema, r.Schema)
+		if len(lIdx) != 1 {
+			panic("engine: StarJoin stage must share exactly one column with the center")
+		}
+		if hub < 0 {
+			hub = lIdx[0]
+		} else if lIdx[0] != hub {
+			panic("engine: StarJoin stages must all join the same center column")
+		}
+		rJoin[i] = rIdx[0]
+		rKeep[i] = keepCols(len(r.Schema), rIdx)
+	}
+	stats[0].RowsShuffled = shuffleCost(center, hub, c.partitions)
+	for i, r := range rights {
+		stats[i].RowsShuffled += shuffleCost(r, rJoin[i], c.partitions)
+	}
+	cs := x.shuffle(center, hub)
+	rs := make([]*Relation, k)
+	for i, r := range rights {
+		rs[i] = x.shuffle(r, rJoin[i])
+	}
+
+	outSchema := append([]string{}, center.Schema...)
+	for i, r := range rights {
+		for j, name := range r.Schema {
+			if j != rJoin[i] {
+				outSchema = append(outSchema, name)
+			}
+		}
+	}
+	out := newRelation(outSchema, c.partitions)
+	out.keyCol = hub
+	comps := make([]int64, k)
+	x.parallel(c.partitions, func(p int) {
+		out.Parts[p] = x.starPartition(cs.Parts[p], rs, p, hub, rJoin, rKeep, len(outSchema), comps)
+	})
+	for i := range stats {
+		stats[i].Comparisons = comps[i]
+	}
+	x.addOutput(int64(out.NumRows()))
+	return out, stats
+}
+
+// starPartition evaluates every star stage against one co-partition of the
+// center. The center's join table is built (or fetched — joinTable memoizes
+// per execution) once and probed by all k stages; each stage's matches are
+// counting-sorted into per-center-row groups, the exact output size is the
+// sum over center rows of the product of their group sizes, and the output
+// block is filled by one gather per column through the enumerated index
+// tuples.
+func (x *Exec) starPartition(cblk *Block, rs []*Relation, p, hub int, rJoin []int, rKeep [][]int, outArity int, comps []int64) *Block {
+	k := len(rs)
+	cn := cblk.Len()
+	if cn == 0 {
+		return newFixedBlock(outArity, 0)
+	}
+	ht := x.joinTable(cblk, hub)
+	if ht == nil {
+		return newFixedBlock(outArity, 0) // cancelled mid-build
+	}
+	// Probe each stage, grouping its matching right rows by center row:
+	// starts[i][ci]..starts[i][ci+1] indexes idxs[i], the right-row indices
+	// matching center row ci in stage i (counting sort keeps probe order).
+	starts := make([][]int32, k)
+	idxs := make([][]int32, k)
+	for i := 0; i < k; i++ {
+		rblk := rs[i].Parts[p]
+		rn := rblk.Len()
+		var pairsC, pairsR []int32
+		var comparisons int64
+		if rn > 0 {
+			rkey := rblk.cols[rJoin[i]]
+			for ri := 0; ri < rn; ri++ {
+				if x.stop(ri) {
+					break
+				}
+				for bi := ht.first(rkey[ri]); bi >= 0; bi = ht.next[bi] {
+					comparisons++
+					pairsC = append(pairsC, bi)
+					pairsR = append(pairsR, int32(ri))
+				}
+			}
+		}
+		atomic.AddInt64(&comps[i], comparisons)
+		x.addComparisons(comparisons)
+		cnt := make([]int32, cn+1)
+		for _, ci := range pairsC {
+			cnt[ci+1]++
+		}
+		for j := 1; j <= cn; j++ {
+			cnt[j] += cnt[j-1]
+		}
+		idx := make([]int32, len(pairsR))
+		cursor := append([]int32{}, cnt[:cn]...)
+		for t, ci := range pairsC {
+			idx[cursor[ci]] = pairsR[t]
+			cursor[ci]++
+		}
+		starts[i] = cnt
+		idxs[i] = idx
+	}
+	// Exact output size: Σ over center rows of Π stage group sizes.
+	total := 0
+	for ci := 0; ci < cn; ci++ {
+		prod := 1
+		for i := 0; i < k && prod > 0; i++ {
+			prod *= int(starts[i][ci+1] - starts[i][ci])
+		}
+		total += prod
+	}
+	if total == 0 {
+		return newFixedBlock(outArity, 0)
+	}
+	// Enumerate the per-center-row products into index tuples (csel plus one
+	// rsel per stage) with an odometer over the groups, polling cancellation
+	// at cancelBatch output granularity like the cross join.
+	csel := make([]int32, total)
+	rsels := make([][]int32, k)
+	for i := range rsels {
+		rsels[i] = make([]int32, total)
+	}
+	odo := make([]int32, k)
+	pos, next := 0, 0
+	for ci := int32(0); int(ci) < cn; ci++ {
+		empty := false
+		for i := 0; i < k; i++ {
+			if starts[i][ci+1] == starts[i][ci] {
+				empty = true
+				break
+			}
+		}
+		if empty {
+			continue
+		}
+		if pos >= next {
+			if x.Cancelled() {
+				break
+			}
+			next = pos + cancelBatch
+		}
+		for i := range odo {
+			odo[i] = 0
+		}
+		for {
+			csel[pos] = ci
+			for i := 0; i < k; i++ {
+				rsels[i][pos] = idxs[i][starts[i][ci]+odo[i]]
+			}
+			pos++
+			d := k - 1
+			for d >= 0 {
+				odo[d]++
+				if starts[d][ci]+odo[d] < starts[d][ci+1] {
+					break
+				}
+				odo[d] = 0
+				d--
+			}
+			if d < 0 {
+				break
+			}
+		}
+	}
+	// Single materialization of the whole star: one gather pass per output
+	// column, however many stages produced the tuples.
+	blk := newFixedBlock(outArity, pos)
+	for j, col := range cblk.cols {
+		dst := blk.cols[j]
+		for t := 0; t < pos; t++ {
+			dst[t] = col[csel[t]]
+		}
+	}
+	off := cblk.Arity()
+	for i := 0; i < k; i++ {
+		rblk := rs[i].Parts[p]
+		sel := rsels[i]
+		for _, rc := range rKeep[i] {
+			col := rblk.cols[rc]
+			dst := blk.cols[off]
+			for t := 0; t < pos; t++ {
+				dst[t] = col[sel[t]]
+			}
+			off++
+		}
+	}
+	return blk
+}

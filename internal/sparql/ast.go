@@ -4,7 +4,6 @@
 package sparql
 
 import (
-	"fmt"
 	"strings"
 
 	"s2rdf/internal/rdf"
@@ -65,9 +64,19 @@ func (tp TriplePattern) BoundCount() int {
 	return n
 }
 
-// String renders the pattern.
+// String renders the pattern. It is on the per-query explain path (plan
+// rows, join steps, cache keys), so it assembles the three nodes directly
+// rather than through fmt.
 func (tp TriplePattern) String() string {
-	return fmt.Sprintf("%s %s %s", tp.S, tp.P, tp.O)
+	s, p, o := tp.S.String(), tp.P.String(), tp.O.String()
+	var b strings.Builder
+	b.Grow(len(s) + len(p) + len(o) + 2)
+	b.WriteString(s)
+	b.WriteByte(' ')
+	b.WriteString(p)
+	b.WriteByte(' ')
+	b.WriteString(o)
+	return b.String()
 }
 
 // Group is a SPARQL group graph pattern: a BGP plus filters, OPTIONAL

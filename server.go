@@ -356,10 +356,13 @@ func writeResult(w http.ResponseWriter, mode Mode, res *Result) {
 	}
 	if len(res.Joins) > 0 {
 		strategies := make([]string, len(res.Joins))
+		shuffled := make([]string, len(res.Joins))
 		for i, j := range res.Joins {
 			strategies[i] = j.Strategy
+			shuffled[i] = strconv.FormatInt(j.RowsShuffled, 10)
 		}
 		h.Set("X-S2RDF-Join-Strategies", strings.Join(strategies, ","))
+		h.Set("X-S2RDF-Join-Shuffled", strings.Join(shuffled, ","))
 	}
 	if res.StatsOnly {
 		h.Set("X-S2RDF-Stats-Only", "true")

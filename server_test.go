@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -306,8 +307,19 @@ func TestServePlanningHeaders(t *testing.T) {
 		t.Error("missing X-S2RDF-Join-Strategies header")
 	}
 	for _, s := range strings.Split(strategies, ",") {
-		if s != "shuffle" && s != "broadcast" && s != "cross" {
+		if s != "shuffle" && s != "broadcast" && s != "cross" && s != "star" {
 			t.Errorf("unknown strategy %q in header %q", s, strategies)
+		}
+	}
+	// Per-join shuffled-row counts ride along, one integer per join step.
+	shuffled := first.Header.Get("X-S2RDF-Join-Shuffled")
+	if got := strings.Split(shuffled, ","); len(got) != len(strings.Split(strategies, ",")) {
+		t.Errorf("join-shuffled header %q does not match strategies %q", shuffled, strategies)
+	} else {
+		for _, s := range got {
+			if _, err := strconv.ParseInt(s, 10, 64); err != nil {
+				t.Errorf("join-shuffled entry %q is not an integer", s)
+			}
 		}
 	}
 
