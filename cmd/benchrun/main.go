@@ -20,7 +20,11 @@
 // the -json analogue of go test's B/op and allocs/op) plus
 // RowsScanned/RowsPruned (mean metered scan input and rows skipped by scan
 // pruning), so allocation and scan-volume regressions show up in the
-// BENCH_*.json artifact alongside wall time.
+// BENCH_*.json artifact alongside wall time. The concurrent experiment's
+// rows run through the admission scheduler the HTTP server uses and split
+// mean latency into MeanQueueWait (time waiting for a worker slot) and
+// MeanExec (execution), so a serving regression is attributable to
+// queueing or to the engine from the artifact alone.
 //
 // With -compare OLD.json the basic-workload cells of a previous run (for
 // example the BENCH_baseline.json committed to the repository) are diffed

@@ -6,7 +6,9 @@
 //	s2rdf load  -in data.nt -store ./storedir [-threshold 0.25]
 //	s2rdf query -store ./storedir [-mode ExtVP] [-explain] 'SELECT ...'
 //	s2rdf serve -store ./storedir [-stores name=dir,...] [-addr :8080]
-//	            [-mode ExtVP] [-workers 8] [-timeout 30s] [-drain 30s]
+//	            [-mode ExtVP] [-max-concurrent 8] [-queue-depth 32]
+//	            [-cheap-threshold 1000] [-slice 20ms]
+//	            [-timeout 30s] [-drain 30s]
 //	s2rdf stats -store ./storedir
 //
 // serve handles SIGINT/SIGTERM by draining: the listener closes at once,
@@ -29,6 +31,9 @@ import (
 	"time"
 
 	"s2rdf"
+	"s2rdf/internal/core"
+	"s2rdf/internal/engine"
+	"s2rdf/internal/sched"
 )
 
 func main() {
@@ -54,9 +59,11 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   s2rdf load  -in data.nt -store DIR [-threshold T] [-novp]
-  s2rdf query -store DIR [-mode ExtVP|VP|TT|PT] [-explain] 'SPARQL'
+  s2rdf query -store DIR [-mode ExtVP|VP|TT|PT] [-explain]
+              [-cheap-threshold N] 'SPARQL'
   s2rdf serve -store DIR [-stores NAME=DIR,...] [-addr :8080]
-              [-mode ExtVP|VP|TT|PT] [-workers N] [-pt]
+              [-mode ExtVP|VP|TT|PT] [-max-concurrent N] [-queue-depth N]
+              [-cheap-threshold N] [-slice D] [-pt]
               [-timeout D] [-max-timeout D] [-drain D]
   s2rdf stats -store DIR`)
 	os.Exit(2)
@@ -105,6 +112,7 @@ func cmdQuery(args []string) {
 	dir := fs.String("store", "", "store directory")
 	mode := fs.String("mode", "ExtVP", "execution mode: ExtVP, VP, TT or PT")
 	explain := fs.Bool("explain", false, "print the selected tables per pattern")
+	cheapThreshold := fs.Int("cheap-threshold", 0, "cost-gate boundary in estimated rows (0 = default)")
 	fs.Parse(args)
 	if *dir == "" || fs.NArg() != 1 {
 		fs.Usage()
@@ -119,11 +127,39 @@ func cmdQuery(args []string) {
 	if !ok {
 		log.Fatalf("unknown mode %q", *mode)
 	}
-	res, err := st.QueryMode(m, fs.Arg(0))
+	// Run through a one-off scheduler exactly like the server would, so
+	// -explain reports the cost-gate verdict and scheduling record of the
+	// query.
+	cost, err := st.Engine(m).EstimateCost(fs.Arg(0))
 	if err != nil {
 		log.Fatal(err)
 	}
+	class := sched.Classify(cost.Cost(), *cheapThreshold)
+	sc := sched.New(sched.Options{})
+	ticket, err := sc.Admit(context.Background(), class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	if class == sched.Expensive {
+		ctx = engine.WithYielder(ctx, ticket)
+	}
+	res, err := st.QueryModeContext(ctx, m, fs.Arg(0))
+	ticket.Release()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Sched = &core.SchedInfo{
+		Class:     class.String(),
+		Cost:      cost,
+		QueueWait: ticket.QueueWait(),
+		Yields:    ticket.Yields(),
+	}
 	if *explain {
+		fmt.Printf("# cost gate: %s (cost %d = max(scan %d, peak %d); %d patterns)\n",
+			res.Sched.Class, cost.Cost(), cost.ScanRows, cost.PeakRows, cost.Patterns)
+		fmt.Printf("# sched: queue wait %v, yields %d\n",
+			res.Sched.QueueWait.Round(time.Microsecond), res.Sched.Yields)
 		fmt.Println("# plan:")
 		for _, p := range res.Plan {
 			fmt.Printf("#   %-40s -> %s (rows %d, est %d, SF %.2f; scanned %d, pruned %d)\n",
@@ -174,7 +210,11 @@ func cmdServe(args []string) {
 	extra := fs.String("stores", "", "additional stores, NAME=DIR[,NAME=DIR...], served at /sparql/NAME")
 	addr := fs.String("addr", ":8080", "listen address")
 	mode := fs.String("mode", "ExtVP", "default execution mode: ExtVP, VP, TT or PT")
-	workers := fs.Int("workers", 0, "max concurrent queries across all stores (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "deprecated alias for -max-concurrent")
+	maxConcurrent := fs.Int("max-concurrent", 0, "max concurrent queries per store, split between the cheap and expensive lanes (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 0, "per-lane admission queue bound; a full queue answers 429 + Retry-After (0 = max(16, 4x max-concurrent))")
+	cheapThreshold := fs.Int("cheap-threshold", 0, "cost-gate boundary in planner-estimated rows (0 = 1000)")
+	slice := fs.Duration("slice", 0, "expensive-query time slice before yielding the worker slot (0 = 20ms)")
 	pt := fs.Bool("pt", false, "also build the property table so mode=PT requests work")
 	timeout := fs.Duration("timeout", 0, "default per-query deadline (0 = none); requests may override with ?timeout=")
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on per-query deadlines, including client-requested ones (0 = no cap)")
@@ -213,9 +253,15 @@ func cmdServe(args []string) {
 		}
 	}
 
+	if *maxConcurrent == 0 {
+		*maxConcurrent = *workers
+	}
 	h, err := s2rdf.NewMux(stores, s2rdf.DefaultStoreName, s2rdf.ServerOptions{
 		Mode:           m,
-		MaxConcurrent:  *workers,
+		MaxConcurrent:  *maxConcurrent,
+		QueueDepth:     *queueDepth,
+		CheapThreshold: *cheapThreshold,
+		Slice:          *slice,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 	})

@@ -1,15 +1,19 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
 	"s2rdf/internal/core"
+	"s2rdf/internal/engine"
 	"s2rdf/internal/layout"
+	"s2rdf/internal/sched"
 	"s2rdf/internal/watdiv"
 )
 
@@ -21,8 +25,18 @@ type ThroughputRow struct {
 	Wall    time.Duration
 	// QPS is queries per second of wall time.
 	QPS float64
-	// MeanLatency is the mean per-query duration measured inside workers.
+	// MeanLatency is the mean end-to-end per-query duration measured
+	// inside workers: scheduler queue wait plus execution.
 	MeanLatency time.Duration
+	// MeanQueueWait and MeanExec split MeanLatency into the time spent
+	// waiting for a scheduler slot (admission plus re-queues after yields)
+	// and the time spent executing, so a throughput regression is
+	// attributable to queueing or to the engine.
+	MeanQueueWait time.Duration
+	MeanExec      time.Duration
+	// Expensive counts the queries the cost gate classified into the
+	// expensive lane.
+	Expensive int
 	// RowsScanned is the total metered scan volume, which must match the
 	// sequential run exactly — concurrency changes throughput, not work.
 	RowsScanned int64
@@ -31,8 +45,10 @@ type ThroughputRow struct {
 // RunConcurrent measures query throughput on one shared engine as the
 // client concurrency grows — the serving scenario the engine's per-query
 // Exec contexts make sound. Every worker issues instantiated Basic-workload
-// queries; per-query metrics are summed and cross-checked against the
-// cluster aggregate to demonstrate exact accounting under load.
+// queries through the admission scheduler the HTTP server uses, so the
+// reported latency splits into queue wait and execution time; per-query
+// metrics are summed and cross-checked against the cluster aggregate to
+// demonstrate exact accounting under load.
 func RunConcurrent(cfg Config, workerCounts []int) ([]ThroughputRow, error) {
 	cfg.defaults()
 	if len(workerCounts) == 0 {
@@ -41,6 +57,12 @@ func RunConcurrent(cfg Config, workerCounts []int) ([]ThroughputRow, error) {
 	data := watdiv.Generate(watdiv.Config{Scale: cfg.Scale, Seed: cfg.Seed})
 	ds := layout.Build(data.Triples, layout.DefaultOptions())
 	eng := core.New(ds, core.ModeExtVP)
+	maxWorkers := 0
+	for _, w := range workerCounts {
+		if w > maxWorkers {
+			maxWorkers = w
+		}
+	}
 
 	// One fixed batch of query instances, reused at every worker count so
 	// rows differ only by concurrency.
@@ -55,8 +77,17 @@ func RunConcurrent(cfg Config, workerCounts []int) ([]ThroughputRow, error) {
 	var rows []ThroughputRow
 	for _, workers := range workerCounts {
 		eng.Cluster.Metrics.Reset()
+		// Fresh scheduler per worker count so the gauges and EWMA of one
+		// round do not leak into the next. Queue depth admits every worker
+		// at once; backpressure is the server tests' subject, not the
+		// throughput experiment's.
+		sc := sched.New(sched.Options{
+			MaxConcurrent: runtime.GOMAXPROCS(0),
+			QueueDepth:    maxWorkers + 16,
+		})
 		var next atomic.Int64
-		var latency atomic.Int64
+		var latency, queueWait, execTime atomic.Int64
+		var expensive atomic.Int64
 		var scanned atomic.Int64
 		var errMu sync.Mutex
 		var firstErr error
@@ -71,7 +102,7 @@ func RunConcurrent(cfg Config, workerCounts []int) ([]ThroughputRow, error) {
 					if i >= len(queries) {
 						return
 					}
-					res, err := eng.Query(queries[i])
+					res, wait, err := runScheduled(eng, sc, queries[i], &expensive)
 					if err != nil {
 						errMu.Lock()
 						if firstErr == nil {
@@ -80,7 +111,9 @@ func RunConcurrent(cfg Config, workerCounts []int) ([]ThroughputRow, error) {
 						errMu.Unlock()
 						return
 					}
-					latency.Add(int64(res.Duration))
+					latency.Add(int64(wait + res.Duration))
+					queueWait.Add(int64(wait))
+					execTime.Add(int64(res.Duration))
 					scanned.Add(res.Metrics.RowsScanned)
 				}
 			}()
@@ -94,23 +127,54 @@ func RunConcurrent(cfg Config, workerCounts []int) ([]ThroughputRow, error) {
 			return nil, fmt.Errorf("bench: aggregate scanned %d != per-query sum %d at %d workers",
 				agg, scanned.Load(), workers)
 		}
+		n := int64(len(queries))
 		rows = append(rows, ThroughputRow{
-			Workers:     workers,
-			Queries:     len(queries),
-			Wall:        wall,
-			QPS:         float64(len(queries)) / wall.Seconds(),
-			MeanLatency: time.Duration(latency.Load() / int64(len(queries))),
-			RowsScanned: scanned.Load(),
+			Workers:       workers,
+			Queries:       len(queries),
+			Wall:          wall,
+			QPS:           float64(len(queries)) / wall.Seconds(),
+			MeanLatency:   time.Duration(latency.Load() / n),
+			MeanQueueWait: time.Duration(queueWait.Load() / n),
+			MeanExec:      time.Duration(execTime.Load() / n),
+			Expensive:     int(expensive.Load()),
+			RowsScanned:   scanned.Load(),
 		})
 	}
 
 	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(cfg.Out, "\n=== E8: Concurrent serving throughput (shared ExtVP engine) ===")
-	fmt.Fprintln(tw, "workers\tqueries\twall\tQPS\tmean latency\trows scanned")
+	fmt.Fprintln(tw, "workers\tqueries\twall\tQPS\tmean latency\tqueue wait\texec\texpensive\trows scanned")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%d\t%s\t%.0f\t%s\t%d\n",
-			r.Workers, r.Queries, fmtDur(r.Wall), r.QPS, fmtDur(r.MeanLatency), r.RowsScanned)
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%.0f\t%s\t%s\t%s\t%d\t%d\n",
+			r.Workers, r.Queries, fmtDur(r.Wall), r.QPS, fmtDur(r.MeanLatency),
+			fmtDur(r.MeanQueueWait), fmtDur(r.MeanExec), r.Expensive, r.RowsScanned)
 	}
 	tw.Flush()
 	return rows, nil
+}
+
+// runScheduled runs one query the way the HTTP handler does: cost-gate
+// classification, lane admission, and (for expensive queries) the yield
+// hook. It returns the result and the total slot wait.
+func runScheduled(eng *core.Engine, sc *sched.Scheduler, src string, expensive *atomic.Int64) (*core.Result, time.Duration, error) {
+	cost, err := eng.EstimateCost(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	class := sched.Classify(cost.Cost(), 0)
+	ticket, err := sc.Admit(context.Background(), class)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer ticket.Release()
+	ctx := context.Background()
+	if class == sched.Expensive {
+		expensive.Add(1)
+		ctx = engine.WithYielder(ctx, ticket)
+	}
+	res, err := eng.QueryContext(ctx, src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, ticket.QueueWait(), nil
 }

@@ -167,6 +167,25 @@ type Result struct {
 	Ask bool
 	// PlanCached is true when the parsed query came from the plan cache.
 	PlanCached bool
+	// Sched, when the query ran through an admission scheduler, records the
+	// cost-gate verdict and the scheduling delay the query experienced. Nil
+	// for directly-executed queries.
+	Sched *SchedInfo
+}
+
+// SchedInfo is the scheduling record attached to a Result by the serving
+// layer: what the cost gate decided and what it cost the query in queueing
+// terms. Fields mirror the X-S2RDF-* scheduling headers.
+type SchedInfo struct {
+	// Class is the cost-gate verdict: "cheap" or "expensive".
+	Class string
+	// Cost is the pre-execution estimate the classification used.
+	Cost CostEstimate
+	// QueueWait is the total time spent waiting for a worker slot,
+	// including re-queues after yields.
+	QueueWait time.Duration
+	// Yields counts how many times the query gave up its slot mid-run.
+	Yields int
 }
 
 // Len returns the number of solution mappings.
@@ -199,32 +218,40 @@ func (e *Engine) Query(src string) (*Result, error) {
 // returns ctx.Err(). Parsed queries are memoized in the plan cache under
 // their normalized text.
 func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
-	if e.Plans == nil {
-		q, err := sparql.Parse(src)
-		if err != nil {
-			return nil, err
-		}
-		return e.ExecContext(ctx, q)
-	}
-	q, cached := e.Plans.getRaw(src)
-	if !cached {
-		key := NormalizeQuery(src)
-		q, cached = e.Plans.get(key)
-		if !cached {
-			var err error
-			q, err = sparql.Parse(src)
-			if err != nil {
-				return nil, err
-			}
-			e.Plans.put(key, q)
-		}
-		e.Plans.alias(src, key)
+	q, cached, err := e.parseCached(src)
+	if err != nil {
+		return nil, err
 	}
 	res, err := e.ExecContext(ctx, q)
 	if res != nil {
 		res.PlanCached = cached
 	}
 	return res, err
+}
+
+// parseCached parses src through the plan cache (when configured),
+// reporting whether the parsed query was served from it. It is the shared
+// front of QueryContext and EstimateCost, so estimating a query's cost
+// warms the same cache entry its execution will hit.
+func (e *Engine) parseCached(src string) (q *sparql.Query, cached bool, err error) {
+	if e.Plans == nil {
+		q, err = sparql.Parse(src)
+		return q, false, err
+	}
+	q, cached = e.Plans.getRaw(src)
+	if !cached {
+		key := NormalizeQuery(src)
+		q, cached = e.Plans.get(key)
+		if !cached {
+			q, err = sparql.Parse(src)
+			if err != nil {
+				return nil, false, err
+			}
+			e.Plans.put(key, q)
+		}
+		e.Plans.alias(src, key)
+	}
+	return q, cached, nil
 }
 
 // Exec executes a parsed query. The query value is not modified, so one

@@ -157,6 +157,10 @@ type Exec struct {
 	// concurrently), so reusing one counter avoids a per-scan heap
 	// allocation for a variable the partition closures must share.
 	scanPruned atomic.Int64
+	// yield, when non-nil, is the scheduler's pacing hook (see Yielder):
+	// it is invoked at every row-batch cancellation point so a time-sliced
+	// query can give up its worker slot between batches.
+	yield Yielder
 	// mu guards the execution-scoped caches below. tables memoizes join
 	// tables per (build block, key column) so join stages sharing a build
 	// side hash it once (see joinTable); gathers memoizes coordinator-side
@@ -164,6 +168,28 @@ type Exec struct {
 	mu      sync.Mutex
 	tables  map[tableKey]*indexTable
 	gathers map[*Relation]*Block
+}
+
+// Yielder is a cooperative-scheduling hook. An execution whose context
+// carries one (see WithYielder) calls Yield at every row-batch
+// cancellation point; the implementation may block to pause the query
+// (e.g. until a scheduler re-grants it a worker slot). Implementations
+// must be safe for concurrent use: one query's partition tasks may call
+// Yield from several goroutines at once. Yield must return (rather than
+// block forever) once the execution's context is done, so cancellation
+// can still unwind a paused query.
+type Yielder interface {
+	Yield()
+}
+
+// yielderKey is the context key WithYielder stores under.
+type yielderKey struct{}
+
+// WithYielder returns a copy of ctx carrying y. Executions created from
+// the returned context via NewExecContext call y.Yield at every row-batch
+// cancellation point.
+func WithYielder(ctx context.Context, y Yielder) context.Context {
+	return context.WithValue(ctx, yielderKey{}, y)
 }
 
 // NewExec returns an execution handle metering into m (which may be nil for
@@ -179,7 +205,11 @@ func (c *Cluster) NewExecContext(ctx context.Context, m *Metrics) *Exec {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Exec{c: c, m: m, ctx: ctx, done: ctx.Done()}
+	x := &Exec{c: c, m: m, ctx: ctx, done: ctx.Done()}
+	if y, ok := ctx.Value(yielderKey{}).(Yielder); ok {
+		x.yield = y
+	}
+	return x
 }
 
 // exec returns an aggregate-only handle backing the Cluster convenience
@@ -209,8 +239,14 @@ func (x *Exec) Err() error {
 	return x.ctx.Err()
 }
 
-// Cancelled reports whether the execution's context is done.
+// Cancelled reports whether the execution's context is done. It is also
+// the scheduler pacing point: when the execution carries a Yielder it is
+// invoked first (and may block until the query is re-granted a slot), so
+// every cancellation poll doubles as a yield point.
 func (x *Exec) Cancelled() bool {
+	if x.yield != nil {
+		x.yield.Yield()
+	}
 	if x.done == nil {
 		return false
 	}
@@ -228,11 +264,15 @@ func (x *Exec) Cancelled() bool {
 // can still perform per partition task.
 const cancelBatch = 1024
 
-// stop reports whether execution is cancelled, polling the context only on
-// row counts that are multiples of cancelBatch. Row loops call it with
-// their running row counter.
+// stop reports whether execution is cancelled, polling the context (and
+// yielding to the scheduler, see Cancelled) only on row counts that are
+// multiples of cancelBatch. Row loops call it with their running row
+// counter.
 func (x *Exec) stop(rows int) bool {
-	return x.done != nil && rows%cancelBatch == 0 && x.Cancelled()
+	if x.done == nil && x.yield == nil {
+		return false
+	}
+	return rows%cancelBatch == 0 && x.Cancelled()
 }
 
 // StopAt is the exported form of the operators' row-batch cancellation

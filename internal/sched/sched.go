@@ -1,0 +1,521 @@
+// Package sched implements per-store query admission control and fair
+// time-sliced scheduling. It sits between the HTTP mux (or CLI) and the
+// query engine: every query is classified cheap or expensive by the cost
+// gate (Classify, fed by the planner's cardinality estimates), admitted
+// into the matching lane's bounded queue, and granted a worker slot when
+// one frees up. Expensive queries additionally carry a time slice: the
+// engine calls Ticket.Yield at its row-batch cancellation points, and a
+// ticket whose slice has expired while other work is waiting releases its
+// slot and re-enqueues, so N concurrent heavy queries make proportional
+// progress instead of FIFO head-of-line blocking.
+//
+// Fairness uses virtual-time ordering (a simplified completely-fair
+// scheduler): each lane keeps a virtual clock equal to the service time of
+// the most-served dispatched ticket, new arrivals start at the current
+// clock, and a yielding ticket's virtual time grows by the CPU slice it
+// just consumed. The wait heap pops the smallest (vtime, seq) first, so a
+// ticket that has waited while others ran ages into higher priority
+// automatically, and a fresh short query jumps ahead of a long-runner
+// without starving it.
+package sched
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Class is the cost-gate verdict for one query.
+type Class int
+
+const (
+	// Cheap queries (point lookups, small stars) run in the cheap lane.
+	Cheap Class = iota
+	// Expensive queries (analytics, snowflakes, cross joins) run in the
+	// expensive lane and are time-sliced.
+	Expensive
+)
+
+func (c Class) String() string {
+	if c == Cheap {
+		return "cheap"
+	}
+	return "expensive"
+}
+
+// DefaultCheapThreshold is the planner-estimated row count at or below
+// which a query classifies as Cheap. The unit is the cost returned by
+// core.CostEstimate.Cost(): the larger of total estimated scanned rows and
+// the peak estimated intermediate-result size.
+const DefaultCheapThreshold = 1000
+
+// Classify applies the cost gate: queries whose estimated cost is at or
+// below threshold are Cheap, everything else Expensive. threshold <= 0
+// selects DefaultCheapThreshold.
+func Classify(cost int, threshold int) Class {
+	if threshold <= 0 {
+		threshold = DefaultCheapThreshold
+	}
+	if cost <= threshold {
+		return Cheap
+	}
+	return Expensive
+}
+
+// DefaultSlice is the execution time slice granted to expensive queries
+// between yield points when none is configured.
+const DefaultSlice = 20 * time.Millisecond
+
+// epoch anchors the scheduler's monotonic clock; all internal timestamps
+// are nanoseconds since this instant.
+var epoch = time.Now()
+
+func nowNanos() int64 { return int64(time.Since(epoch)) }
+
+// Options configures a Scheduler.
+type Options struct {
+	// MaxConcurrent is the total worker-slot budget across both lanes.
+	// Defaults to 2 when <= 0. The expensive lane gets half (at least 1)
+	// and the cheap lane the rest (at least 1), so point lookups always
+	// have a slot that analytics cannot occupy.
+	MaxConcurrent int
+	// QueueDepth bounds each lane's admission queue (tickets waiting for
+	// their first slot grant; re-enqueued yields are not counted against
+	// it). When a lane's slots are busy and its queue is full, Admit
+	// rejects with *QueueFullError. Defaults to max(16, 4*MaxConcurrent).
+	QueueDepth int
+	// Slice is the execution time slice for expensive queries. <= 0
+	// selects DefaultSlice.
+	Slice time.Duration
+}
+
+// QueueFullError is returned by Admit when the lane's admission queue is
+// at capacity. RetryAfter estimates when a slot is likely to free up,
+// derived from the lane's recent per-query service time.
+type QueueFullError struct {
+	Class      Class
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("sched: %s queue full, retry after %s", e.Class, e.RetryAfter)
+}
+
+// ticket states.
+const (
+	stateQueued int32 = iota
+	stateRunning
+	stateDone
+)
+
+// Ticket is one admitted query's handle on the scheduler. The holder must
+// call Release exactly once when the query finishes (on any path,
+// including errors and cancellation). Ticket implements engine.Yielder.
+type Ticket struct {
+	s     *Scheduler
+	lane  *lane
+	ctx   context.Context
+	seq   uint64
+	vtime int64 // virtual service time, ns; heap priority
+
+	// sliceEnd is the monotonic deadline (ns since epoch) of the current
+	// slice; read lock-free on the Yield fast path. 0 means "no slicing"
+	// (cheap lane).
+	sliceEnd atomic.Int64
+
+	enqueuedAt int64 // ns since epoch of the current enqueue
+	grantedAt  int64 // ns since epoch of the last slot grant
+
+	state  int32         // guarded by s.mu
+	index  int           // heap index while queued; -1 otherwise
+	grant  chan struct{} // closed when a slot is granted
+	waited time.Duration // cumulative admission + re-enqueue wait
+	yields int           // completed yield round-trips
+
+	released bool // Release called; guarded by s.mu
+}
+
+// QueueWait reports the total time the ticket has spent waiting for a slot
+// (initial admission plus any re-enqueues after yielding).
+func (t *Ticket) QueueWait() time.Duration { return t.waited }
+
+// Yields reports how many times the ticket gave up its slot and re-queued.
+func (t *Ticket) Yields() int { return t.yields }
+
+// Class reports which lane admitted the ticket.
+func (t *Ticket) Class() Class {
+	if t.lane == &t.s.heavy {
+		return Expensive
+	}
+	return Cheap
+}
+
+// lane is one class's slot budget, admission queue and wait heap.
+type lane struct {
+	class Class
+	slots int
+	free  int
+
+	waiting    waitHeap // queued tickets (admission waiters + re-enqueued yielders)
+	admitQueue int      // admission waiters only, bounded by QueueDepth
+	queueDepth int
+
+	vclock int64 // virtual clock: max vtime among dispatched tickets
+
+	// ewmaActive is an exponentially-weighted moving average of per-grant
+	// slot hold time, used for the Retry-After estimate. 0 = no samples.
+	ewmaActive int64
+
+	// counters (monotonic)
+	admitted  int64
+	rejected  int64
+	abandoned int64 // gave up while queued (ctx done / disconnect)
+	started   int64
+	completed int64
+	yields    int64
+}
+
+// Scheduler is one store's admission controller. All state is guarded by a
+// single mutex; the only lock-free path is the Yield slice check.
+type Scheduler struct {
+	mu    sync.Mutex
+	cheap lane
+	heavy lane
+	slice time.Duration
+	seq   uint64
+}
+
+// New builds a Scheduler from opts (see Options for defaulting rules).
+func New(opts Options) *Scheduler {
+	total := opts.MaxConcurrent
+	if total <= 0 {
+		total = 2
+	}
+	heavySlots := total / 2
+	if heavySlots < 1 {
+		heavySlots = 1
+	}
+	cheapSlots := total - heavySlots
+	if cheapSlots < 1 {
+		cheapSlots = 1
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 4 * total
+		if depth < 16 {
+			depth = 16
+		}
+	}
+	slice := opts.Slice
+	if slice <= 0 {
+		slice = DefaultSlice
+	}
+	s := &Scheduler{slice: slice}
+	s.cheap = lane{class: Cheap, slots: cheapSlots, free: cheapSlots, queueDepth: depth}
+	s.heavy = lane{class: Expensive, slots: heavySlots, free: heavySlots, queueDepth: depth}
+	return s
+}
+
+func (s *Scheduler) laneFor(c Class) *lane {
+	if c == Expensive {
+		return &s.heavy
+	}
+	return &s.cheap
+}
+
+// Admit requests a worker slot for a query of the given class. It blocks
+// until a slot is granted, the context is done, or — immediately — the
+// lane's admission queue is full, in which case it returns a
+// *QueueFullError carrying a Retry-After estimate. A ticket whose context
+// ends while queued is removed from the queue without ever executing and
+// its slot demand vanishes (the disconnect-releases-slot property).
+func (s *Scheduler) Admit(ctx context.Context, class Class) (*Ticket, error) {
+	s.mu.Lock()
+	ln := s.laneFor(class)
+	if ln.free == 0 && ln.admitQueue >= ln.queueDepth {
+		ln.rejected++
+		ra := s.retryAfterLocked(ln)
+		s.mu.Unlock()
+		return nil, &QueueFullError{Class: class, RetryAfter: ra}
+	}
+	s.seq++
+	t := &Ticket{
+		s:    s,
+		lane: ln,
+		ctx:  ctx,
+		seq:  s.seq,
+		// enqueuedAt is stamped even on the immediate-grant path below:
+		// a fresh ticket's zero state is stateQueued, so grantLocked
+		// accumulates now-enqueuedAt into the queue wait either way.
+		enqueuedAt: nowNanos(),
+		vtime:      ln.vclock,
+		index:      -1,
+		grant:      make(chan struct{}),
+	}
+	ln.admitted++
+	if ln.free > 0 {
+		s.grantLocked(ln, t)
+		s.mu.Unlock()
+		return t, nil
+	}
+	t.state = stateQueued
+	ln.admitQueue++
+	heap.Push(&ln.waiting, t)
+	s.mu.Unlock()
+
+	select {
+	case <-t.grant:
+		return t, nil
+	case <-ctx.Done():
+	}
+	// Context ended. The grant may have raced the cancellation: prefer the
+	// grant if it already happened, otherwise withdraw from the queue.
+	s.mu.Lock()
+	select {
+	case <-t.grant:
+		s.mu.Unlock()
+		return t, nil
+	default:
+	}
+	heap.Remove(&ln.waiting, t.index)
+	ln.admitQueue--
+	ln.abandoned++
+	t.state = stateDone
+	t.released = true
+	s.mu.Unlock()
+	return nil, ctx.Err()
+}
+
+// grantLocked hands a free slot to t. Caller holds s.mu.
+func (s *Scheduler) grantLocked(ln *lane, t *Ticket) {
+	ln.free--
+	now := nowNanos()
+	if t.state == stateQueued {
+		t.waited += time.Duration(now - t.enqueuedAt)
+	}
+	if t.grantedAt == 0 { // first grant: the query starts executing
+		ln.started++
+	}
+	t.state = stateRunning
+	t.grantedAt = now
+	if ln.vclock < t.vtime {
+		ln.vclock = t.vtime
+	}
+	if ln.class == Expensive {
+		t.sliceEnd.Store(now + int64(s.slice))
+	}
+	close(t.grant)
+}
+
+// dispatchLocked grants freed slots to the highest-priority waiters.
+func (s *Scheduler) dispatchLocked(ln *lane) {
+	for ln.free > 0 && ln.waiting.Len() > 0 {
+		t := heap.Pop(&ln.waiting).(*Ticket)
+		if t.yields == 0 {
+			ln.admitQueue--
+		}
+		s.grantLocked(ln, t)
+	}
+}
+
+// retryAfterLocked estimates how long a rejected client should wait before
+// retrying: (queue length + 1) service times spread across the lane's
+// slots, clamped to [1s, 60s].
+func (s *Scheduler) retryAfterLocked(ln *lane) time.Duration {
+	per := time.Duration(ln.ewmaActive)
+	if per == 0 {
+		per = time.Second
+	}
+	est := time.Duration(ln.admitQueue+1) * per / time.Duration(ln.slots)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+// Yield is the engine-facing pacing hook (engine.Yielder). Cheap tickets
+// and unexpired slices return immediately via a lock-free check. An
+// expensive ticket whose slice has expired releases its slot, re-enqueues
+// behind anyone with less virtual service time, and blocks until
+// re-granted or its context ends (in which case it returns so the engine
+// can observe cancellation and unwind).
+func (t *Ticket) Yield() {
+	end := t.sliceEnd.Load()
+	if end == 0 || nowNanos() < end {
+		return
+	}
+	t.yieldSlow()
+}
+
+func (t *Ticket) yieldSlow() {
+	s := t.s
+	ln := t.lane
+	s.mu.Lock()
+	if t.state != stateRunning || t.released {
+		// Raced with Release or a concurrent yielder from another
+		// partition goroutine of the same query; nothing to do.
+		s.mu.Unlock()
+		return
+	}
+	now := nowNanos()
+	if now < t.sliceEnd.Load() {
+		// Another goroutine of this query already yielded and the ticket
+		// was re-granted with a fresh slice.
+		s.mu.Unlock()
+		return
+	}
+	held := now - t.grantedAt
+	t.vtime += held
+	ln.observeActiveLocked(held)
+	if ln.waiting.Len() == 0 {
+		// Nobody is waiting: keep the slot and just start a new slice.
+		t.grantedAt = now
+		t.sliceEnd.Store(now + int64(s.slice))
+		s.mu.Unlock()
+		return
+	}
+	// Give up the slot and rejoin the wait heap at our new virtual time.
+	ln.yields++
+	t.yields++
+	t.state = stateQueued
+	t.enqueuedAt = now
+	t.grant = make(chan struct{})
+	ln.free++
+	heap.Push(&ln.waiting, t)
+	s.dispatchLocked(ln)
+	grant := t.grant
+	s.mu.Unlock()
+
+	select {
+	case <-grant:
+	case <-t.ctx.Done():
+		// Return with the ticket still queued; the engine will see the
+		// cancelled context and unwind to Release, which dequeues it.
+	}
+}
+
+// observeActiveLocked folds one slot-hold duration into the lane's EWMA.
+func (ln *lane) observeActiveLocked(held int64) {
+	if ln.ewmaActive == 0 {
+		ln.ewmaActive = held
+	} else {
+		ln.ewmaActive = (7*ln.ewmaActive + held) / 8
+	}
+}
+
+// Release returns the ticket's slot to the lane and dispatches the next
+// waiter. It is idempotent and must be called exactly once per admitted
+// ticket on every exit path.
+func (t *Ticket) Release() {
+	s := t.s
+	ln := t.lane
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.released {
+		return
+	}
+	t.released = true
+	switch t.state {
+	case stateRunning:
+		held := nowNanos() - t.grantedAt
+		t.vtime += held
+		ln.observeActiveLocked(held)
+		ln.free++
+		ln.completed++
+		t.state = stateDone
+		s.dispatchLocked(ln)
+	case stateQueued:
+		// The query unwound while re-queued after a cancelled yield wait:
+		// it never got (back) the slot, so only remove it from the heap.
+		heap.Remove(&ln.waiting, t.index)
+		if t.yields == 0 {
+			ln.admitQueue--
+		}
+		ln.completed++
+		t.state = stateDone
+	}
+}
+
+// LaneStats is a point-in-time snapshot of one lane.
+type LaneStats struct {
+	Slots     int   `json:"slots"`
+	Running   int   `json:"running"`
+	Queued    int   `json:"queued"`  // admission waiters (bounded by QueueDepth)
+	Waiting   int   `json:"waiting"` // admission waiters + re-enqueued yielders
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	Abandoned int64 `json:"abandoned"`
+	Started   int64 `json:"started"`
+	Completed int64 `json:"completed"`
+	Yields    int64 `json:"yields"`
+}
+
+// Stats is a snapshot of both lanes.
+type Stats struct {
+	Cheap     LaneStats `json:"cheap"`
+	Expensive LaneStats `json:"expensive"`
+}
+
+func snapLane(ln *lane) LaneStats {
+	return LaneStats{
+		Slots:     ln.slots,
+		Running:   ln.slots - ln.free,
+		Queued:    ln.admitQueue,
+		Waiting:   ln.waiting.Len(),
+		Admitted:  ln.admitted,
+		Rejected:  ln.rejected,
+		Abandoned: ln.abandoned,
+		Started:   ln.started,
+		Completed: ln.completed,
+		Yields:    ln.yields,
+	}
+}
+
+// Stats returns a consistent snapshot of both lanes' gauges and counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Cheap: snapLane(&s.cheap), Expensive: snapLane(&s.heavy)}
+}
+
+// QueueDepth reports the per-lane admission queue bound.
+func (s *Scheduler) QueueDepth() int { return s.cheap.queueDepth }
+
+// Slice reports the expensive-lane time slice.
+func (s *Scheduler) Slice() time.Duration { return s.slice }
+
+// waitHeap orders tickets by (virtual time, arrival sequence).
+type waitHeap []*Ticket
+
+func (h waitHeap) Len() int { return len(h) }
+func (h waitHeap) Less(i, j int) bool {
+	if h[i].vtime != h[j].vtime {
+		return h[i].vtime < h[j].vtime
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waitHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *waitHeap) Push(x any) {
+	t := x.(*Ticket)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *waitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,401 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSchedClassifyBoundary pins the cost-gate boundary arithmetic: at the
+// threshold is cheap, one past it expensive, and 0 selects the default.
+func TestSchedClassifyBoundary(t *testing.T) {
+	cases := []struct {
+		cost, threshold int
+		want            Class
+	}{
+		{0, 0, Cheap},
+		{DefaultCheapThreshold, 0, Cheap},
+		{DefaultCheapThreshold + 1, 0, Expensive},
+		{50, 49, Expensive},
+		{50, 50, Cheap},
+		{1, -7, Cheap}, // negative threshold falls back to the default
+	}
+	for _, c := range cases {
+		if got := Classify(c.cost, c.threshold); got != c.want {
+			t.Errorf("Classify(%d, %d) = %v, want %v", c.cost, c.threshold, got, c.want)
+		}
+	}
+}
+
+// TestSchedLaneSplit checks the slot budget split: expensive gets half (at
+// least 1), cheap the rest (at least 1).
+func TestSchedLaneSplit(t *testing.T) {
+	cases := []struct {
+		total, cheap, heavy int
+	}{
+		{1, 1, 1}, // both lanes keep a floor slot even at budget 1
+		{2, 1, 1},
+		{3, 2, 1},
+		{4, 2, 2},
+		{8, 4, 4},
+		{9, 5, 4},
+		{0, 1, 1}, // defaulted
+	}
+	for _, c := range cases {
+		st := New(Options{MaxConcurrent: c.total}).Stats()
+		if st.Cheap.Slots != c.cheap || st.Expensive.Slots != c.heavy {
+			t.Errorf("MaxConcurrent=%d: slots cheap=%d expensive=%d, want %d/%d",
+				c.total, st.Cheap.Slots, st.Expensive.Slots, c.cheap, c.heavy)
+		}
+	}
+}
+
+// TestSchedAdmitAndRelease admits up to the lane's slots without blocking
+// and checks Release frees the slot for the next waiter.
+func TestSchedAdmitAndRelease(t *testing.T) {
+	s := New(Options{MaxConcurrent: 4}) // cheap lane: 2 slots
+	ctx := context.Background()
+
+	t1, err := s.Admit(ctx, Cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.Admit(ctx, Cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Cheap.Running; got != 2 {
+		t.Fatalf("running = %d, want 2", got)
+	}
+
+	// Third admit must queue until a slot frees.
+	granted := make(chan *Ticket)
+	go func() {
+		tk, err := s.Admit(ctx, Cheap)
+		if err != nil {
+			t.Error(err)
+		}
+		granted <- tk
+	}()
+	select {
+	case <-granted:
+		t.Fatal("third admit granted with both slots busy")
+	case <-time.After(30 * time.Millisecond):
+	}
+	t1.Release()
+	var t3 *Ticket
+	select {
+	case t3 = <-granted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued admit not granted after Release")
+	}
+	if t3.QueueWait() <= 0 {
+		t.Error("queued ticket reports zero queue wait")
+	}
+	t2.Release()
+	t3.Release()
+	t3.Release() // idempotent
+
+	st := s.Stats().Cheap
+	if st.Running != 0 || st.Queued != 0 || st.Waiting != 0 {
+		t.Errorf("gauges not drained: %+v", st)
+	}
+	if st.Admitted != 3 || st.Started != 3 || st.Completed != 3 {
+		t.Errorf("counters: %+v, want admitted/started/completed = 3", st)
+	}
+}
+
+// TestSchedBackpressureRejectsWhenFull fills one lane's slot and queue and
+// checks the next admit fails fast with a QueueFullError carrying a
+// clamped Retry-After, while the other lane still admits.
+func TestSchedBackpressureRejectsWhenFull(t *testing.T) {
+	s := New(Options{MaxConcurrent: 2, QueueDepth: 1}) // 1 slot per lane
+	ctx := context.Background()
+
+	running, err := s.Admit(ctx, Expensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qctx, qcancel := context.WithCancel(ctx)
+	queuedErr := make(chan error, 1)
+	go func() {
+		tk, err := s.Admit(qctx, Expensive)
+		if tk != nil {
+			tk.Release()
+		}
+		queuedErr <- err
+	}()
+	waitFor(t, func() bool { return s.Stats().Expensive.Queued == 1 })
+
+	_, err = s.Admit(ctx, Expensive)
+	var full *QueueFullError
+	if !errors.As(err, &full) {
+		t.Fatalf("admit on full queue: err = %v, want *QueueFullError", err)
+	}
+	if full.Class != Expensive {
+		t.Errorf("QueueFullError.Class = %v", full.Class)
+	}
+	if full.RetryAfter < time.Second || full.RetryAfter > time.Minute {
+		t.Errorf("RetryAfter = %v, want within [1s, 60s]", full.RetryAfter)
+	}
+
+	// The cheap lane is unaffected by the expensive lane being full.
+	cheap, err := s.Admit(ctx, Cheap)
+	if err != nil {
+		t.Fatalf("cheap admit during expensive backpressure: %v", err)
+	}
+	cheap.Release()
+
+	// A queued client that disconnects releases its place without ever
+	// executing.
+	qcancel()
+	if err := <-queuedErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned admit: err = %v, want context.Canceled", err)
+	}
+	running.Release()
+
+	st := s.Stats().Expensive
+	if st.Rejected != 1 || st.Abandoned != 1 || st.Started != 1 || st.Completed != 1 {
+		t.Errorf("expensive counters: %+v, want rejected=1 abandoned=1 started=1 completed=1", st)
+	}
+	if st.Running != 0 || st.Queued != 0 || st.Waiting != 0 {
+		t.Errorf("gauges not drained: %+v", st)
+	}
+}
+
+// TestSchedYieldRotatesSlot checks the fairness mechanism: a running
+// expensive ticket whose slice expired hands its slot to a waiter and
+// re-queues; the waiter's release hands the slot back.
+func TestSchedYieldRotatesSlot(t *testing.T) {
+	s := New(Options{MaxConcurrent: 2, Slice: time.Nanosecond}) // 1 expensive slot
+	ctx := context.Background()
+
+	t1, err := s.Admit(ctx, Expensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2c := make(chan *Ticket)
+	go func() {
+		tk, err := s.Admit(ctx, Expensive)
+		if err != nil {
+			t.Error(err)
+		}
+		t2c <- tk
+	}()
+	waitFor(t, func() bool { return s.Stats().Expensive.Queued == 1 })
+
+	// The 1ns slice is long expired: Yield must block t1 and grant t2.
+	yielded := make(chan struct{})
+	go func() {
+		t1.Yield()
+		close(yielded)
+	}()
+	var t2 *Ticket
+	select {
+	case t2 = <-t2c:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter not granted by yield")
+	}
+	select {
+	case <-yielded:
+		t.Fatal("yielder returned while the slot belongs to the waiter")
+	case <-time.After(30 * time.Millisecond):
+	}
+	t2.Release()
+	select {
+	case <-yielded:
+	case <-time.After(2 * time.Second):
+		t.Fatal("yielder not re-granted after waiter release")
+	}
+	if t1.Yields() != 1 {
+		t.Errorf("t1.Yields() = %d, want 1", t1.Yields())
+	}
+	t1.Release()
+
+	st := s.Stats().Expensive
+	if st.Yields != 1 || st.Running != 0 || st.Waiting != 0 {
+		t.Errorf("after rotation: %+v", st)
+	}
+}
+
+// TestSchedYieldKeepsSlotWhenIdle checks the no-waiter fast path: an
+// expired slice with nobody queued keeps the slot and just renews the
+// slice — no pointless re-queue round trip.
+func TestSchedYieldKeepsSlotWhenIdle(t *testing.T) {
+	s := New(Options{MaxConcurrent: 2, Slice: time.Nanosecond})
+	tk, err := s.Admit(context.Background(), Expensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		tk.Yield()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("idle yield blocked")
+	}
+	if tk.Yields() != 0 {
+		t.Errorf("idle yield counted as slot rotation: Yields() = %d", tk.Yields())
+	}
+	if got := s.Stats().Expensive.Running; got != 1 {
+		t.Errorf("running = %d after idle yield, want 1", got)
+	}
+	tk.Release()
+}
+
+// TestSchedYieldReturnsOnCancel checks a yielding query whose context dies
+// while re-queued unblocks (so the engine can observe cancellation) and
+// its eventual Release drains the queue entry.
+func TestSchedYieldReturnsOnCancel(t *testing.T) {
+	s := New(Options{MaxConcurrent: 2, Slice: time.Nanosecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	t1, err := s.Admit(ctx, Expensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the slot with a competitor so t1's yield truly re-queues.
+	t2c := make(chan *Ticket)
+	go func() {
+		tk, _ := s.Admit(context.Background(), Expensive)
+		t2c <- tk
+	}()
+	waitFor(t, func() bool { return s.Stats().Expensive.Queued == 1 })
+
+	yielded := make(chan struct{})
+	go func() {
+		t1.Yield()
+		close(yielded)
+	}()
+	t2 := <-t2c
+	cancel() // the client goes away while t1 waits for its slot back
+	select {
+	case <-yielded:
+	case <-time.After(2 * time.Second):
+		t.Fatal("yield did not return after context cancellation")
+	}
+	t1.Release()
+	t2.Release()
+
+	st := s.Stats().Expensive
+	if st.Running != 0 || st.Queued != 0 || st.Waiting != 0 {
+		t.Errorf("gauges not drained after cancelled yield: %+v", st)
+	}
+	if st.Started != 2 || st.Completed != 2 {
+		t.Errorf("counters after cancelled yield: %+v", st)
+	}
+}
+
+// TestSchedRandomizedInvariants is the satellite stress test: hundreds of
+// mixed cheap/expensive admissions across goroutines with random yields,
+// cancellations and timeouts. Every admission must terminate with exactly
+// one of (ran, context error, queue-full rejection), and afterwards the
+// in-flight and queue gauges must be zero with consistent counters.
+func TestSchedRandomizedInvariants(t *testing.T) {
+	s := New(Options{MaxConcurrent: 4, QueueDepth: 8, Slice: 100 * time.Microsecond})
+	const (
+		workers = 16
+		ops     = 600
+	)
+	var ran, ctxErr, rejected, outcomes atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				if next.Add(1) > ops {
+					return
+				}
+				class := Cheap
+				if rng.Intn(2) == 0 {
+					class = Expensive
+				}
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				switch rng.Intn(3) {
+				case 0: // random tight timeout: may die queued or mid-run
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(2000))*time.Microsecond)
+				case 1: // random explicit cancellation
+					ctx, cancel = context.WithCancel(ctx)
+					timer := time.AfterFunc(time.Duration(rng.Intn(2000))*time.Microsecond, cancel)
+					defer timer.Stop()
+				}
+				tk, err := s.Admit(ctx, class)
+				switch {
+				case err == nil:
+					// Simulate row batches: spin a little, yielding like the
+					// engine's cancellation points do, until done or cancelled.
+					spins := rng.Intn(4)
+					for i := 0; i < spins && ctx.Err() == nil; i++ {
+						time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+						tk.Yield()
+					}
+					tk.Release()
+					ran.Add(1)
+				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+					ctxErr.Add(1)
+				default:
+					var full *QueueFullError
+					if !errors.As(err, &full) {
+						t.Errorf("unexpected admit error: %v", err)
+						return
+					}
+					rejected.Add(1)
+				}
+				outcomes.Add(1)
+				cancel()
+			}
+		}(int64(w) * 7919)
+	}
+	wg.Wait()
+
+	if got := outcomes.Load(); got != ops {
+		t.Fatalf("outcomes = %d, want exactly %d (one per admission attempt)", got, ops)
+	}
+	if ran.Load()+ctxErr.Load()+rejected.Load() != ops {
+		t.Fatalf("outcome sum %d+%d+%d != %d", ran.Load(), ctxErr.Load(), rejected.Load(), ops)
+	}
+	st := s.Stats()
+	for _, ln := range []struct {
+		name string
+		LaneStats
+	}{{"cheap", st.Cheap}, {"expensive", st.Expensive}} {
+		if ln.Running != 0 || ln.Queued != 0 || ln.Waiting != 0 {
+			t.Errorf("%s lane gauges not zero after storm: %+v", ln.name, ln.LaneStats)
+		}
+		if ln.Admitted != ln.Started+ln.Abandoned {
+			t.Errorf("%s lane: admitted %d != started %d + abandoned %d",
+				ln.name, ln.Admitted, ln.Started, ln.Abandoned)
+		}
+		if ln.Started != ln.Completed {
+			t.Errorf("%s lane: started %d != completed %d", ln.name, ln.Started, ln.Completed)
+		}
+	}
+	if total := st.Cheap.Started + st.Expensive.Started; total != ran.Load() {
+		t.Errorf("lanes started %d != tickets that ran %d", total, ran.Load())
+	}
+	if total := st.Cheap.Rejected + st.Expensive.Rejected; total != rejected.Load() {
+		t.Errorf("lanes rejected %d != rejections observed %d", total, rejected.Load())
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

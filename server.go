@@ -14,7 +14,10 @@ import (
 	"strings"
 	"time"
 
+	"s2rdf/internal/core"
+	"s2rdf/internal/engine"
 	"s2rdf/internal/rdf"
+	"s2rdf/internal/sched"
 )
 
 // ServerOptions configures the HTTP SPARQL endpoint.
@@ -22,10 +25,30 @@ type ServerOptions struct {
 	// Mode is the default layout queries run against (overridable per
 	// request with the "mode" parameter). The zero value is ModeExtVP.
 	Mode Mode
-	// MaxConcurrent bounds the number of queries executing at once; further
-	// requests wait their turn (and fail fast when the client gives up).
-	// <= 0 selects GOMAXPROCS.
+	// MaxConcurrent bounds the number of queries executing at once per
+	// store. The budget is split between two lanes by the admission cost
+	// gate — expensive queries get half the slots (at least one), cheap
+	// queries the rest — so point lookups never queue behind analytics.
+	// Further requests wait their turn in a bounded queue (and fail fast
+	// when the client gives up). <= 0 selects GOMAXPROCS.
 	MaxConcurrent int
+	// QueueDepth bounds each lane's admission queue per store. When a
+	// lane's slots are all busy and its queue is full, further requests
+	// are rejected immediately with 429 and a Retry-After estimate
+	// instead of queueing without bound. <= 0 selects
+	// max(16, 4×MaxConcurrent).
+	QueueDepth int
+	// CheapThreshold is the cost-gate boundary: queries whose planner
+	// cost estimate (max of total scan rows and peak intermediate rows)
+	// is at or below it run in the cheap lane, everything above in the
+	// expensive lane. <= 0 selects sched.DefaultCheapThreshold.
+	CheapThreshold int
+	// Slice is the execution time slice of expensive queries: at every
+	// row-batch boundary past its slice, an expensive query gives its
+	// worker slot to the longest-waiting query and re-queues, so N heavy
+	// queries make proportional progress. <= 0 selects
+	// sched.DefaultSlice.
+	Slice time.Duration
 	// MaxQueryLen rejects larger query bodies; <= 0 selects 1 MiB.
 	MaxQueryLen int64
 	// DefaultTimeout is the per-query deadline applied when a request does
@@ -40,15 +63,19 @@ type ServerOptions struct {
 }
 
 // sparqlServer answers SPARQL queries over HTTP with per-query metrics in
-// response headers. Queries run on a bounded worker pool so a traffic burst
-// degrades into queueing instead of unbounded goroutine fan-out; cancelled
-// and timed-out queries release their slot as soon as the engine observes
-// the context, not when the plan would have finished.
+// response headers. Every query passes a per-store admission scheduler: a
+// cost gate classifies it cheap or expensive from the planner's estimates,
+// each class has its own worker-slot budget and bounded queue, and
+// expensive queries are time-sliced so they make proportional progress. A
+// traffic burst degrades into bounded queueing then fast 429 rejection,
+// never unbounded goroutine fan-out; cancelled and timed-out queries
+// release their slot as soon as the engine observes the context, not when
+// the plan would have finished.
 type sparqlServer struct {
 	stores map[string]*Store
 	def    string // name of the store served at /sparql
 	opts   ServerOptions
-	sem    chan struct{}
+	scheds map[string]*sched.Scheduler
 }
 
 // DefaultStoreName is the name NewHandler registers its single store under,
@@ -81,9 +108,9 @@ func NewHandler(st *Store, opts ServerOptions) http.Handler {
 //
 // defaultStore must name an entry of stores; it may be empty when stores
 // has exactly one entry, which then serves as the default. Each store keeps
-// its own engines and plan caches; the worker pool (MaxConcurrent) is
-// shared across stores, so one process-wide concurrency budget governs all
-// tenants.
+// its own engines, plan caches and admission scheduler (MaxConcurrent
+// worker slots split between the cheap and expensive lanes), so one
+// tenant's analytics cannot exhaust another tenant's budget.
 func NewMux(stores map[string]*Store, defaultStore string, opts ServerOptions) (http.Handler, error) {
 	if len(stores) == 0 {
 		return nil, errors.New("s2rdf: NewMux needs at least one store")
@@ -113,7 +140,14 @@ func NewMux(stores map[string]*Store, defaultStore string, opts ServerOptions) (
 		stores: stores,
 		def:    defaultStore,
 		opts:   opts,
-		sem:    make(chan struct{}, opts.MaxConcurrent),
+		scheds: make(map[string]*sched.Scheduler, len(stores)),
+	}
+	for name := range stores {
+		s.scheds[name] = sched.New(sched.Options{
+			MaxConcurrent: opts.MaxConcurrent,
+			QueueDepth:    opts.QueueDepth,
+			Slice:         opts.Slice,
+		})
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
@@ -130,6 +164,11 @@ func (s *sparqlServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	type storeInfo struct {
 		Triples int  `json:"triples"`
 		Default bool `json:"default,omitempty"`
+		// Sched exposes the store's admission-scheduler gauges and
+		// counters per lane, so operators (and the e2e tests) can watch
+		// queue depth drain and verify the in-flight gauges return to
+		// zero.
+		Sched sched.Stats `json:"sched"`
 	}
 	doc := struct {
 		Status  string               `json:"status"`
@@ -137,7 +176,11 @@ func (s *sparqlServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Stores  map[string]storeInfo `json:"stores"`
 	}{Status: "ok", Stores: make(map[string]storeInfo, len(s.stores))}
 	for name, st := range s.stores {
-		doc.Stores[name] = storeInfo{Triples: st.NumTriples(), Default: name == s.def}
+		doc.Stores[name] = storeInfo{
+			Triples: st.NumTriples(),
+			Default: name == s.def,
+			Sched:   s.scheds[name].Stats(),
+		}
 	}
 	doc.Triples = s.stores[s.def].NumTriples()
 	w.Header().Set("Content-Type", "application/json")
@@ -278,26 +321,97 @@ func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request, stor
 		defer cancel()
 	}
 
-	// Bounded worker pool: wait for a slot, bail out when the deadline
-	// passes or the client gives up while queued.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		writeCtxError(w, ctx.Err(), "while queued")
+	// Cost gate: classify the query from the planner's estimates before
+	// it occupies any slot. A parse error is rejected here, so malformed
+	// queries never enter the queue.
+	cost, err := st.Engine(mode).EstimateCost(src)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	class := sched.Classify(cost.Cost(), s.opts.CheapThreshold)
 
-	res, err := st.QueryModeContext(ctx, mode, src)
+	// Admission: wait for a worker slot in the class's lane. A full lane
+	// queue rejects immediately with 429 + Retry-After (backpressure); a
+	// deadline or client disconnect while queued withdraws the request
+	// without it ever executing.
+	sc := s.scheds[storeName]
+	ticket, err := sc.Admit(ctx, class)
+	if err != nil {
+		var full *sched.QueueFullError
+		if errors.As(err, &full) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(full.RetryAfter)))
+			w.Header().Set("X-S2RDF-Query-Class", class.String())
+			httpError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("%s admission queue full, retry later", full.Class))
+			return
+		}
+		writeCtxError(w, err, "while queued")
+		return
+	}
+	defer ticket.Release()
+
+	// Expensive queries carry the ticket as the engine's yield hook: at
+	// every row-batch boundary past the time slice they give up the slot
+	// and re-queue, so concurrent heavy queries share the lane fairly.
+	qctx := ctx
+	if class == sched.Expensive {
+		qctx = engine.WithYielder(ctx, ticket)
+	}
+
+	res, err := st.QueryModeContext(qctx, mode, src)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			setSchedHeaders(w.Header(), sc, class, cost, ticket)
 			writeCtxError(w, err, "during execution")
 			return
 		}
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	res.Sched = &core.SchedInfo{
+		Class:     class.String(),
+		Cost:      cost,
+		QueueWait: ticket.QueueWait(),
+		Yields:    ticket.Yields(),
+	}
+	// The cost gate parsed and planned first, warming the caches the
+	// execution then hit; report cache status as of the estimate so the
+	// headers keep meaning "had the server seen this query before this
+	// request".
+	res.PlanCached = cost.PlanCached
+	if res.SelectionCacheHits+res.SelectionCacheMisses > 0 {
+		res.SelectionCacheHits = cost.SelectionCacheHits
+		res.SelectionCacheMisses = cost.SelectionCacheMisses
+	}
+	setSchedHeaders(w.Header(), sc, class, cost, ticket)
 	writeResult(w, mode, res)
+}
+
+// retryAfterSeconds renders a Retry-After duration as whole seconds,
+// rounded up so clients never retry early.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// setSchedHeaders attaches the scheduling record of one admitted query:
+// the cost-gate verdict and estimate, the time it spent queued, how often
+// it yielded its slot, and the lane's current admission-queue depth.
+func setSchedHeaders(h http.Header, sc *sched.Scheduler, class sched.Class, cost core.CostEstimate, ticket *sched.Ticket) {
+	h.Set("X-S2RDF-Query-Class", class.String())
+	h.Set("X-S2RDF-Cost-Estimate", strconv.Itoa(cost.Cost()))
+	h.Set("X-S2RDF-Queue-Wait", ticket.QueueWait().String())
+	h.Set("X-S2RDF-Sched-Yields", strconv.Itoa(ticket.Yields()))
+	stats := sc.Stats()
+	depth := stats.Cheap.Queued
+	if class == sched.Expensive {
+		depth = stats.Expensive.Queued
+	}
+	h.Set("X-S2RDF-Queue-Depth", strconv.Itoa(depth))
 }
 
 // writeCtxError maps a context error onto the HTTP status the SPARQL
