@@ -175,16 +175,17 @@ func printDelta(w *os.File, oldPath string, cells []bench.Cell, failAbove float6
 	}
 	fmt.Fprintf(w, "\n=== delta vs %s (basic workload) ===\n", oldPath)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "query\tengine\ttime\tΔtime\tallocs\tΔallocs\tscanned\tΔscanned\tpruned")
+	fmt.Fprintln(tw, "query\tengine\ttime\tΔtime\tttfr\tallocs\tΔallocs\tscanned\tΔscanned\tpruned")
 	var regressed []string
 	for _, c := range cells {
 		o, ok := old[[2]string{c.Query, c.Engine}]
 		if !ok || c.Failed || o.Failed {
 			continue
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%v\t%s\t%d\t%s\t%d\t%s\t%d\n",
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%s\t%v\t%d\t%s\t%d\t%s\t%d\n",
 			c.Query, c.Engine, c.Reported.Round(time.Microsecond),
 			pct(int64(o.Reported), int64(c.Reported)),
+			c.TTFR.Round(time.Microsecond),
 			c.Allocs, pct(int64(o.Allocs), int64(c.Allocs)),
 			c.RowsScanned, pct(o.RowsScanned, c.RowsScanned),
 			c.RowsPruned)

@@ -4,12 +4,17 @@
 // Subcommands:
 //
 //	s2rdf load  -in data.nt -store ./storedir [-threshold 0.25]
-//	s2rdf query -store ./storedir [-mode ExtVP] [-explain] 'SELECT ...'
+//	s2rdf query -store ./storedir [-mode ExtVP] [-explain] [-mem-budget N] 'SELECT ...'
 //	s2rdf serve -store ./storedir [-stores name=dir,...] [-addr :8080]
 //	            [-mode ExtVP] [-max-concurrent 8] [-queue-depth 32]
 //	            [-cheap-threshold 1000] [-slice 20ms]
+//	            [-mem-budget N] [-stream-threshold 1024]
 //	            [-timeout 30s] [-drain 30s]
 //	s2rdf stats -store ./storedir
+//
+// query prints solutions as the engine delivers them (batch streaming);
+// -mem-budget bounds a query's intermediate state, spilling joins to disk
+// past it.
 //
 // serve handles SIGINT/SIGTERM by draining: the listener closes at once,
 // in-flight queries get -drain to finish, then the process exits.
@@ -60,10 +65,11 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   s2rdf load  -in data.nt -store DIR [-threshold T] [-novp]
   s2rdf query -store DIR [-mode ExtVP|VP|TT|PT] [-explain]
-              [-cheap-threshold N] 'SPARQL'
+              [-cheap-threshold N] [-mem-budget BYTES] 'SPARQL'
   s2rdf serve -store DIR [-stores NAME=DIR,...] [-addr :8080]
               [-mode ExtVP|VP|TT|PT] [-max-concurrent N] [-queue-depth N]
               [-cheap-threshold N] [-slice D] [-pt]
+              [-mem-budget BYTES] [-stream-threshold N]
               [-timeout D] [-max-timeout D] [-drain D]
   s2rdf stats -store DIR`)
 	os.Exit(2)
@@ -113,6 +119,7 @@ func cmdQuery(args []string) {
 	mode := fs.String("mode", "ExtVP", "execution mode: ExtVP, VP, TT or PT")
 	explain := fs.Bool("explain", false, "print the selected tables per pattern")
 	cheapThreshold := fs.Int("cheap-threshold", 0, "cost-gate boundary in estimated rows (0 = default)")
+	memBudget := fs.Int64("mem-budget", 0, "per-query memory budget in bytes; joins past it spill to temp files (0 = unbounded)")
 	fs.Parse(args)
 	if *dir == "" || fs.NArg() != 1 {
 		fs.Usage()
@@ -126,6 +133,9 @@ func cmdQuery(args []string) {
 	m, ok := s2rdf.ParseMode(*mode)
 	if !ok {
 		log.Fatalf("unknown mode %q", *mode)
+	}
+	if *memBudget > 0 {
+		st.SetMemBudget(*memBudget, "")
 	}
 	// Run through a one-off scheduler exactly like the server would, so
 	// -explain reports the cost-gate verdict and scheduling record of the
@@ -144,6 +154,51 @@ func cmdQuery(args []string) {
 	if class == sched.Expensive {
 		ctx = engine.WithYielder(ctx, ticket)
 	}
+	printRow := func(row []s2rdf.Term) {
+		parts := make([]string, len(row))
+		for i, t := range row {
+			parts[i] = string(t)
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	summary := func(res *core.Result, n int) {
+		fmt.Fprintf(os.Stderr, "%d solutions in %v (first row %v; scanned %d rows, pruned %d, shuffled %d; peak mem %d B, spilled %d B)\n",
+			n, res.Duration.Round(time.Microsecond), res.TimeToFirstRow.Round(time.Microsecond),
+			res.Metrics.RowsScanned, res.Metrics.RowsPruned, res.Metrics.RowsShuffled,
+			res.PeakMemBytes, res.Metrics.BytesSpilled)
+	}
+
+	if !*explain {
+		// Solutions print as the engine delivers them, batch by batch —
+		// first rows appear while the result is still being produced.
+		stream, err := st.Engine(m).QueryStream(ctx, fs.Arg(0))
+		if err != nil {
+			ticket.Release()
+			log.Fatal(err)
+		}
+		fmt.Println(strings.Join(stream.Vars(), "\t"))
+		n := 0
+		for {
+			batch, err := stream.Next()
+			if err != nil {
+				ticket.Release()
+				log.Fatal(err)
+			}
+			if batch == nil {
+				break
+			}
+			for _, row := range batch {
+				printRow(row)
+			}
+			n += len(batch)
+		}
+		ticket.Release()
+		summary(stream.Result(), n)
+		return
+	}
+
+	// -explain reports final metrics, so it materializes the result before
+	// printing (the report precedes the rows).
 	res, err := st.QueryModeContext(ctx, m, fs.Arg(0))
 	ticket.Release()
 	if err != nil {
@@ -190,18 +245,15 @@ func cmdQuery(args []string) {
 		if res.StatsOnly {
 			fmt.Println("#   answered from statistics only (no execution)")
 		}
+		fmt.Printf("# streaming: first row after %v; sort state %d rows; peak accounted memory %d B, spilled %d B\n",
+			res.TimeToFirstRow.Round(time.Microsecond), res.Metrics.RowsSorted,
+			res.PeakMemBytes, res.Metrics.BytesSpilled)
 	}
 	fmt.Println(strings.Join(res.Vars, "\t"))
 	for _, row := range res.Rows {
-		parts := make([]string, len(row))
-		for i, t := range row {
-			parts[i] = string(t)
-		}
-		fmt.Println(strings.Join(parts, "\t"))
+		printRow(row)
 	}
-	fmt.Fprintf(os.Stderr, "%d solutions in %v (scanned %d rows, pruned %d, shuffled %d)\n",
-		res.Len(), res.Duration.Round(time.Microsecond),
-		res.Metrics.RowsScanned, res.Metrics.RowsPruned, res.Metrics.RowsShuffled)
+	summary(res, res.Len())
 }
 
 func cmdServe(args []string) {
@@ -216,6 +268,8 @@ func cmdServe(args []string) {
 	cheapThreshold := fs.Int("cheap-threshold", 0, "cost-gate boundary in planner-estimated rows (0 = 1000)")
 	slice := fs.Duration("slice", 0, "expensive-query time slice before yielding the worker slot (0 = 20ms)")
 	pt := fs.Bool("pt", false, "also build the property table so mode=PT requests work")
+	memBudget := fs.Int64("mem-budget", 0, "per-query memory budget in bytes; joins past it spill to temp files (0 = unbounded)")
+	streamThreshold := fs.Int("stream-threshold", 0, "rows above which SELECT responses stream incrementally (0 = 1024)")
 	timeout := fs.Duration("timeout", 0, "default per-query deadline (0 = none); requests may override with ?timeout=")
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on per-query deadlines, including client-requested ones (0 = no cap)")
 	drainT := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight queries on SIGINT/SIGTERM")
@@ -257,13 +311,15 @@ func cmdServe(args []string) {
 		*maxConcurrent = *workers
 	}
 	h, err := s2rdf.NewMux(stores, s2rdf.DefaultStoreName, s2rdf.ServerOptions{
-		Mode:           m,
-		MaxConcurrent:  *maxConcurrent,
-		QueueDepth:     *queueDepth,
-		CheapThreshold: *cheapThreshold,
-		Slice:          *slice,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		Mode:            m,
+		MaxConcurrent:   *maxConcurrent,
+		QueueDepth:      *queueDepth,
+		CheapThreshold:  *cheapThreshold,
+		Slice:           *slice,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MemBudget:       *memBudget,
+		StreamThreshold: *streamThreshold,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -68,6 +68,13 @@ type RunStats struct {
 	// its scans skipped via sort order and zone maps (0 for systems that do
 	// not meter them).
 	Scanned, Pruned int64
+	// TTFR is the time to first row — the streaming pipeline's latency
+	// metric, the wait before the first solution could be delivered
+	// (0 for systems that do not meter it).
+	TTFR time.Duration
+	// PeakMem is the peak accounted intermediate state in bytes
+	// (0 for systems that do not meter it).
+	PeakMem int64
 }
 
 // Engine is a uniform wrapper over all compared systems.
@@ -151,6 +158,7 @@ func NewWorkbench(cfg Config) (*Workbench, error) {
 			return RunStats{
 				Rows: res.Len(), Wall: res.Duration, Reported: res.Duration,
 				Scanned: res.Metrics.RowsScanned, Pruned: res.Metrics.RowsPruned,
+				TTFR: res.TimeToFirstRow, PeakMem: res.PeakMemBytes,
 			}, nil
 		}}
 	}
@@ -254,6 +262,12 @@ type Cell struct {
 	// artifact.
 	RowsScanned int64 `json:"RowsScanned"`
 	RowsPruned  int64 `json:"RowsPruned"`
+	// TTFR is the mean time to first row, the latency a streaming client
+	// waits before the first solution arrives; PeakMem the mean peak
+	// accounted intermediate state. Both 0 for systems that do not meter
+	// them.
+	TTFR    time.Duration `json:"TTFRNanos"`
+	PeakMem int64         `json:"PeakMemBytes"`
 }
 
 // allocDelta runs fn and returns the process-wide heap allocation deltas
@@ -287,9 +301,9 @@ func (wb *Workbench) RunWorkload(templates []watdiv.Template) []Cell {
 			queries[i] = tpl.Instantiate(wb.Data, rng)
 		}
 		for _, eng := range wb.Engines {
-			var total time.Duration
+			var total, ttfr time.Duration
 			var bytes, allocs uint64
-			var scanned, pruned int64
+			var scanned, pruned, peak int64
 			rows, failed := 0, false
 			for _, src := range queries {
 				var st RunStats
@@ -308,6 +322,8 @@ func (wb *Workbench) RunWorkload(templates []watdiv.Template) []Cell {
 				allocs += da
 				scanned += st.Scanned
 				pruned += st.Pruned
+				ttfr += st.TTFR
+				peak += st.PeakMem
 			}
 			cell := Cell{Query: tpl.Name, Shape: tpl.Shape, Engine: eng.Name, Failed: failed}
 			if !failed {
@@ -318,6 +334,8 @@ func (wb *Workbench) RunWorkload(templates []watdiv.Template) []Cell {
 				cell.Allocs = allocs / n
 				cell.RowsScanned = scanned / int64(n)
 				cell.RowsPruned = pruned / int64(n)
+				cell.TTFR = ttfr / time.Duration(len(queries))
+				cell.PeakMem = peak / int64(n)
 			}
 			cells = append(cells, cell)
 		}

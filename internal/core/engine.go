@@ -93,6 +93,13 @@ type Engine struct {
 	// normalized BGP, invalidated on the dataset's statistics epoch; nil
 	// disables caching.
 	Selections *SelectionCache
+	// MemBudget, when > 0, bounds each query's accounted intermediate state
+	// (materialized blocks and join tables) to that many bytes; hash-join
+	// builds that would exceed it spill to sorted temp-file runs under
+	// SpillDir (empty selects the OS temp directory). Zero disables the
+	// budget. Set from the -mem-budget flag.
+	MemBudget int64
+	SpillDir  string
 
 	// algorithm1Runs counts how many times table selection actually ran
 	// (selection-cache misses); tests use it to prove hits skip it.
@@ -160,6 +167,14 @@ type Result struct {
 	// any other queries in flight on the same engine.
 	Metrics  engine.MetricsSnapshot
 	Duration time.Duration
+	// TimeToFirstRow is the latency until the first solution was decoded
+	// and available to the consumer — the streaming pipeline's headline
+	// figure. Zero for results with no rows.
+	TimeToFirstRow time.Duration
+	// PeakMemBytes is the query's accounted intermediate state: every
+	// materialized block and join table, counted at append/build time
+	// (monotonic, so also the high-water mark).
+	PeakMemBytes int64
 	// StatsOnly is true when the statistics proved the result empty
 	// without executing anything (paper Sec. 6.1, ST-8 queries).
 	StatsOnly bool
@@ -260,90 +275,34 @@ func (e *Engine) Exec(q *sparql.Query) (*Result, error) {
 	return e.ExecContext(context.Background(), q)
 }
 
-// ExecContext executes a parsed query under ctx. Every operator in the plan
-// observes the context at row-batch granularity; once it is done the
-// partially-built relations are discarded and ctx.Err() is returned, so a
-// request timeout or client disconnect frees the worker pool promptly.
+// ExecContext executes a parsed query under ctx and materializes the full
+// result. Every operator in the plan observes the context at row-batch
+// granularity; once it is done the partially-built relations are discarded
+// and ctx.Err() is returned, so a request timeout or client disconnect
+// frees the worker pool promptly. It is ExecStream drained to completion —
+// callers that can deliver rows incrementally should use ExecStream.
 func (e *Engine) ExecContext(ctx context.Context, q *sparql.Query) (*Result, error) {
-	start := time.Now()
-	var qm engine.Metrics
-	ex := e.Cluster.NewExecContext(ctx, &qm)
-
-	res := &Result{}
-	rel, err := e.evalGroup(ex, q.Where, res)
+	s, err := e.ExecStream(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-
-	if q.Ask {
-		if err := ex.Err(); err != nil {
+	for {
+		batch, err := s.Next()
+		if err != nil {
 			return nil, err
 		}
-		res.Ask = rel.NumRows() > 0
-		res.Metrics = qm.Snapshot()
-		res.Duration = time.Since(start)
-		return res, nil
-	}
-
-	if q.HasAggregates() {
-		rel = e.aggregate(ex, rel, q)
-	}
-
-	vars := q.SelectVars()
-	rel = ex.Project(rel, vars)
-	if q.Distinct {
-		rel = ex.Distinct(rel)
-	}
-	if len(q.OrderBy) > 0 {
-		rel = e.orderBy(ex, rel, q.OrderBy)
-	}
-	if q.Limit >= 0 || q.Offset > 0 {
-		limit := q.Limit
-		if limit < 0 {
-			limit = -1
+		if batch == nil {
+			break
 		}
-		rel = ex.Limit(rel, q.Offset, limit)
+		s.res.Rows = append(s.res.Rows, batch...)
 	}
-
-	rows, err := e.decode(ex, rel)
-	if err != nil {
-		return nil, err
-	}
-	res.Vars = vars
-	res.Rows = rows
-	res.Metrics = qm.Snapshot()
-	res.Duration = time.Since(start)
-	return res, nil
+	return s.Result(), nil
 }
 
-// decode converts engine rows into RDF terms. It is the last stop of a
-// query, so it both polls the context per row batch and reports the final
-// verdict: a non-nil error means the execution was cancelled somewhere and
-// the rows must not be served.
-func (e *Engine) decode(ex *engine.Exec, rel *engine.Relation) ([][]rdf.Term, error) {
-	if err := ex.Err(); err != nil {
-		return nil, err
-	}
-	out := make([][]rdf.Term, rel.NumRows())
-	rel.EachRow(func(i int, row engine.Row) bool {
-		if ex.StopAt(i) {
-			return false
-		}
-		terms := make([]rdf.Term, len(row))
-		for j, id := range row {
-			if id != engine.Null {
-				terms[j] = e.DS.Dict.Decode(id)
-			}
-		}
-		out[i] = terms
-		return true
-	})
-	return out, ex.Err()
-}
-
-// orderBy sorts by the given keys; terms compare by numeric value when both
-// are numeric, lexically otherwise, and unbound sorts first.
-func (e *Engine) orderBy(ex *engine.Exec, rel *engine.Relation, keys []sparql.OrderKey) *engine.Relation {
+// orderLess builds the ORDER BY row comparator over rel's schema: terms
+// compare by numeric value when both are numeric, lexically otherwise, and
+// unbound sorts first.
+func (e *Engine) orderLess(rel *engine.Relation, keys []sparql.OrderKey) func(a, b engine.Row) bool {
 	idx := make([]int, len(keys))
 	for i, k := range keys {
 		idx[i] = rel.ColIndex(k.Var)
@@ -380,7 +339,7 @@ func (e *Engine) orderBy(ex *engine.Exec, rel *engine.Relation, keys []sparql.Or
 		}
 		return 0
 	}
-	return ex.OrderBy(rel, func(a, b engine.Row) bool {
+	return func(a, b engine.Row) bool {
 		for i, k := range keys {
 			if idx[i] < 0 {
 				continue
@@ -394,7 +353,7 @@ func (e *Engine) orderBy(ex *engine.Exec, rel *engine.Relation, keys []sparql.Or
 			}
 		}
 		return false
-	})
+	}
 }
 
 // unitRelation is the join identity: one zero-column row.

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"s2rdf/internal/engine"
+	"s2rdf/internal/rdf"
+	"s2rdf/internal/sparql"
+)
+
+// Stream is an executing query whose solutions are delivered batch by
+// batch instead of as one materialized Result. The relational plan runs to
+// its final relation eagerly (joins need their inputs whole), but binding
+// decode — the dictionary lookups that dominate result delivery — and
+// everything downstream of it happen incrementally: each Next call decodes
+// one engine batch (1024 rows), doubling as a cancellation/yield point, so
+// a slow or disconnected consumer stops or paces the query mid-result and
+// the scheduler slot is held exactly as long as rows still flow.
+type Stream struct {
+	e     *Engine
+	ex    *engine.Exec
+	qm    *engine.Metrics
+	res   *Result
+	it    *engine.BatchIter
+	start time.Time
+	ttfr  time.Duration
+	done  bool
+}
+
+// QueryStream parses src (through the plan cache) and starts executing it,
+// returning the stream of its solutions. See ExecStream.
+func (e *Engine) QueryStream(ctx context.Context, src string) (*Stream, error) {
+	q, cached, err := e.parseCached(src)
+	if err != nil {
+		return nil, err
+	}
+	s, err := e.ExecStream(ctx, q)
+	if err == nil {
+		s.res.PlanCached = cached
+	}
+	return s, err
+}
+
+// ExecStream executes a parsed query up to its final relation and returns
+// a Stream over the undecoded solutions. The plan — including aggregation,
+// DISTINCT, ORDER BY and LIMIT — has fully run when ExecStream returns;
+// with ORDER BY and a LIMIT window small relative to the input the sort is
+// a bounded top-k heap of offset+limit rows, so such queries reach their
+// first batch having held only the rows they will deliver.
+//
+// The caller must drain the stream (Next until nil) or abandon it by
+// cancelling ctx; Result finalizes metrics and timings.
+func (e *Engine) ExecStream(ctx context.Context, q *sparql.Query) (*Stream, error) {
+	start := time.Now()
+	qm := &engine.Metrics{}
+	ex := e.Cluster.NewExecContext(ctx, qm)
+	if e.MemBudget > 0 {
+		ex.SetMemBudget(e.MemBudget, e.SpillDir)
+	}
+
+	res := &Result{}
+	rel, err := e.evalGroup(ex, q.Where, res)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Stream{e: e, ex: ex, qm: qm, res: res, start: start}
+
+	if q.Ask {
+		if err := ex.Err(); err != nil {
+			return nil, err
+		}
+		res.Ask = rel.NumRows() > 0
+		s.done = true
+		return s, nil
+	}
+
+	if q.HasAggregates() {
+		rel = e.aggregate(ex, rel, q)
+	}
+
+	vars := q.SelectVars()
+	rel = ex.Project(rel, vars)
+	if q.Distinct {
+		rel = ex.Distinct(rel)
+	}
+	if len(q.OrderBy) > 0 {
+		less := e.orderLess(rel, q.OrderBy)
+		offset := q.Offset
+		if offset < 0 {
+			offset = 0
+		}
+		const maxInt = int(^uint(0) >> 1)
+		if q.Limit >= 0 && q.Limit <= maxInt-offset &&
+			offset+q.Limit <= rel.NumRows()/4 {
+			// ORDER BY + LIMIT: top-k pushdown. The coordinator holds at
+			// most offset+limit rows of sort state instead of the result.
+			// Only worthwhile when the window is a small fraction of the
+			// input: the heap is sequential, so once offset+limit
+			// approaches the input size the parallel merge sort wins.
+			rel = ex.TopK(rel, offset+q.Limit, less)
+		} else {
+			rel = ex.OrderBy(rel, less)
+		}
+	}
+	if q.Limit >= 0 || q.Offset > 0 {
+		limit := q.Limit
+		if limit < 0 {
+			limit = -1
+		}
+		rel = ex.Limit(rel, q.Offset, limit)
+	}
+	if err := ex.Err(); err != nil {
+		return nil, err
+	}
+
+	res.Vars = vars
+	s.it = rel.Batches(ex, 0)
+	return s, nil
+}
+
+// Vars returns the result's variable names, known before the first batch.
+func (s *Stream) Vars() []string { return s.res.Vars }
+
+// Ask reports the boolean answer of an ASK query (meaningful only when the
+// executed query was ASK; such streams deliver no rows).
+func (s *Stream) Ask() bool { return s.res.Ask }
+
+// Next returns the next batch of decoded solutions, or nil when the stream
+// is exhausted. A non-nil error means the execution was cancelled (context
+// deadline or disconnect) and the rows delivered so far are a truncation —
+// the consumer must not present them as the complete result. Each call
+// polls the execution's cancellation point and yields to the scheduler, so
+// batch pacing is query pacing.
+func (s *Stream) Next() ([][]rdf.Term, error) {
+	if s.done {
+		return nil, nil
+	}
+	b, ok := s.it.Next()
+	if !ok {
+		s.done = true
+		return nil, s.ex.Err()
+	}
+	d := s.e.DS.Dict
+	n := b.Len()
+	arity := b.Arity()
+	out := make([][]rdf.Term, n)
+	row := make(engine.Row, arity)
+	for i := 0; i < n; i++ {
+		b.CopyRow(row, i)
+		terms := make([]rdf.Term, arity)
+		for j, id := range row {
+			if id != engine.Null {
+				terms[j] = d.Decode(id)
+			}
+		}
+		out[i] = terms
+	}
+	if s.ttfr == 0 && n > 0 {
+		s.ttfr = time.Since(s.start)
+	}
+	return out, nil
+}
+
+// Result finalizes and returns the stream's Result: metrics, duration,
+// time-to-first-row and peak accounted memory. Rows holds whatever the
+// caller accumulated there (ExecContext appends every batch; streaming
+// servers leave it empty). Call it after Next returned nil, or after
+// abandoning the stream, not before.
+func (s *Stream) Result() *Result {
+	s.res.Metrics = s.qm.Snapshot()
+	s.res.Duration = time.Since(s.start)
+	s.res.TimeToFirstRow = s.ttfr
+	s.res.PeakMemBytes = s.ex.PeakMemBytes()
+	return s.res
+}

@@ -357,6 +357,7 @@ func (x *Exec) joinTable(b *Block, key int) *indexTable {
 	if t == nil {
 		return nil
 	}
+	x.trackBytes(tableBytes(b.Len()))
 	x.mu.Lock()
 	if x.tables == nil {
 		x.tables = make(map[tableKey]*indexTable)

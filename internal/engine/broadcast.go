@@ -37,9 +37,24 @@ func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation 
 		return out
 	}
 
-	ht := x.joinTable(sblk, sIdx[0])
-	if ht == nil {
-		return out // cancelled mid-build
+	// With a memory budget set and no room left for the broadcast table,
+	// spill the small side to sorted runs once; every big-side partition
+	// then merge-joins against the shared runs through its own readers. A
+	// disk failure falls back to the in-memory table mid-flight (joinTable
+	// memoizes under a lock, so concurrent fallbacks build it once).
+	var sr *spillRuns
+	if x.overBudget(tableBytes(sblk.Len())) {
+		sr, _ = x.buildSpillRuns(sblk, sIdx)
+		if sr != nil {
+			defer sr.close()
+		}
+	}
+	var ht *indexTable
+	if sr == nil {
+		ht = x.joinTable(sblk, sIdx[0])
+		if ht == nil {
+			return out // cancelled mid-build
+		}
 	}
 	// The output drops the right side's join columns: when the small side is
 	// left, those live on the big side, otherwise on the replicated small
@@ -57,35 +72,57 @@ func (x *Exec) broadcastJoin(left, right *Relation, lIdx, rIdx []int) *Relation 
 			out.Parts[p] = newFixedBlock(len(outSchema), 0)
 			return
 		}
-		bkey := src.cols[bIdx[0]]
-		ssel := make([]int32, 0, n)
-		bsel := make([]int32, 0, n)
-		var comparisons int64
-		for i := 0; i < n; i++ {
-			if x.stop(i) {
-				break
-			}
-		cand:
-			for si := ht.first(bkey[i]); si >= 0; si = ht.next[si] {
-				comparisons++
-				for k := 1; k < len(bIdx); k++ {
-					if src.cols[bIdx[k]][i] != sblk.cols[sIdx[k]][si] {
-						continue cand
-					}
-				}
-				ssel = append(ssel, si)
-				bsel = append(bsel, int32(i))
-			}
+		var ssel, bsel []int32
+		spilled := false
+		if sr != nil {
+			ssel, bsel, spilled = x.spillProbePairs(sr, src, bIdx)
 		}
-		x.addComparisons(comparisons)
+		if !spilled {
+			ssel, bsel = x.broadcastProbePairs(sblk, src, sIdx, bIdx)
+		}
 		if leftSmall {
 			out.Parts[p] = gatherPairs(sblk, ssel, src, bKeep, bsel)
 		} else {
 			out.Parts[p] = gatherPairs(src, bsel, sblk, sKeep, ssel)
 		}
 	})
+	x.trackRelation(out)
 	x.addOutput(int64(out.NumRows()))
 	return out
+}
+
+// broadcastProbePairs probes the small side's in-memory join table with one
+// big-side partition, emitting (small row, big row) pair vectors. It is the
+// in-memory probe of broadcastJoin, also the fallback when a spilled
+// broadcast hits a disk error.
+func (x *Exec) broadcastProbePairs(sblk, src *Block, sIdx, bIdx []int) (ssel, bsel []int32) {
+	ht := x.joinTable(sblk, sIdx[0])
+	if ht == nil {
+		return nil, nil // cancelled mid-build
+	}
+	n := src.Len()
+	bkey := src.cols[bIdx[0]]
+	ssel = make([]int32, 0, n)
+	bsel = make([]int32, 0, n)
+	var comparisons int64
+	for i := 0; i < n; i++ {
+		if x.stop(i) {
+			break
+		}
+	cand:
+		for si := ht.first(bkey[i]); si >= 0; si = ht.next[si] {
+			comparisons++
+			for k := 1; k < len(bIdx); k++ {
+				if src.cols[bIdx[k]][i] != sblk.cols[sIdx[k]][si] {
+					continue cand
+				}
+			}
+			ssel = append(ssel, si)
+			bsel = append(bsel, int32(i))
+		}
+	}
+	x.addComparisons(comparisons)
+	return ssel, bsel
 }
 
 // leftJoinBroadcast is the broadcast form of the left outer join: the right
@@ -102,6 +139,7 @@ func (x *Exec) leftJoinBroadcast(left, right *Relation, lIdx, rIdx []int, outSch
 	x.parallel(len(left.Parts), func(p int) {
 		out.Parts[p] = x.probeOuter(left.Parts[p], ht, rblk, lIdx, rIdx, len(outSchema), pred)
 	})
+	x.trackRelation(out)
 	x.addOutput(int64(out.NumRows()))
 	return out
 }

@@ -60,6 +60,14 @@ type Metrics struct {
 	JoinComparisons atomic.Int64
 	RowsOutput      atomic.Int64
 	Tasks           atomic.Int64
+	// RowsSorted counts rows held in coordinator sort state: the whole
+	// input for a global ORDER BY merge sort, but only the bounded heap
+	// occupancy for a top-k sort — the metric that proves ORDER BY+LIMIT
+	// queries no longer sort (or hold) the full result.
+	RowsSorted atomic.Int64
+	// BytesSpilled counts bytes written to sorted temp-file runs by joins
+	// whose build partitions exceeded the per-query memory budget.
+	BytesSpilled atomic.Int64
 }
 
 // Snapshot returns a plain-struct copy of the counters.
@@ -71,6 +79,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		JoinComparisons: m.JoinComparisons.Load(),
 		RowsOutput:      m.RowsOutput.Load(),
 		Tasks:           m.Tasks.Load(),
+		RowsSorted:      m.RowsSorted.Load(),
+		BytesSpilled:    m.BytesSpilled.Load(),
 	}
 }
 
@@ -82,6 +92,8 @@ func (m *Metrics) Reset() {
 	m.JoinComparisons.Store(0)
 	m.RowsOutput.Store(0)
 	m.Tasks.Store(0)
+	m.RowsSorted.Store(0)
+	m.BytesSpilled.Store(0)
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics.
@@ -92,6 +104,8 @@ type MetricsSnapshot struct {
 	JoinComparisons int64
 	RowsOutput      int64
 	Tasks           int64
+	RowsSorted      int64
+	BytesSpilled    int64
 }
 
 // Sub returns the difference s - other.
@@ -103,6 +117,8 @@ func (s MetricsSnapshot) Sub(other MetricsSnapshot) MetricsSnapshot {
 		JoinComparisons: s.JoinComparisons - other.JoinComparisons,
 		RowsOutput:      s.RowsOutput - other.RowsOutput,
 		Tasks:           s.Tasks - other.Tasks,
+		RowsSorted:      s.RowsSorted - other.RowsSorted,
+		BytesSpilled:    s.BytesSpilled - other.BytesSpilled,
 	}
 }
 
@@ -115,6 +131,8 @@ func (s MetricsSnapshot) Add(other MetricsSnapshot) MetricsSnapshot {
 		JoinComparisons: s.JoinComparisons + other.JoinComparisons,
 		RowsOutput:      s.RowsOutput + other.RowsOutput,
 		Tasks:           s.Tasks + other.Tasks,
+		RowsSorted:      s.RowsSorted + other.RowsSorted,
+		BytesSpilled:    s.BytesSpilled + other.BytesSpilled,
 	}
 }
 
@@ -161,6 +179,17 @@ type Exec struct {
 	// it is invoked at every row-batch cancellation point so a time-sliced
 	// query can give up its worker slot between batches.
 	yield Yielder
+	// memBudget, when > 0, bounds memUsed: the bytes of intermediate block
+	// and join-table state the execution accounts (SetMemBudget). Once the
+	// budget trips, hash-join builds spill to sorted temp-file runs instead
+	// of building in-memory tables (see spill.go).
+	memBudget int64
+	// spillDir hosts spill run files; empty selects os.TempDir().
+	spillDir string
+	// memUsed is the accounted intermediate state in bytes. Blocks are
+	// write-once and reclaimed only by GC, so accounting is monotonic and
+	// memUsed doubles as the execution's peak (high-water) figure.
+	memUsed atomic.Int64
 	// mu guards the execution-scoped caches below. tables memoizes join
 	// tables per (build block, key column) so join stages sharing a build
 	// side hash it once (see joinTable); gathers memoizes coordinator-side
@@ -227,6 +256,69 @@ func (x *Exec) MetricsSnapshot() MetricsSnapshot {
 		return x.m.Snapshot()
 	}
 	return x.c.Metrics.Snapshot()
+}
+
+// SetMemBudget bounds the execution's accounted intermediate state to
+// budget bytes (0 disables the budget). Block materializations and join
+// tables are accounted at append/build time; once the accounted total would
+// exceed the budget, hash-join builds spill their sort state to temp-file
+// runs under dir (empty selects the OS temp directory) instead of building
+// in-memory tables. Call it before running operators.
+func (x *Exec) SetMemBudget(budget int64, dir string) {
+	x.memBudget = budget
+	x.spillDir = dir
+}
+
+// PeakMemBytes reports the execution's accounted intermediate state in
+// bytes: every materialized block and join table, counted at append/build
+// time. Accounting is monotonic (blocks are write-once, freed only by GC),
+// so this is both the total and the high-water mark.
+func (x *Exec) PeakMemBytes() int64 { return x.memUsed.Load() }
+
+// trackBytes accounts n bytes of intermediate state against the budget.
+func (x *Exec) trackBytes(n int64) {
+	if n > 0 {
+		x.memUsed.Add(n)
+	}
+}
+
+// overBudget reports whether accounting extra more bytes would exceed the
+// configured memory budget. Always false with no budget set.
+func (x *Exec) overBudget(extra int64) bool {
+	return x.memBudget > 0 && x.memUsed.Load()+extra > x.memBudget
+}
+
+// blockBytes is the accounted size of one block: its column storage.
+func blockBytes(b *Block) int64 {
+	if b == nil {
+		return 0
+	}
+	return int64(b.Len()) * int64(b.Arity()) * int64(idBytes)
+}
+
+// idBytes is the storage width of one dict.ID.
+const idBytes = 4
+
+// trackRelation accounts every partition block of a freshly materialized
+// relation. Operators that share their input's column slices (Project,
+// Union, padRight) do not call it — sharing allocates nothing new.
+func (x *Exec) trackRelation(r *Relation) {
+	var n int64
+	for _, p := range r.Parts {
+		n += blockBytes(p)
+	}
+	x.trackBytes(n)
+}
+
+// tableBytes is the accounted size of an in-memory join table over n rows:
+// keys (8 B) and heads (4 B) for the power-of-two slot array at load factor
+// <= 0.5, plus one 4 B chain link per row.
+func tableBytes(n int) int64 {
+	slots := 2
+	for slots < 2*n {
+		slots *= 2
+	}
+	return int64(slots)*12 + int64(n)*4
 }
 
 // Err returns the error of the execution's context (context.Canceled or
@@ -323,6 +415,20 @@ func (x *Exec) addTasks(n int64) {
 	x.c.Metrics.Tasks.Add(n)
 	if x.m != nil {
 		x.m.Tasks.Add(n)
+	}
+}
+
+func (x *Exec) addRowsSorted(n int64) {
+	x.c.Metrics.RowsSorted.Add(n)
+	if x.m != nil {
+		x.m.RowsSorted.Add(n)
+	}
+}
+
+func (x *Exec) addBytesSpilled(n int64) {
+	x.c.Metrics.BytesSpilled.Add(n)
+	if x.m != nil {
+		x.m.BytesSpilled.Add(n)
 	}
 }
 
@@ -487,6 +593,18 @@ func (x *Exec) gatherCached(r *Relation) *Block {
 		return b
 	}
 	b = r.gather()
+	// A gather that had to concatenate allocated a fresh block; a lone
+	// populated partition is shared as-is and was already accounted for.
+	fresh := true
+	for _, p := range r.Parts {
+		if p == b {
+			fresh = false
+			break
+		}
+	}
+	if fresh {
+		x.trackBytes(blockBytes(b))
+	}
 	x.mu.Lock()
 	if x.gathers == nil {
 		x.gathers = make(map[*Relation]*Block)
@@ -541,7 +659,9 @@ func (c *Cluster) FromRows(schema []string, rows []Row) *Relation {
 
 // FromRows builds a relation from a row slice, block-partitioned.
 func (x *Exec) FromRows(schema []string, rows []Row) *Relation {
-	return x.c.FromRows(schema, rows)
+	rel := x.c.FromRows(schema, rows)
+	x.trackRelation(rel)
+	return rel
 }
 
 // Filter keeps the rows satisfying pred. The predicate receives a reused
@@ -571,6 +691,7 @@ func (x *Exec) Filter(r *Relation, pred func(Row) bool) *Relation {
 		}
 		out.Parts[p] = src.gatherSel(sel)
 	})
+	x.trackRelation(out)
 	x.addOutput(int64(out.NumRows()))
 	return out
 }
@@ -708,6 +829,7 @@ func (x *Exec) shuffle(r *Relation, key int) *Relation {
 		}
 		out.Parts[t] = rows
 	})
+	x.trackRelation(out)
 	return out
 }
 
@@ -800,6 +922,7 @@ func (x *Exec) JoinWith(left, right *Relation, strat JoinStrategy) *Relation {
 	x.parallel(c.partitions, func(p int) {
 		out.Parts[p] = x.hashJoinPartition(l.Parts[p], r.Parts[p], lIdx, rIdx, false, len(outSchema))
 	})
+	x.trackRelation(out)
 	x.addOutput(int64(out.NumRows()))
 	return out
 }
@@ -842,6 +965,7 @@ func (x *Exec) LeftJoinWith(left, right *Relation, pred func(Row) bool, strat Jo
 		ht := x.joinTable(rblk, rIdx[0])
 		out.Parts[p] = x.probeOuter(l.Parts[p], ht, rblk, lIdx, rIdx, len(outSchema), pred)
 	})
+	x.trackRelation(out)
 	x.addOutput(int64(out.NumRows()))
 	return out
 }
@@ -864,6 +988,7 @@ func (x *Exec) SemiJoin(left, right *Relation) *Relation {
 	x.parallel(c.partitions, func(p int) {
 		out.Parts[p] = x.hashJoinPartition(l.Parts[p], r.Parts[p], lIdx, rIdx, true, len(left.Schema))
 	})
+	x.trackRelation(out)
 	x.addOutput(int64(out.NumRows()))
 	return out
 }
@@ -886,6 +1011,15 @@ func (x *Exec) hashJoinPartition(lblk, rblk *Block, lIdx, rIdx []int, semi bool,
 		build, probe = lblk, rblk
 		bIdx, pIdx = lIdx, rIdx
 		swapped = true
+	}
+	// With a memory budget set and no room left for this build's table, run
+	// the external sort-merge join instead (see spill.go). A disk failure
+	// falls through to the in-memory path: the budget is best-effort, the
+	// result is not.
+	if !semi && x.overBudget(tableBytes(build.Len())) {
+		if out, ok := x.spillJoin(build, probe, bIdx, pIdx, outArity, swapped); ok {
+			return out
+		}
 	}
 	ht := x.joinTable(build, bIdx[0])
 	if ht == nil {
@@ -1062,6 +1196,7 @@ func (x *Exec) cross(left, right *Relation) *Relation {
 			produced += rn
 		}
 	})
+	x.trackRelation(out)
 	x.addComparisons(int64(left.NumRows()) * int64(rn))
 	x.addOutput(int64(out.NumRows()))
 	return out
@@ -1139,6 +1274,7 @@ func (x *Exec) crossOuter(left, right *Relation, outSchema []string, pred func(R
 			rows.n += len(rsel)
 		}
 	})
+	x.trackRelation(out)
 	x.addComparisons(int64(left.NumRows()) * int64(rn))
 	x.addOutput(int64(out.NumRows()))
 	return out
@@ -1251,6 +1387,7 @@ func (x *Exec) Distinct(r *Relation) *Relation {
 		}
 		out.Parts[p] = src.gatherSel(sel)
 	})
+	x.trackRelation(out)
 	x.addOutput(int64(out.NumRows()))
 	return out
 }
@@ -1268,19 +1405,28 @@ func hashRow(row Row) uint64 {
 
 // OrderBy gathers all rows and sorts them with less (coordinator-side, as
 // Spark does for a global ORDER BY without range partitioning). A cancelled
-// execution abandons the sort at sub-range granularity.
+// execution abandons the sort at sub-range granularity. Every input row
+// enters the coordinator sort state, so RowsSorted grows by the full input
+// size — the contrast with TopK, which only ever holds the heap.
 func (x *Exec) OrderBy(r *Relation, less func(a, b Row) bool) *Relation {
 	rows := r.Rows()
+	x.addRowsSorted(int64(len(rows)))
 	x.mergeSortRows(rows, less)
 	out := newRelation(r.Schema, 1)
 	out.Parts[0] = blockOfRows(len(r.Schema), rows)
+	x.trackRelation(out)
 	return out
 }
 
 // Limit returns at most n rows after skipping offset rows, copied out
-// column-wise per overlapping partition range.
+// column-wise per overlapping partition range. A negative offset means no
+// offset; a negative n means no limit; n == 0 yields an empty relation that
+// keeps the input schema.
 func (x *Exec) Limit(r *Relation, offset, n int) *Relation {
 	total := r.NumRows()
+	if offset < 0 {
+		offset = 0
+	}
 	if offset > total {
 		offset = total
 	}
@@ -1311,6 +1457,7 @@ func (x *Exec) Limit(r *Relation, offset, n int) *Relation {
 			break
 		}
 	}
+	x.trackRelation(out)
 	return out
 }
 

@@ -227,6 +227,7 @@ func (x *Exec) ScanTable(t *store.Table, spec ScanSpec) (*Relation, ScanStats) {
 	})
 	st.Pruned = pruned.Load()
 	x.addPruned(st.Pruned)
+	x.trackRelation(rel)
 	x.addOutput(int64(rel.NumRows()))
 	return rel, st
 }

@@ -84,6 +84,7 @@ func (x *Exec) StarJoin(center *Relation, rights []*Relation) (*Relation, []Star
 	for i := range stats {
 		stats[i].Comparisons = comps[i]
 	}
+	x.trackRelation(out)
 	x.addOutput(int64(out.NumRows()))
 	return out, stats
 }

@@ -1,0 +1,122 @@
+package engine
+
+import "s2rdf/internal/dict"
+
+// TopK returns the k smallest rows of r under less, sorted ascending — the
+// bounded replacement for OrderBy+Limit whenever a LIMIT is present. The
+// coordinator holds a max-heap of at most k rows instead of the whole
+// result, so RowsSorted (the metric that proves ORDER BY+LIMIT no longer
+// sorts the full result) grows by min(k, input) rather than the input size,
+// and so does the accounted memory.
+//
+// Ties are broken by input position, matching the stable merge sort of
+// OrderBy exactly: TopK(r, k, less) equals OrderBy(r, less) truncated to k
+// rows, row for row. A cancelled execution returns a truncated (meaningless)
+// relation; callers must check Err, as with every operator.
+func (x *Exec) TopK(r *Relation, k int, less func(a, b Row) bool) *Relation {
+	arity := len(r.Schema)
+	out := newRelation(r.Schema, 1)
+	if k <= 0 {
+		out.Parts[0] = NewBlock(arity, 0)
+		return out
+	}
+	if total := r.NumRows(); k > total {
+		k = total
+	}
+
+	// after reports whether row a (at input position aSeq) orders strictly
+	// after row b (at bSeq): the max-heap priority, with input position as
+	// the stability tie-break.
+	after := func(a Row, aSeq int, b Row, bSeq int) bool {
+		if less(b, a) {
+			return true
+		}
+		if less(a, b) {
+			return false
+		}
+		return aSeq > bSeq
+	}
+
+	// Bounded max-heap: rows[0] is the largest of the k kept rows and the
+	// first to be displaced by a smaller input row. Row storage is one flat
+	// buffer reused for the k slots — displaced rows are overwritten in
+	// place, so a TopK holds k*arity IDs however large the input.
+	rows := make([]Row, 0, k)
+	seqs := make([]int, 0, k)
+	store := make([]dict.ID, k*arity)
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !after(rows[i], seqs[i], rows[parent], seqs[parent]) {
+				return
+			}
+			rows[i], rows[parent] = rows[parent], rows[i]
+			seqs[i], seqs[parent] = seqs[parent], seqs[i]
+			i = parent
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, rch := 2*i+1, 2*i+2
+			big := i
+			if l < len(rows) && after(rows[l], seqs[l], rows[big], seqs[big]) {
+				big = l
+			}
+			if rch < len(rows) && after(rows[rch], seqs[rch], rows[big], seqs[big]) {
+				big = rch
+			}
+			if big == i {
+				return
+			}
+			rows[i], rows[big] = rows[big], rows[i]
+			seqs[i], seqs[big] = seqs[big], seqs[i]
+			i = big
+		}
+	}
+
+	cancelled := false
+	r.EachRow(func(i int, row Row) bool {
+		if x.stop(i) {
+			cancelled = true
+			return false
+		}
+		if len(rows) < k {
+			slot := store[len(rows)*arity : (len(rows)+1)*arity]
+			copy(slot, row)
+			rows = append(rows, slot)
+			seqs = append(seqs, i)
+			x.addRowsSorted(1)
+			siftUp(len(rows) - 1)
+			return true
+		}
+		if after(rows[0], seqs[0], row, i) {
+			copy(rows[0], row)
+			seqs[0] = i
+			siftDown()
+		}
+		return true
+	})
+	if cancelled {
+		out.Parts[0] = NewBlock(arity, 0)
+		return out
+	}
+
+	// Pop into ascending order (heapsort): repeatedly move the current
+	// maximum to the end of the live range, shrinking the heap view for the
+	// sift and restoring the full slice afterwards.
+	total := len(rows)
+	for heap := total; heap > 1; heap-- {
+		rows[0], rows[heap-1] = rows[heap-1], rows[0]
+		seqs[0], seqs[heap-1] = seqs[heap-1], seqs[0]
+		rows = rows[:heap-1]
+		seqs = seqs[:heap-1]
+		siftDown()
+		rows = rows[:total]
+		seqs = seqs[:total]
+	}
+	out.Parts[0] = blockOfRows(arity, rows)
+	x.trackRelation(out)
+	x.addOutput(int64(out.NumRows()))
+	return out
+}

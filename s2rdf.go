@@ -244,6 +244,29 @@ func (s *Store) QueryModeContext(ctx context.Context, mode Mode, src string) (*R
 // benchmark harness and for EXPLAIN-style inspection).
 func (s *Store) Engine(mode Mode) *core.Engine { return s.engines[mode] }
 
+// SetMemBudget applies a per-query memory budget to every mode engine of
+// the store: each query may hold at most budget bytes of accounted
+// intermediate state, and join builds that would exceed it spill to sorted
+// temp-file runs under dir (empty selects the OS temp directory). 0
+// disables budgeting. Call before the store starts answering queries.
+func (s *Store) SetMemBudget(budget int64, dir string) {
+	for _, e := range s.engines {
+		e.MemBudget = budget
+		e.SpillDir = dir
+	}
+}
+
+// SpilledBytes reports the total bytes the store's queries have written to
+// spill runs since load, across every mode engine (each keeps its own
+// cluster, so the sum counts every query exactly once).
+func (s *Store) SpilledBytes() int64 {
+	var n int64
+	for _, e := range s.engines {
+		n += e.Cluster.Metrics.BytesSpilled.Load()
+	}
+	return n
+}
+
 // Dataset exposes the loaded layouts and statistics.
 func (s *Store) Dataset() *layout.Dataset { return s.ds }
 

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"s2rdf/internal/core"
@@ -60,7 +61,38 @@ type ServerOptions struct {
 	// no timeout at all when set), so one tenant cannot opt out of the
 	// operator's latency budget. 0 means no cap.
 	MaxTimeout time.Duration
+	// StreamThreshold is the row count above which a SELECT response
+	// switches from one buffered JSON document to incremental delivery:
+	// the head and the first rows are flushed as soon as the threshold
+	// trips, then every engine batch is flushed as it is decoded, so
+	// clients see first bytes while the engine is still producing.
+	// Results at or below the threshold (and ASK answers) are written as
+	// one document, exactly as before. <= 0 selects
+	// DefaultStreamThreshold.
+	StreamThreshold int
+	// MemBudget caps each query's accounted intermediate state in bytes:
+	// join builds that would exceed it spill to sorted temp-file runs
+	// (reported in X-S2RDF-Bytes-Spilled and the healthz spilled_bytes
+	// gauge) instead of growing the heap. Applied to every store the
+	// handler serves. 0 means no budget.
+	MemBudget int64
+	// SpillDir hosts the spill runs; empty selects the OS temp directory.
+	SpillDir string
+
+	// pacer, when non-nil, is composed into every query context as an
+	// extra engine.Yielder, called at each row-batch boundary alongside
+	// the scheduler ticket. Test hook: lets the streaming tests hold the
+	// engine mid-production.
+	pacer engine.Yielder
+	// flushed, when non-nil, observes every streamed flush with the rows
+	// delivered so far. Test hook.
+	flushed func(rows int)
 }
+
+// DefaultStreamThreshold is the StreamThreshold used when the options leave
+// it zero: one engine batch, so any result that fits a single batch stays a
+// single document.
+const DefaultStreamThreshold = 1024
 
 // sparqlServer answers SPARQL queries over HTTP with per-query metrics in
 // response headers. Every query passes a per-store admission scheduler: a
@@ -76,6 +108,11 @@ type sparqlServer struct {
 	def    string // name of the store served at /sparql
 	opts   ServerOptions
 	scheds map[string]*sched.Scheduler
+	// streaming counts in-flight incrementally-delivered responses per
+	// store (the healthz "streaming" gauge). A worker slot is held for
+	// exactly as long as this gauge counts the query: release moved from
+	// result-computed to stream-complete with the streaming pipeline.
+	streaming map[string]*atomic.Int64
 }
 
 // DefaultStoreName is the name NewHandler registers its single store under,
@@ -137,17 +174,22 @@ func NewMux(stores map[string]*Store, defaultStore string, opts ServerOptions) (
 		opts.MaxQueryLen = 1 << 20
 	}
 	s := &sparqlServer{
-		stores: stores,
-		def:    defaultStore,
-		opts:   opts,
-		scheds: make(map[string]*sched.Scheduler, len(stores)),
+		stores:    stores,
+		def:       defaultStore,
+		opts:      opts,
+		scheds:    make(map[string]*sched.Scheduler, len(stores)),
+		streaming: make(map[string]*atomic.Int64, len(stores)),
 	}
-	for name := range stores {
+	for name, st := range stores {
 		s.scheds[name] = sched.New(sched.Options{
 			MaxConcurrent: opts.MaxConcurrent,
 			QueueDepth:    opts.QueueDepth,
 			Slice:         opts.Slice,
 		})
+		s.streaming[name] = new(atomic.Int64)
+		if opts.MemBudget > 0 {
+			st.SetMemBudget(opts.MemBudget, opts.SpillDir)
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
@@ -169,6 +211,12 @@ func (s *sparqlServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		// queue depth drain and verify the in-flight gauges return to
 		// zero.
 		Sched sched.Stats `json:"sched"`
+		// Streaming counts responses currently being delivered
+		// incrementally (head written, stream not yet drained).
+		Streaming int64 `json:"streaming"`
+		// SpilledBytes is the total the store's queries have written to
+		// join spill runs since load, across every mode engine.
+		SpilledBytes int64 `json:"spilled_bytes"`
 	}
 	doc := struct {
 		Status  string               `json:"status"`
@@ -177,9 +225,11 @@ func (s *sparqlServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}{Status: "ok", Stores: make(map[string]storeInfo, len(s.stores))}
 	for name, st := range s.stores {
 		doc.Stores[name] = storeInfo{
-			Triples: st.NumTriples(),
-			Default: name == s.def,
-			Sched:   s.scheds[name].Stats(),
+			Triples:      st.NumTriples(),
+			Default:      name == s.def,
+			Sched:        s.scheds[name].Stats(),
+			Streaming:    s.streaming[name].Load(),
+			SpilledBytes: st.SpilledBytes(),
 		}
 	}
 	doc.Triples = s.stores[s.def].NumTriples()
@@ -349,17 +399,33 @@ func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request, stor
 		writeCtxError(w, err, "while queued")
 		return
 	}
+	// The ticket is released when the handler returns — with the streaming
+	// pipeline that is stream-complete (or abandonment), not
+	// result-computed: a worker slot is held for exactly as long as rows
+	// still flow to the client.
 	defer ticket.Release()
 
 	// Expensive queries carry the ticket as the engine's yield hook: at
 	// every row-batch boundary past the time slice they give up the slot
 	// and re-queue, so concurrent heavy queries share the lane fairly.
+	// Each streamed batch is such a boundary, so a slow consumer yields
+	// too. The test pacer, when set, rides the same hook.
 	qctx := ctx
+	var yielders yieldChain
 	if class == sched.Expensive {
-		qctx = engine.WithYielder(ctx, ticket)
+		yielders = append(yielders, ticket)
+	}
+	if s.opts.pacer != nil {
+		yielders = append(yielders, s.opts.pacer)
+	}
+	switch len(yielders) {
+	case 1:
+		qctx = engine.WithYielder(ctx, yielders[0])
+	case 2:
+		qctx = engine.WithYielder(ctx, yielders)
 	}
 
-	res, err := st.QueryModeContext(qctx, mode, src)
+	stream, err := st.Engine(mode).QueryStream(qctx, src)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			setSchedHeaders(w.Header(), sc, class, cost, ticket)
@@ -369,23 +435,181 @@ func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request, stor
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res.Sched = &core.SchedInfo{
-		Class:     class.String(),
-		Cost:      cost,
-		QueueWait: ticket.QueueWait(),
-		Yields:    ticket.Yields(),
+	s.writeStream(w, storeName, mode, stream, sc, class, cost, ticket)
+}
+
+// yieldChain fans one engine yield point out to several hooks (the sched
+// ticket plus the test pacer).
+type yieldChain []engine.Yielder
+
+func (c yieldChain) Yield() {
+	for _, y := range c {
+		y.Yield()
 	}
-	// The cost gate parsed and planned first, warming the caches the
-	// execution then hit; report cache status as of the estimate so the
-	// headers keep meaning "had the server seen this query before this
-	// request".
-	res.PlanCached = cost.PlanCached
-	if res.SelectionCacheHits+res.SelectionCacheMisses > 0 {
-		res.SelectionCacheHits = cost.SelectionCacheHits
-		res.SelectionCacheMisses = cost.SelectionCacheMisses
+}
+
+// writeStream delivers one executing query's solutions. It buffers up to
+// StreamThreshold rows: a result that completes within the buffer (and any
+// ASK answer) is written as a single JSON document with final metrics in
+// the headers, exactly like the pre-streaming server. Past the threshold it
+// switches to incremental delivery — head and buffered rows flushed
+// immediately, then one flush per decoded engine batch — so the client's
+// first bytes do not wait for the last row. Metric headers are then a
+// snapshot as of the first flush (headers cannot trail the body).
+//
+// A query that dies before the first byte keeps the old error contract
+// (504/503 with a JSON body). A query that dies mid-stream cannot change
+// the status line anymore: the response ends with a trailing "error"
+// extension member after the bindings array and the connection is closed
+// without a clean terminator, so both JSON-level and transport-level
+// clients can tell the result is a truncation.
+func (s *sparqlServer) writeStream(w http.ResponseWriter, storeName string, mode Mode, stream *core.Stream, sc *sched.Scheduler, class sched.Class, cost core.CostEstimate, ticket *sched.Ticket) {
+	threshold := s.opts.StreamThreshold
+	if threshold <= 0 {
+		threshold = DefaultStreamThreshold
 	}
+
+	var rows [][]rdf.Term
+	var streamErr error
+	done := false
+	for !done && len(rows) <= threshold {
+		batch, err := stream.Next()
+		if err != nil {
+			streamErr = err
+			done = true
+		} else if batch == nil {
+			done = true
+		} else {
+			rows = append(rows, batch...)
+		}
+	}
+
+	// finish stamps the result with the scheduling record and the cache
+	// status as of the cost estimate, so the headers keep meaning "had the
+	// server seen this query before this request" (the gate parsed and
+	// planned first, warming the caches the execution then hit).
+	finish := func() *Result {
+		res := stream.Result()
+		res.Sched = &core.SchedInfo{
+			Class:     class.String(),
+			Cost:      cost,
+			QueueWait: ticket.QueueWait(),
+			Yields:    ticket.Yields(),
+		}
+		res.PlanCached = cost.PlanCached
+		if res.SelectionCacheHits+res.SelectionCacheMisses > 0 {
+			res.SelectionCacheHits = cost.SelectionCacheHits
+			res.SelectionCacheMisses = cost.SelectionCacheMisses
+		}
+		return res
+	}
+
+	if done {
+		res := finish()
+		if streamErr != nil {
+			setSchedHeaders(w.Header(), sc, class, cost, ticket)
+			writeCtxError(w, streamErr, "during execution")
+			return
+		}
+		res.Rows = rows
+		setSchedHeaders(w.Header(), sc, class, cost, ticket)
+		writeResult(w, mode, res)
+		return
+	}
+
+	g := s.streaming[storeName]
+	g.Add(1)
+	defer g.Add(-1)
+
+	res := finish()
 	setSchedHeaders(w.Header(), sc, class, cost, ticket)
-	writeResult(w, mode, res)
+	setResultHeaders(w.Header(), mode, res)
+	w.Header().Set("X-S2RDF-Streaming", "true")
+
+	enc := newStreamEncoder(w, res.Vars)
+	enc.bindings(rows)
+	enc.flush()
+	if s.opts.flushed != nil {
+		s.opts.flushed(enc.n)
+	}
+	for {
+		batch, err := stream.Next()
+		if err != nil {
+			enc.abort(err)
+			// Closing the connection without the terminating chunk marks
+			// the body as truncated at the transport level; the JSON
+			// document above is still complete for lenient clients.
+			panic(http.ErrAbortHandler)
+		}
+		if batch == nil {
+			break
+		}
+		enc.bindings(batch)
+		enc.flush()
+		if s.opts.flushed != nil {
+			s.opts.flushed(enc.n)
+		}
+	}
+	enc.end()
+}
+
+// streamEncoder writes the SPARQL 1.1 JSON results document incrementally:
+// head on creation, bindings as they arrive, one Flush per engine batch.
+type streamEncoder struct {
+	w    io.Writer
+	f    http.Flusher
+	vars []string
+	n    int // bindings written
+}
+
+func newStreamEncoder(w http.ResponseWriter, vars []string) *streamEncoder {
+	e := &streamEncoder{w: w, vars: vars}
+	e.f, _ = w.(http.Flusher)
+	head, _ := json.Marshal(vars)
+	fmt.Fprintf(e.w, `{"head":{"vars":%s},"results":{"bindings":[`, head)
+	return e
+}
+
+func (e *streamEncoder) bindings(rows [][]rdf.Term) {
+	for _, row := range rows {
+		if e.n > 0 {
+			io.WriteString(e.w, ",")
+		}
+		io.WriteString(e.w, "\n")
+		b, _ := json.Marshal(bindingJSON(e.vars, row))
+		e.w.Write(b)
+		e.n++
+	}
+}
+
+func (e *streamEncoder) flush() {
+	if e.f != nil {
+		e.f.Flush()
+	}
+}
+
+// end closes the document after a complete stream.
+func (e *streamEncoder) end() {
+	io.WriteString(e.w, "\n]}}\n")
+	e.flush()
+}
+
+// abort closes the document after a mid-stream failure, appending the
+// trailing "error" extension member the endpoint documents: the bindings
+// delivered so far are a truncation, not the result.
+func (e *streamEncoder) abort(err error) {
+	msg := "query aborted mid-stream"
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		msg = "query deadline exceeded mid-stream"
+	case errors.Is(err, context.Canceled):
+		msg = "request cancelled mid-stream"
+	case err != nil:
+		msg = err.Error()
+	}
+	quoted, _ := json.Marshal(msg)
+	fmt.Fprintf(e.w, "\n]},\"error\":%s}\n", quoted)
+	e.flush()
 }
 
 // retryAfterSeconds renders a Retry-After duration as whole seconds,
@@ -436,16 +660,53 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
-// writeResult renders res in the SPARQL 1.1 Query Results JSON Format and
-// attaches the per-query metrics as response headers.
+// writeResult renders res in the SPARQL 1.1 Query Results JSON Format as
+// one buffered document and attaches the per-query metrics as response
+// headers (the non-streaming path: ASK answers and results at or below the
+// stream threshold).
 func writeResult(w http.ResponseWriter, mode Mode, res *Result) {
-	h := w.Header()
+	setResultHeaders(w.Header(), mode, res)
+
+	type jsonResults struct {
+		Bindings []map[string]map[string]string `json:"bindings"`
+	}
+	var doc struct {
+		Head struct {
+			Vars []string `json:"vars,omitempty"`
+		} `json:"head"`
+		Boolean *bool        `json:"boolean,omitempty"`
+		Results *jsonResults `json:"results,omitempty"`
+	}
+	if res.Vars == nil && res.Rows == nil {
+		// ASK query.
+		b := res.Ask
+		doc.Boolean = &b
+		json.NewEncoder(w).Encode(&doc)
+		return
+	}
+	doc.Head.Vars = res.Vars
+	out := &jsonResults{Bindings: make([]map[string]map[string]string, 0, len(res.Rows))}
+	for _, row := range res.Rows {
+		out.Bindings = append(out.Bindings, bindingJSON(res.Vars, row))
+	}
+	doc.Results = out
+	json.NewEncoder(w).Encode(&doc)
+}
+
+// setResultHeaders attaches the per-query metrics of one result. On the
+// streaming path they are set before the first flush, so duration and
+// counters are a snapshot as of that moment, not the final totals.
+func setResultHeaders(h http.Header, mode Mode, res *Result) {
 	h.Set("Content-Type", "application/sparql-results+json")
 	h.Set("X-S2RDF-Mode", mode.String())
 	h.Set("X-S2RDF-Duration", res.Duration.String())
+	h.Set("X-S2RDF-TTFR", res.TimeToFirstRow.String())
+	h.Set("X-S2RDF-Peak-Mem", strconv.FormatInt(res.PeakMemBytes, 10))
 	h.Set("X-S2RDF-Rows-Scanned", strconv.FormatInt(res.Metrics.RowsScanned, 10))
 	h.Set("X-S2RDF-Rows-Pruned", strconv.FormatInt(res.Metrics.RowsPruned, 10))
 	h.Set("X-S2RDF-Rows-Shuffled", strconv.FormatInt(res.Metrics.RowsShuffled, 10))
+	h.Set("X-S2RDF-Rows-Sorted", strconv.FormatInt(res.Metrics.RowsSorted, 10))
+	h.Set("X-S2RDF-Bytes-Spilled", strconv.FormatInt(res.Metrics.BytesSpilled, 10))
 	h.Set("X-S2RDF-Join-Comparisons", strconv.FormatInt(res.Metrics.JoinComparisons, 10))
 	h.Set("X-S2RDF-Rows-Output", strconv.FormatInt(res.Metrics.RowsOutput, 10))
 	h.Set("X-S2RDF-Tasks", strconv.FormatInt(res.Metrics.Tasks, 10))
@@ -481,38 +742,19 @@ func writeResult(w http.ResponseWriter, mode Mode, res *Result) {
 	if res.StatsOnly {
 		h.Set("X-S2RDF-Stats-Only", "true")
 	}
+}
 
-	type jsonResults struct {
-		Bindings []map[string]map[string]string `json:"bindings"`
-	}
-	var doc struct {
-		Head struct {
-			Vars []string `json:"vars,omitempty"`
-		} `json:"head"`
-		Boolean *bool        `json:"boolean,omitempty"`
-		Results *jsonResults `json:"results,omitempty"`
-	}
-	if res.Vars == nil && res.Rows == nil {
-		// ASK query.
-		b := res.Ask
-		doc.Boolean = &b
-		json.NewEncoder(w).Encode(&doc)
-		return
-	}
-	doc.Head.Vars = res.Vars
-	out := &jsonResults{Bindings: make([]map[string]map[string]string, 0, len(res.Rows))}
-	for _, row := range res.Rows {
-		b := make(map[string]map[string]string, len(row))
-		for i, t := range row {
-			if t == "" {
-				continue // unbound under OPTIONAL/UNION
-			}
-			b[res.Vars[i]] = termJSON(t)
+// bindingJSON converts one solution row into its SPARQL-results JSON
+// binding object.
+func bindingJSON(vars []string, row []rdf.Term) map[string]map[string]string {
+	b := make(map[string]map[string]string, len(row))
+	for i, t := range row {
+		if t == "" {
+			continue // unbound under OPTIONAL/UNION
 		}
-		out.Bindings = append(out.Bindings, b)
+		b[vars[i]] = termJSON(t)
 	}
-	doc.Results = out
-	json.NewEncoder(w).Encode(&doc)
+	return b
 }
 
 // termJSON converts one RDF term into its SPARQL-results JSON object.

@@ -22,10 +22,14 @@ import (
 // row-batch cancellation points in the scans, the join, and the sort.
 const slowQuery = `SELECT ?a ?c WHERE { ?a <urn:p> ?b . ?b <urn:p> ?c } ORDER BY ?a ?c`
 
-// slowQueryLimited is slowQuery with a LIMIT: execution still joins and
-// sorts the full cubic result (~1s), but the response body stays tiny, so
-// tests exercising the serving lifecycle are not dominated by JSON output.
-const slowQueryLimited = slowQuery + ` LIMIT 3`
+// slowQueryLimited is slowQuery with a LIMIT buried behind a deep OFFSET:
+// a window that large disables the top-k pushdown (it only engages when
+// offset+limit is a small fraction of the input), so execution still pays
+// the join and the full parallel sort (~1s) while the response body stays
+// tiny — tests exercising the serving lifecycle are not dominated by JSON
+// output. (A bare LIMIT 3 would be answered from a 3-row heap in
+// milliseconds, exactly what the pushdown is for.)
+const slowQueryLimited = slowQuery + ` LIMIT 3 OFFSET 1300000`
 
 // fastQuery touches a single VP table of the same fixture.
 const fastQuery = `SELECT ?a WHERE { ?a <urn:p> <urn:n0> }`
