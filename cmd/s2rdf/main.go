@@ -288,7 +288,12 @@ func cmdServe(args []string) {
 	open := func(name, d string) {
 		st, err := s2rdf.Open(d, opts)
 		if err != nil {
-			log.Fatalf("store %s: %v", name, err)
+			// A store that fails integrity validation (or cannot be read)
+			// keeps its route but refuses queries with 503: one corrupt
+			// directory must not take the healthy stores down with it.
+			log.Printf("store %s: %v — serving as unavailable (503)", name, err)
+			stores[name] = s2rdf.NewUnavailableStore(err.Error())
+			return
 		}
 		stores[name] = st
 		fmt.Printf("store %-12s %8d triples (%s)\n", name, st.NumTriples(), d)

@@ -213,7 +213,7 @@ func estimatePatternRows(sel selection, tp sparql.TriplePattern) int {
 // variables and conditions for bound positions. pred, when non-nil, is a
 // pushed-down filter evaluated at the scan's materialization boundary. The
 // returned stats report the scan's metered and pruned input rows.
-func (e *Engine) compilePattern(ex *engine.Exec, tp sparql.TriplePattern, sel selection, pred func(engine.Row) bool) (*engine.Relation, engine.ScanStats, bool) {
+func (e *Engine) compilePattern(ex *engine.Exec, tp sparql.TriplePattern, sel selection, pred func(engine.Row) bool) (*engine.Relation, engine.ScanStats, bool, error) {
 	// At most three positions bind either way; exact capacities keep the
 	// per-pattern compile to two fixed allocations.
 	projs := make([]engine.ScanProjection, 0, 3)
@@ -233,20 +233,26 @@ func (e *Engine) compilePattern(ex *engine.Exec, tp sparql.TriplePattern, sel se
 	}
 
 	if !bindCol("s", tp.S) {
-		return nil, engine.ScanStats{}, false
+		return nil, engine.ScanStats{}, false, nil
 	}
 	if sel.tt {
 		if !bindCol("p", tp.P) {
-			return nil, engine.ScanStats{}, false
+			return nil, engine.ScanStats{}, false, nil
 		}
 	}
 	if !bindCol("o", tp.O) {
-		return nil, engine.ScanStats{}, false
+		return nil, engine.ScanStats{}, false, nil
 	}
-	rel, st := ex.ScanTable(sel.table, engine.ScanSpec{
+	rel, st, err := ex.ScanTable(sel.table, engine.ScanSpec{
 		Projs: projs, Conds: conds, Sel: sel.bits, Pred: pred,
 	})
-	return rel, st, true
+	if err != nil {
+		// The selected table cannot satisfy the compiled scan: a planner
+		// defect, not a property of the data — an internal error, never an
+		// empty result.
+		return nil, st, false, fmt.Errorf("%w: %v", ErrInternal, err)
+	}
+	return rel, st, true, nil
 }
 
 // evalBGP compiles and executes a basic graph pattern. Table selections
@@ -340,7 +346,10 @@ func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, filters []
 			pred = preds[idx]
 		}
 		if rel == nil {
-			scan, st, ok := e.compilePattern(ex, tp, sel, pred)
+			scan, st, ok, err := e.compilePattern(ex, tp, sel, pred)
+			if err != nil {
+				return nil, err
+			}
 			if !ok {
 				res.StatsOnly = true
 				return e.emptyRelation(ex, bgp), nil
@@ -360,7 +369,10 @@ func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, filters []
 				if preds != nil {
 					rpred = preds[ridx]
 				}
-				scan, st, ok := e.compilePattern(ex, bgp[ridx], sels[ridx], rpred)
+				scan, st, ok, err := e.compilePattern(ex, bgp[ridx], sels[ridx], rpred)
+				if err != nil {
+					return nil, err
+				}
 				if !ok {
 					res.StatsOnly = true
 					return e.emptyRelation(ex, bgp), nil
@@ -384,7 +396,10 @@ func (e *Engine) evalBGP(ex *engine.Exec, bgp []sparql.TriplePattern, filters []
 			oi += len(run) - 1
 			continue
 		}
-		scan, st, ok := e.compilePattern(ex, tp, sel, pred)
+		scan, st, ok, err := e.compilePattern(ex, tp, sel, pred)
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
 			res.StatsOnly = true
 			return e.emptyRelation(ex, bgp), nil

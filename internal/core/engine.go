@@ -29,6 +29,7 @@ import (
 
 	"s2rdf/internal/dict"
 	"s2rdf/internal/engine"
+	"s2rdf/internal/fault"
 	"s2rdf/internal/layout"
 	"s2rdf/internal/rdf"
 	"s2rdf/internal/sparql"
@@ -100,6 +101,14 @@ type Engine struct {
 	// budget. Set from the -mem-budget flag.
 	MemBudget int64
 	SpillDir  string
+	// FS, when non-nil, routes every spill-file operation through the given
+	// filesystem — the fault-injection seam chaos tests use. Nil means the
+	// real OS filesystem.
+	FS fault.FS
+	// Faults, when non-nil, observes the outcome of every spill I/O attempt
+	// (failures and healing successes), feeding a store's health state
+	// machine. Typically a *fault.Health shared with the serving layer.
+	Faults engine.FaultReporter
 
 	// algorithm1Runs counts how many times table selection actually ran
 	// (selection-cache misses); tests use it to prove hits skip it.

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"s2rdf/internal/engine"
+)
+
+// ErrInternal marks failures of the execution machinery itself — a
+// recovered operator panic, or a plan that compiled to something the
+// engine rejects (e.g. a scan of an unknown column). They are neither the
+// caller's fault (not a parse error) nor a cancellation, so HTTP servers
+// map them to 500 while the process keeps serving. Test with errors.Is.
+var ErrInternal = errors.New("internal query execution error")
+
+// recoverAsError converts a panic captured at a per-query boundary into an
+// error wrapping ErrInternal, preserving the engine's typed panic payload
+// when the panic crossed Exec.parallel. Use it in a deferred function:
+//
+//	defer func() { recoverAsError(recover(), &err) }()
+//
+// A nil panic value leaves *errp untouched.
+func recoverAsError(r any, errp *error) {
+	if r == nil {
+		return
+	}
+	var stack []byte
+	if pe, ok := r.(*engine.PanicError); ok {
+		stack = pe.Stack
+		r = pe.Value
+	} else {
+		stack = debug.Stack()
+	}
+	*errp = &QueryPanicError{Value: r, Stack: stack}
+}
+
+// QueryPanicError is a query-execution panic recovered at the query
+// boundary: the query fails with an internal error; the process — and
+// every other in-flight query — keeps running. It wraps ErrInternal.
+type QueryPanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *QueryPanicError) Error() string {
+	return fmt.Sprintf("query panicked: %v", e.Value)
+}
+
+func (e *QueryPanicError) Unwrap() error { return ErrInternal }

@@ -143,7 +143,10 @@ func (e *Engine) evalBGPPT(ex *engine.Exec, bgp []sparql.TriplePattern, res *Res
 			}
 			desc += tp.String() + "; "
 		}
-		rel, st := ex.ScanTable(view.table, engine.ScanSpec{Projs: projs, Conds: conds})
+		rel, st, err := ex.ScanTable(view.table, engine.ScanSpec{Projs: projs, Conds: conds})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInternal, err)
+		}
 		// A property-table scan touches the full width of the unified
 		// table; meter the extra cells the narrow Scan did not count.
 		extra := int64(view.triple - pt.NumRows())
@@ -180,8 +183,11 @@ func (e *Engine) evalBGPPT(ex *engine.Exec, bgp []sparql.TriplePattern, res *Res
 			res.StatsOnly = true
 			return e.emptyRelation(ex, bgp), nil
 		}
-		scan, st, ok := e.compilePattern(ex, tp, sel, nil)
+		scan, st, ok, err := e.compilePattern(ex, tp, sel, nil)
 		addPlan(tp.String(), sel.name, sel.rows, st)
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
 			res.StatsOnly = true
 			return e.emptyRelation(ex, bgp), nil

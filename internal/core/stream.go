@@ -51,12 +51,27 @@ func (e *Engine) QueryStream(ctx context.Context, src string) (*Stream, error) {
 //
 // The caller must drain the stream (Next until nil) or abandon it by
 // cancelling ctx; Result finalizes metrics and timings.
-func (e *Engine) ExecStream(ctx context.Context, q *sparql.Query) (*Stream, error) {
+//
+// ExecStream is a panic-isolation boundary: an operator panic anywhere in
+// the plan (including on a parallel worker, re-raised by the engine as a
+// typed *engine.PanicError) is recovered here and returned as a
+// *QueryPanicError wrapping ErrInternal — the query fails, the process and
+// every other in-flight query keep running.
+func (e *Engine) ExecStream(ctx context.Context, q *sparql.Query) (s *Stream, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			recoverAsError(r, &err)
+			s = nil
+		}
+	}()
 	start := time.Now()
 	qm := &engine.Metrics{}
 	ex := e.Cluster.NewExecContext(ctx, qm)
 	if e.MemBudget > 0 {
 		ex.SetMemBudget(e.MemBudget, e.SpillDir)
+	}
+	if e.FS != nil || e.Faults != nil {
+		ex.SetFaultPolicy(e.FS, e.Faults)
 	}
 
 	res := &Result{}
@@ -65,7 +80,7 @@ func (e *Engine) ExecStream(ctx context.Context, q *sparql.Query) (*Stream, erro
 		return nil, err
 	}
 
-	s := &Stream{e: e, ex: ex, qm: qm, res: res, start: start}
+	s = &Stream{e: e, ex: ex, qm: qm, res: res, start: start}
 
 	if q.Ask {
 		if err := ex.Err(); err != nil {
@@ -133,10 +148,23 @@ func (s *Stream) Ask() bool { return s.res.Ask }
 // the consumer must not present them as the complete result. Each call
 // polls the execution's cancellation point and yields to the scheduler, so
 // batch pacing is query pacing.
-func (s *Stream) Next() ([][]rdf.Term, error) {
+//
+// Next is the mid-stream panic-isolation boundary: a panic during batch
+// decode is recovered and returned as a *QueryPanicError wrapping
+// ErrInternal, ending the stream. Consumers already treat a Next error as a
+// truncation, so streaming servers surface it exactly like a mid-stream
+// cancellation (a trailing error member) while the process keeps serving.
+func (s *Stream) Next() (batch [][]rdf.Term, err error) {
 	if s.done {
 		return nil, nil
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.done = true
+			batch = nil
+			recoverAsError(r, &err)
+		}
+	}()
 	b, ok := s.it.Next()
 	if !ok {
 		s.done = true

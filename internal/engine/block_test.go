@@ -227,32 +227,43 @@ func TestOperatorsMeterRowsOutput(t *testing.T) {
 	}
 }
 
-func TestScanUnknownColumnPanics(t *testing.T) {
+func TestScanUnknownColumnErrors(t *testing.T) {
 	c := NewCluster(2)
 	tbl := store.NewTable("VP:follows", "s", "o")
 	tbl.Append(1, 2)
-	mustPanic := func(name, wantSub string, fn func()) {
-		t.Helper()
-		defer func() {
-			r := recover()
-			if r == nil {
-				t.Errorf("%s: no panic", name)
-				return
-			}
-			msg, ok := r.(string)
-			if !ok || !strings.Contains(msg, wantSub) || !strings.Contains(msg, "VP:follows") {
-				t.Errorf("%s: panic %v, want mention of %q and the table name", name, r, wantSub)
-			}
-		}()
-		fn()
+
+	// ScanTable — the query-serving path — reports unknown columns as
+	// errors, never panics: a compiler defect must fail one query, not the
+	// process.
+	_, _, err := c.exec().ScanTable(tbl, ScanSpec{
+		Projs: []ScanProjection{{Col: "s", As: "x"}},
+		Conds: []ScanCondition{{Col: "p", Value: 7}},
+	})
+	if err == nil || !strings.Contains(err.Error(), `"p"`) || !strings.Contains(err.Error(), "VP:follows") {
+		t.Errorf("condition: err %v, want mention of %q and the table name", err, "p")
 	}
-	mustPanic("condition", `"p"`, func() {
-		c.Scan(tbl, []ScanProjection{{Col: "s", As: "x"}},
-			[]ScanCondition{{Col: "p", Value: 7}})
+	_, _, err = c.exec().ScanTable(tbl, ScanSpec{
+		Projs: []ScanProjection{{Col: "nope", As: "x"}},
 	})
-	mustPanic("projection", `"nope"`, func() {
-		c.Scan(tbl, []ScanProjection{{Col: "nope", As: "x"}}, nil)
-	})
+	if err == nil || !strings.Contains(err.Error(), `"nope"`) || !strings.Contains(err.Error(), "VP:follows") {
+		t.Errorf("projection: err %v, want mention of %q and the table name", err, "nope")
+	}
+
+	// The Scan builder/test convenience keeps the panic contract: its
+	// callers construct both table and spec, so an unknown column there is
+	// a true invariant violation.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Error("Scan: no panic")
+			return
+		}
+		perr, ok := r.(error)
+		if !ok || !strings.Contains(perr.Error(), `"nope"`) {
+			t.Errorf("Scan: panic %v, want error mentioning %q", r, "nope")
+		}
+	}()
+	c.Scan(tbl, []ScanProjection{{Col: "nope", As: "x"}}, nil)
 }
 
 func TestEachRowMatchesRows(t *testing.T) {

@@ -34,10 +34,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"s2rdf/internal/dict"
+	"s2rdf/internal/fault"
 	"s2rdf/internal/store"
 )
 
@@ -186,6 +188,11 @@ type Exec struct {
 	memBudget int64
 	// spillDir hosts spill run files; empty selects os.TempDir().
 	spillDir string
+	// fs, when non-nil, routes spill I/O through an injectable filesystem
+	// (SetFaultPolicy); nil means the real one. faults, when non-nil,
+	// receives each spill operation's outcome for store health tracking.
+	fs     fault.FS
+	faults FaultReporter
 	// memUsed is the accounted intermediate state in bytes. Blocks are
 	// write-once and reclaimed only by GC, so accounting is monotonic and
 	// memUsed doubles as the execution's peak (high-water) figure.
@@ -436,6 +443,13 @@ func (x *Exec) addBytesSpilled(n int64) {
 // per invocation, and waits. Once the execution's context is done, queued
 // partition tasks are skipped (running ones stop on their own row-batch
 // checks), so a cancelled query releases its workers promptly.
+//
+// A panic inside a partition task does not kill the process: each worker
+// recovers, the first panic is captured with its stack, remaining queued
+// partitions are skipped, and after every worker has returned the panic is
+// re-raised on the coordinator as a *PanicError. It then unwinds the
+// query's own call stack, where the per-query recovery boundary
+// (core.ExecStream / Stream.Next) converts it to an internal error.
 func (x *Exec) parallel(n int, fn func(p int)) {
 	x.addTasks(int64(n))
 	workers := x.c.workers
@@ -447,19 +461,40 @@ func (x *Exec) parallel(n int, fn func(p int)) {
 			if x.Cancelled() {
 				return
 			}
+			// A panic here is already on the coordinator stack and unwinds
+			// to the query boundary directly.
 			fn(p)
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		mu       sync.Mutex
+		pe       *PanicError
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if pe == nil {
+						if p, ok := r.(*PanicError); ok {
+							pe = p
+						} else {
+							pe = &PanicError{Value: r, Stack: debug.Stack()}
+						}
+					}
+					mu.Unlock()
+					panicked.Store(true)
+				}
+			}()
 			for {
 				p := int(next.Add(1)) - 1
-				if p >= n || x.Cancelled() {
+				if p >= n || panicked.Load() || x.Cancelled() {
 					return
 				}
 				fn(p)
@@ -467,6 +502,9 @@ func (x *Exec) parallel(n int, fn func(p int)) {
 		}()
 	}
 	wg.Wait()
+	if pe != nil {
+		panic(pe)
+	}
 }
 
 // Relation is a horizontally partitioned table with named columns. Each

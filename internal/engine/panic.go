@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"fmt"
+
+	"s2rdf/internal/fault"
+)
+
+// PanicError is a recovered operator panic, carrying the original panic
+// value and the stack of the goroutine that panicked. Exec.parallel
+// converts worker-goroutine panics into one PanicError re-raised on the
+// coordinator, so an operator bug in a partition task unwinds the query
+// that ran it — through the caller's recover boundary — instead of
+// killing the process. Query-boundary recovery (core.ExecStream,
+// Stream.Next) turns it into a typed internal error.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: operator panic: %v", e.Value)
+}
+
+// FaultReporter receives the outcomes of the execution's disk operations
+// (spill-run writes and reads). The per-store health machine implements
+// it: repeated failures degrade the store, successes heal it.
+// Implementations must be safe for concurrent use.
+type FaultReporter interface {
+	ReportIOFailure(err error)
+	ReportIOSuccess()
+}
+
+// SetFaultPolicy routes the execution's spill I/O through fs and reports
+// each operation's outcome to rep. A nil fs selects the real filesystem;
+// a nil rep disables reporting. Call before running operators; chaos
+// tests install a fault.Injector here.
+func (x *Exec) SetFaultPolicy(fs fault.FS, rep FaultReporter) {
+	x.fs = fs
+	x.faults = rep
+}
+
+// fsys returns the execution's filesystem (the real one by default).
+func (x *Exec) fsys() fault.FS {
+	if x.fs == nil {
+		return fault.OS
+	}
+	return x.fs
+}
+
+func (x *Exec) reportIOFailure(err error) {
+	if x.faults != nil {
+		x.faults.ReportIOFailure(err)
+	}
+}
+
+func (x *Exec) reportIOSuccess() {
+	if x.faults != nil {
+		x.faults.ReportIOSuccess()
+	}
+}

@@ -73,7 +73,7 @@ type scanCond struct {
 }
 
 // scanPlan resolves projections and conditions against a table's schema,
-// panicking on references to columns the table does not have: a silently
+// rejecting references to columns the table does not have: a silently
 // empty scan would mask a compiler bug (it did once — the unresolved-column
 // path used to drop every row).
 type scanPlan struct {
@@ -83,13 +83,13 @@ type scanPlan struct {
 	equal  [][2]int // pairs of source columns that must be equal
 }
 
-func planScan(t *store.Table, projs []ScanProjection, conds []ScanCondition) scanPlan {
+func planScan(t *store.Table, projs []ScanProjection, conds []ScanCondition) (scanPlan, error) {
 	var pl scanPlan
 	pl.conds = make([]scanCond, len(conds))
 	for i, cd := range conds {
 		ci := t.ColIndex(cd.Col)
 		if ci < 0 {
-			panic(fmt.Sprintf("engine: Scan condition on unknown column %q of table %s", cd.Col, t.Name))
+			return pl, fmt.Errorf("engine: Scan condition on unknown column %q of table %s", cd.Col, t.Name)
 		}
 		pl.conds[i] = scanCond{col: ci, val: cd.Value}
 	}
@@ -99,7 +99,7 @@ func planScan(t *store.Table, projs []ScanProjection, conds []ScanCondition) sca
 	for _, pr := range projs {
 		src := t.ColIndex(pr.Col)
 		if src < 0 {
-			panic(fmt.Sprintf("engine: Scan projection of unknown column %q of table %s", pr.Col, t.Name))
+			return pl, fmt.Errorf("engine: Scan projection of unknown column %q of table %s", pr.Col, t.Name)
 		}
 		if prev := indexOf(pl.schema, pr.As); prev >= 0 {
 			pl.equal = append(pl.equal, [2]int{pl.srcs[prev], src})
@@ -108,7 +108,7 @@ func planScan(t *store.Table, projs []ScanProjection, conds []ScanCondition) sca
 		pl.schema = append(pl.schema, pr.As)
 		pl.srcs = append(pl.srcs, src)
 	}
-	return pl
+	return pl, nil
 }
 
 // sortedRun narrows [lo, hi) to the run where col equals v, by binary
@@ -139,13 +139,14 @@ func sortedRun(col []dict.ID, lo, hi int, v dict.ID) (int, int) {
 
 // ScanTable reads a stored table under spec and produces a block-partitioned
 // relation plus the scan's work statistics. A condition or projection naming
-// a column the table does not have panics: that is a query-compiler bug, not
-// an empty result.
+// a column the table does not have returns an error: that is a query-compiler
+// bug (or a query the compiler could not resolve), not an empty result — and
+// not a process-killing panic either.
 //
 // If two projections reference the same source column position implicitly
 // via equal variable names (e.g. pattern ?x p ?x), rows where the columns
 // differ are dropped and the duplicate column is projected once.
-func (x *Exec) ScanTable(t *store.Table, spec ScanSpec) (*Relation, ScanStats) {
+func (x *Exec) ScanTable(t *store.Table, spec ScanSpec) (*Relation, ScanStats, error) {
 	c := x.c
 	n := t.NumRows()
 	var st ScanStats
@@ -156,10 +157,13 @@ func (x *Exec) ScanTable(t *store.Table, spec ScanSpec) (*Relation, ScanStats) {
 	}
 	x.AddRowsScanned(st.Scanned)
 
-	pl := planScan(t, spec.Projs, spec.Conds)
+	pl, err := planScan(t, spec.Projs, spec.Conds)
+	if err != nil {
+		return nil, st, err
+	}
 	rel := newRelation(pl.schema, c.partitions)
 	if n == 0 {
-		return rel, st
+		return rel, st, nil
 	}
 
 	// Step 1: conditions on the sort column collapse into one binary-searched
@@ -197,7 +201,7 @@ func (x *Exec) ScanTable(t *store.Table, spec ScanSpec) (*Relation, ScanStats) {
 		// The binary search proved the scan empty; all partitions stay nil.
 		st.Pruned = pruned.Load()
 		x.addPruned(st.Pruned)
-		return rel, st
+		return rel, st, nil
 	}
 	x.parallel(c.partitions, func(p int) {
 		plo, phi := splitRange(span, c.partitions, p)
@@ -229,7 +233,7 @@ func (x *Exec) ScanTable(t *store.Table, spec ScanSpec) (*Relation, ScanStats) {
 	x.addPruned(st.Pruned)
 	x.trackRelation(rel)
 	x.addOutput(int64(rel.NumRows()))
-	return rel, st
+	return rel, st, nil
 }
 
 // zoneSkips reports whether zone z of the table provably excludes any of the
@@ -349,8 +353,14 @@ func (x *Exec) scanVector(t *store.Table, spec ScanSpec, pl scanPlan, conds []sc
 
 // Scan reads a stored table, applies constant conditions, projects and
 // renames columns, and produces a block-partitioned relation; see ScanTable.
+// Unlike ScanTable it panics on unknown columns: Scan is the builder/test
+// convenience whose callers construct both table and spec, so an unknown
+// column is a true invariant violation there.
 func (x *Exec) Scan(t *store.Table, projs []ScanProjection, conds []ScanCondition) *Relation {
-	rel, _ := x.ScanTable(t, ScanSpec{Projs: projs, Conds: conds})
+	rel, _, err := x.ScanTable(t, ScanSpec{Projs: projs, Conds: conds})
+	if err != nil {
+		panic(err)
+	}
 	return rel
 }
 
@@ -360,7 +370,10 @@ func (x *Exec) Scan(t *store.Table, projs []ScanProjection, conds []ScanConditio
 // reduction. Only selected rows are metered as scanned, mirroring the I/O a
 // materialized reduction of the same size would cost.
 func (x *Exec) ScanSel(t *store.Table, sel *bitvec.Bitset, projs []ScanProjection, conds []ScanCondition) *Relation {
-	rel, _ := x.ScanTable(t, ScanSpec{Projs: projs, Conds: conds, Sel: sel})
+	rel, _, err := x.ScanTable(t, ScanSpec{Projs: projs, Conds: conds, Sel: sel})
+	if err != nil {
+		panic(err)
+	}
 	return rel
 }
 

@@ -166,7 +166,10 @@ func TestScanRandomizedEquivalence(t *testing.T) {
 		}
 		for si, spec := range specs {
 			spec.Sel = bits
-			rel, st := c.exec().ScanTable(tbl, spec)
+			rel, st, err := c.exec().ScanTable(tbl, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
 			want := refScan(tbl, spec)
 			desc := fmt.Sprintf("trial %d spec %d (n=%d parts=%d bits=%v)",
 				trial, si, n, c.Partitions(), bits != nil)
@@ -196,10 +199,13 @@ func TestScanSortPruning(t *testing.T) {
 		t.Fatalf("SortCol = %d, want 0", tbl.SortCol)
 	}
 	c := NewCluster(4)
-	rel, st := c.exec().ScanTable(tbl, ScanSpec{
+	rel, st, err := c.exec().ScanTable(tbl, ScanSpec{
 		Projs: []ScanProjection{{"o", "y"}},
 		Conds: []ScanCondition{{Col: "s", Value: 42}},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rel.NumRows() != 1 {
 		t.Fatalf("rows = %d, want 1", rel.NumRows())
 	}
@@ -226,10 +232,13 @@ func TestScanZonePruning(t *testing.T) {
 	}
 	tbl.Finalize()
 	c := NewCluster(2)
-	rel, st := c.exec().ScanTable(tbl, ScanSpec{
+	rel, st, err := c.exec().ScanTable(tbl, ScanSpec{
 		Projs: []ScanProjection{{"s", "x"}},
 		Conds: []ScanCondition{{Col: "o", Value: 3000}}, // only zone 2 qualifies
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := refScan(tbl, ScanSpec{
 		Projs: []ScanProjection{{"s", "x"}},
 		Conds: []ScanCondition{{Col: "o", Value: 3000}},

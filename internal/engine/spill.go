@@ -3,11 +3,14 @@ package engine
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"s2rdf/internal/dict"
+	"s2rdf/internal/fault"
 )
 
 // External (spilling) hash-join builds. When a per-query memory budget is
@@ -55,7 +58,7 @@ func keyLess(a, b []dict.ID, ar, br int32) bool {
 // any number of probe partitions may merge-join against the same runs
 // concurrently.
 type spillRuns struct {
-	files    []*os.File
+	files    []fault.File
 	sizes    []int64
 	keyWidth int
 }
@@ -66,16 +69,28 @@ func (sr *spillRuns) close() {
 	}
 }
 
-// writeRun writes one sorted chunk of entries as a run file under dir:
+// Spill-write retry policy: a transient disk error (a full tmpfs being
+// cleaned, a flaky NFS mount) should not immediately force the join back
+// to an in-memory build that the memory budget was protecting against.
+// Each run write is attempted spillRetries times with doubling backoff; a
+// fresh temp file per attempt, so a partial write never survives into a
+// retry. Only after the last attempt fails does the caller's in-memory
+// fallback engage.
+const (
+	spillRetries = 3
+	spillBackoff = time.Millisecond
+)
+
+// writeRunOnce writes one sorted chunk of entries as a run file under dir:
 // keyWidth+1 little-endian uint32 words per entry.
-func writeRun(dir string, entries []spillEntry, keyWidth int) (*os.File, int64, error) {
-	f, err := os.CreateTemp(dir, "s2rdf-spill-*.run")
+func (x *Exec) writeRunOnce(dir string, entries []spillEntry, keyWidth int) (fault.File, int64, error) {
+	f, err := x.fsys().CreateTemp(dir, "s2rdf-spill-*.run")
 	if err != nil {
 		return nil, 0, err
 	}
 	// Remove the name immediately: the descriptor keeps the file readable,
 	// and a crashed query leaks no run files.
-	os.Remove(f.Name())
+	x.fsys().Remove(f.Name())
 	w := bufio.NewWriter(f)
 	var word [4]byte
 	for _, e := range entries {
@@ -94,6 +109,29 @@ func writeRun(dir string, entries []spillEntry, keyWidth int) (*os.File, int64, 
 		return nil, 0, err
 	}
 	return f, int64(len(entries)) * int64(keyWidth+1) * 4, nil
+}
+
+// writeRun is writeRunOnce under the bounded retry policy, reporting each
+// attempt's outcome to the execution's FaultReporter.
+func (x *Exec) writeRun(dir string, entries []spillEntry, keyWidth int) (fault.File, int64, error) {
+	var err error
+	for attempt := 0; attempt < spillRetries; attempt++ {
+		if attempt > 0 {
+			if x.Cancelled() {
+				break
+			}
+			time.Sleep(spillBackoff << (attempt - 1))
+		}
+		var f fault.File
+		var n int64
+		f, n, err = x.writeRunOnce(dir, entries, keyWidth)
+		if err == nil {
+			x.reportIOSuccess()
+			return f, n, nil
+		}
+		x.reportIOFailure(err)
+	}
+	return nil, 0, err
 }
 
 // buildSpillRuns sorts the build side's (key tuple, row) entries in chunks
@@ -119,7 +157,7 @@ func (x *Exec) buildSpillRuns(build *Block, bIdx []int) (sr *spillRuns, ok bool)
 		sort.Slice(entries, func(i, j int) bool {
 			return keyLess(entries[i].key, entries[j].key, entries[i].row, entries[j].row)
 		})
-		f, bytes, err := writeRun(dir, entries, keyWidth)
+		f, bytes, err := x.writeRun(dir, entries, keyWidth)
 		if err != nil {
 			return false
 		}
@@ -153,38 +191,54 @@ func (x *Exec) buildSpillRuns(build *Block, bIdx []int) (sr *spillRuns, ok bool)
 	return sr, true
 }
 
+// errTornRun reports a spill run file shorter than the bytes its writer
+// accounted: a torn write the filesystem did not surface as an error.
+var errTornRun = errors.New("engine: spill run truncated (torn write)")
+
 // runReader streams one sorted run back, one entry at a time, through its
-// own section reader (safe alongside other readers of the same file).
+// own section reader (safe alongside other readers of the same file). It
+// tracks the bytes remaining against the writer's accounting, so a run
+// file that comes up short — a torn write that reported success — is an
+// error rather than a silently shortened run.
 type runReader struct {
-	r   *bufio.Reader
-	buf []byte
-	cur spillEntry
-	ok  bool
+	r         *bufio.Reader
+	buf       []byte
+	remaining int64
+	cur       spillEntry
+	ok        bool
 }
 
 func (sr *spillRuns) readers() []*runReader {
 	out := make([]*runReader, len(sr.files))
 	for i, f := range sr.files {
 		out[i] = &runReader{
-			r:   bufio.NewReader(io.NewSectionReader(f, 0, sr.sizes[i])),
-			buf: make([]byte, (sr.keyWidth+1)*4),
-			cur: spillEntry{key: make([]dict.ID, sr.keyWidth)},
+			r:         bufio.NewReader(io.NewSectionReader(f, 0, sr.sizes[i])),
+			buf:       make([]byte, (sr.keyWidth+1)*4),
+			remaining: sr.sizes[i],
+			cur:       spillEntry{key: make([]dict.ID, sr.keyWidth)},
 		}
 	}
 	return out
 }
 
 // advance loads the next entry into cur; ok reports whether one was read.
-// A clean EOF ends the run; a short or failed read is an error the join
-// must not paper over (it would silently drop matches).
+// The run ends cleanly only after exactly the written byte count; a short
+// or failed read is an error the join must not paper over (it would
+// silently drop matches).
 func (rr *runReader) advance() error {
+	if rr.remaining <= 0 {
+		rr.ok = false
+		return nil
+	}
 	if _, err := io.ReadFull(rr.r, rr.buf); err != nil {
 		rr.ok = false
-		if err == io.EOF {
-			return nil
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// Bytes were accounted but are not in the file: a torn write.
+			return errTornRun
 		}
 		return err
 	}
+	rr.remaining -= int64(len(rr.buf))
 	for i := range rr.cur.key {
 		rr.cur.key[i] = dict.ID(binary.LittleEndian.Uint32(rr.buf[i*4:]))
 	}
@@ -203,6 +257,7 @@ func (x *Exec) spillProbePairs(sr *spillRuns, probe *Block, pIdx []int) (bsel, p
 	runs := sr.readers()
 	for _, rr := range runs {
 		if err := rr.advance(); err != nil {
+			x.reportIOFailure(err)
 			return nil, nil, false
 		}
 	}
@@ -279,6 +334,7 @@ func (x *Exec) spillProbePairs(sr *spillRuns, probe *Block, pIdx []int) (bsel, p
 			psel = append(psel, psorted[pe])
 		}
 		if err := runs[minRun].advance(); err != nil {
+			x.reportIOFailure(err)
 			return nil, nil, false
 		}
 	}

@@ -1,0 +1,282 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error returned by injected faults that do not
+// specify their own error value.
+var ErrInjected = errors.New("fault: injected I/O error")
+
+// Injector wraps an FS and injects deterministic faults: fail the Nth
+// read or write call, tear the Nth write short while reporting success,
+// or fail every operation from the Nth on (a persistently bad disk).
+// Call counts are global across all files opened through the injector, in
+// program order, so a test that knows its workload can target an exact
+// operation. The zero rules injector is a transparent passthrough.
+//
+// An Injector is safe for concurrent use; counters are updated under one
+// lock, which also makes the "Nth call" numbering well-defined when
+// multiple goroutines perform I/O (whichever call takes the lock Nth is
+// the Nth call).
+type Injector struct {
+	fs FS
+
+	mu      sync.Mutex
+	reads   int
+	writes  int
+	opens   int
+	creates int
+
+	failReads      map[int]error
+	failWrites     map[int]error
+	tornWrites     map[int]bool
+	failOpens      map[int]error
+	failCreates    map[int]error
+	readsFailFrom  int // >0: every read call >= this fails
+	writesFailFrom int // >0: every write call >= this fails
+	fromErr        error
+}
+
+// NewInjector returns an Injector wrapping fs (OS when fs is nil).
+func NewInjector(fs FS) *Injector {
+	if fs == nil {
+		fs = OS
+	}
+	return &Injector{fs: fs}
+}
+
+// FailNthRead makes the nth read call (1-based, counting Read, ReadAt and
+// ReadFile together) fail with err (ErrInjected when err is nil).
+func (in *Injector) FailNthRead(n int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.failReads == nil {
+		in.failReads = make(map[int]error)
+	}
+	in.failReads[n] = orInjected(err)
+}
+
+// FailNthWrite makes the nth write call (1-based, counting Write and
+// WriteFile together) fail with err (ErrInjected when err is nil).
+func (in *Injector) FailNthWrite(n int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.failWrites == nil {
+		in.failWrites = make(map[int]error)
+	}
+	in.failWrites[n] = orInjected(err)
+}
+
+// TearNthWrite makes the nth write call write only half its buffer while
+// reporting complete success — a torn write that the reader must detect.
+func (in *Injector) TearNthWrite(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.tornWrites == nil {
+		in.tornWrites = make(map[int]bool)
+	}
+	in.tornWrites[n] = true
+}
+
+// FailNthOpen makes the nth Open call fail.
+func (in *Injector) FailNthOpen(n int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.failOpens == nil {
+		in.failOpens = make(map[int]error)
+	}
+	in.failOpens[n] = orInjected(err)
+}
+
+// FailNthCreate makes the nth Create/CreateTemp call fail.
+func (in *Injector) FailNthCreate(n int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.failCreates == nil {
+		in.failCreates = make(map[int]error)
+	}
+	in.failCreates[n] = orInjected(err)
+}
+
+// FailReadsFrom makes every read call numbered n or later fail — a disk
+// that has gone persistently bad.
+func (in *Injector) FailReadsFrom(n int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.readsFailFrom = n
+	in.fromErr = orInjected(err)
+}
+
+// FailWritesFrom makes every write call numbered n or later fail.
+func (in *Injector) FailWritesFrom(n int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writesFailFrom = n
+	in.fromErr = orInjected(err)
+}
+
+// Counts reports how many read, write, open and create calls the injector
+// has seen.
+func (in *Injector) Counts() (reads, writes, opens, creates int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.reads, in.writes, in.opens, in.creates
+}
+
+func orInjected(err error) error {
+	if err == nil {
+		return ErrInjected
+	}
+	return err
+}
+
+// nextRead advances the read counter and returns the fault for this call.
+func (in *Injector) nextRead() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.reads++
+	if err := in.failReads[in.reads]; err != nil {
+		return err
+	}
+	if in.readsFailFrom > 0 && in.reads >= in.readsFailFrom {
+		return in.fromErr
+	}
+	return nil
+}
+
+// nextWrite advances the write counter and returns (fault, torn).
+func (in *Injector) nextWrite() (error, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writes++
+	if err := in.failWrites[in.writes]; err != nil {
+		return err, false
+	}
+	if in.writesFailFrom > 0 && in.writes >= in.writesFailFrom {
+		return in.fromErr, false
+	}
+	return nil, in.tornWrites[in.writes]
+}
+
+func (in *Injector) nextOpen() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.opens++
+	return in.failOpens[in.opens]
+}
+
+func (in *Injector) nextCreate() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.creates++
+	return in.failCreates[in.creates]
+}
+
+// Open implements FS.
+func (in *Injector) Open(name string) (File, error) {
+	if err := in.nextOpen(); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	f, err := in.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in}, nil
+}
+
+// Create implements FS.
+func (in *Injector) Create(name string) (File, error) {
+	if err := in.nextCreate(); err != nil {
+		return nil, &os.PathError{Op: "create", Path: name, Err: err}
+	}
+	f, err := in.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in}, nil
+}
+
+// CreateTemp implements FS.
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err := in.nextCreate(); err != nil {
+		return nil, &os.PathError{Op: "createtemp", Path: pattern, Err: err}
+	}
+	f, err := in.fs.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in}, nil
+}
+
+// ReadFile implements FS; it counts as one read call.
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if err := in.nextRead(); err != nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: err}
+	}
+	return in.fs.ReadFile(name)
+}
+
+// WriteFile implements FS; it counts as one write call. A torn write
+// persists only the first half of data while reporting success.
+func (in *Injector) WriteFile(name string, data []byte, perm os.FileMode) error {
+	err, torn := in.nextWrite()
+	if err != nil {
+		return &os.PathError{Op: "write", Path: name, Err: err}
+	}
+	if torn {
+		data = data[:len(data)/2]
+	}
+	return in.fs.WriteFile(name, data, perm)
+}
+
+// MkdirAll implements FS.
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	return in.fs.MkdirAll(path, perm)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error { return in.fs.Remove(name) }
+
+// injFile applies the injector's read/write rules to a wrapped file.
+type injFile struct {
+	f  File
+	in *Injector
+}
+
+func (f *injFile) Name() string { return f.f.Name() }
+func (f *injFile) Close() error { return f.f.Close() }
+
+func (f *injFile) Read(p []byte) (int, error) {
+	if err := f.in.nextRead(); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *injFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.in.nextRead(); err != nil {
+		return 0, err
+	}
+	return f.f.ReadAt(p, off)
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	err, torn := f.in.nextWrite()
+	if err != nil {
+		return 0, err
+	}
+	if torn {
+		// Persist half the buffer but report complete success: the
+		// canonical torn write. The file is damaged; only a reader that
+		// verifies (lengths, checksums) will notice.
+		n, werr := f.f.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return len(p), nil
+	}
+	return f.f.Write(p)
+}

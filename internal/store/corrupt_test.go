@@ -1,0 +1,316 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"s2rdf/internal/dict"
+	"s2rdf/internal/fault"
+)
+
+// testTable builds a finalized table whose encoding spans several runs,
+// zone maps and both column kinds (sorted and unsorted).
+func testTable(t *testing.T, rows int) *Table {
+	t.Helper()
+	tbl := NewTable("VP:follows", "s", "o")
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < rows; i++ {
+		tbl.Append(dict.ID(i/4), dict.ID(rng.Intn(rows)))
+	}
+	tbl.Finalize()
+	return tbl
+}
+
+func encodeTable(t *testing.T, tbl *Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := WriteTable(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func sameTable(a, b *Table) bool {
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		return false
+	}
+	for c := range a.Data {
+		if a.Cols[c] != b.Cols[c] {
+			return false
+		}
+		for r := range a.Data[c] {
+			if a.Data[c][r] != b.Data[c][r] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCorruptTableBitFlips is the golden integrity test: flipping any
+// single bit of a persisted table either fails with ErrCorrupt or decodes
+// to exactly the original data (the flip landed in dead space). It must
+// never produce different bindings without an integrity error.
+func TestCorruptTableBitFlips(t *testing.T) {
+	tbl := testTable(t, 3000)
+	enc := encodeTable(t, tbl)
+
+	for off := 0; off < len(enc); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := make([]byte, len(enc))
+			copy(mut, enc)
+			mut[off] ^= 1 << bit
+			got, err := ReadTable(bytes.NewReader(mut))
+			if err == nil {
+				if !sameTable(tbl, got) {
+					t.Fatalf("flip byte %d bit %d: decoded different data with no error", off, bit)
+				}
+				t.Fatalf("flip byte %d bit %d: decoded successfully (checksum missed it)", off, bit)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip byte %d bit %d: error %v does not wrap ErrCorrupt", off, bit, err)
+			}
+		}
+	}
+}
+
+// TestCorruptTableTruncation: every proper prefix of a table file fails
+// with ErrCorrupt — truncation can never pass as a smaller table.
+func TestCorruptTableTruncation(t *testing.T) {
+	enc := encodeTable(t, testTable(t, 2000))
+	for n := 0; n < len(enc); n++ {
+		_, err := ReadTable(bytes.NewReader(enc[:n]))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", n, len(enc))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix of %d bytes: error %v does not wrap ErrCorrupt", n, err)
+		}
+	}
+}
+
+// TestCorruptTableAppendedGarbage: trailing bytes after the terminator are
+// ignored (the reader stops at the terminator chunk).
+func TestCorruptTableIgnoresTrailingBytes(t *testing.T) {
+	tbl := testTable(t, 100)
+	enc := encodeTable(t, tbl)
+	got, err := ReadTable(bytes.NewReader(append(enc, "trailing"...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTable(tbl, got) {
+		t.Fatal("table with trailing bytes decoded differently")
+	}
+}
+
+// writeTableV2 emits the legacy (pre-checksum) v2 encoding, preserved here
+// so compatibility keeps being tested after the writer moved to v3.
+func writeTableV2(t *Table) []byte {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	vbuf := make([]byte, binary.MaxVarintLen64)
+	w.WriteString(magic)
+	writeU32(w, version2)
+	writeU32(w, uint32(len(t.Cols)))
+	writeU64(w, uint64(t.NumRows()))
+	if t.SortCol >= 0 {
+		writeU32(w, uint32(t.SortCol))
+	} else {
+		writeU32(w, noSortCol)
+	}
+	for c, name := range t.Cols {
+		writeU32(w, uint32(len(name)))
+		w.WriteString(name)
+		runs := rleEncode(t.Data[c])
+		writeU64(w, uint64(len(runs)))
+		for _, r := range runs {
+			n := binary.PutUvarint(vbuf, uint64(r.value))
+			w.Write(vbuf[:n])
+			n = binary.PutUvarint(vbuf, uint64(r.length))
+			w.Write(vbuf[:n])
+		}
+		var m ColMeta
+		if c < len(t.Meta) {
+			m = t.Meta[c]
+		}
+		writeU64(w, uint64(m.Distinct))
+		writeU64(w, uint64(len(m.ZoneMin)))
+		for z := range m.ZoneMin {
+			n := binary.PutUvarint(vbuf, uint64(m.ZoneMin[z]))
+			w.Write(vbuf[:n])
+			n = binary.PutUvarint(vbuf, uint64(m.ZoneMax[z]))
+			w.Write(vbuf[:n])
+		}
+	}
+	w.Flush()
+	return buf.Bytes()
+}
+
+// TestCorruptReadsLegacyV2: v2 files (no checksums) written by earlier
+// releases still load, statistics intact.
+func TestCorruptReadsLegacyV2(t *testing.T) {
+	tbl := testTable(t, 500)
+	got, err := ReadTable(bytes.NewReader(writeTableV2(tbl)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTable(tbl, got) {
+		t.Fatal("v2 round trip lost data")
+	}
+	if got.SortCol != tbl.SortCol {
+		t.Fatalf("v2 SortCol = %d, want %d", got.SortCol, tbl.SortCol)
+	}
+	if got.Meta[0].Distinct != tbl.Meta[0].Distinct {
+		t.Fatalf("v2 Distinct = %d, want %d", got.Meta[0].Distinct, tbl.Meta[0].Distinct)
+	}
+}
+
+// TestCorruptManifestChecksum: a bit flip inside the manifest's tables
+// payload is caught eagerly at Open.
+func TestCorruptManifestChecksum(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := testTable(t, 50)
+	if _, err := d.SaveTable(tbl, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "manifest.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a digit inside the stats payload ("rows": ... ) without breaking
+	// JSON syntax: corrupt statistics, valid document.
+	idx := bytes.Index(raw, []byte(`"rows":`))
+	if idx < 0 {
+		t.Fatalf("manifest has no rows field:\n%s", raw)
+	}
+	mut := make([]byte, len(raw))
+	copy(mut, raw)
+	mut[idx+len(`"rows":`)+1] = '9'
+	if bytes.Equal(mut, raw) {
+		mut[idx+len(`"rows":`)+1] = '8'
+	}
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on doctored manifest: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCorruptManifestTruncation: a truncated manifest is invalid JSON and
+// reports ErrCorrupt.
+func TestCorruptManifestTruncation(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SaveTable(testTable(t, 50), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "manifest.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on truncated manifest: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCorruptLegacyManifestLoads: a pre-v3 bare-map manifest still opens.
+func TestCorruptLegacyManifestLoads(t *testing.T) {
+	dir := t.TempDir()
+	legacy := `{"VP:follows": {"name": "VP:follows", "rows": 7, "sf": 1}}`
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := d.Stats("VP:follows"); !ok || st.Rows != 7 {
+		t.Fatalf("legacy stats = %+v, %v", st, ok)
+	}
+}
+
+// TestCorruptTableFileOnDisk: corrupting the persisted .tbl file makes
+// LoadTable report ErrCorrupt — wrong bindings are impossible.
+func TestCorruptTableFileOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := testTable(t, 1000)
+	if _, err := d.SaveTable(tbl, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	path := d.tablePath(tbl.Name)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LoadTable(tbl.Name); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("LoadTable on corrupt file: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFaultStoreIOErrorIsNotCorrupt: an injected disk read failure must
+// pass through as an I/O error, not be misclassified as corruption.
+func TestFaultStoreIOErrorIsNotCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := testTable(t, 1000)
+	if _, err := d.SaveTable(tbl, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	in := fault.NewInjector(fault.OS)
+	in.FailNthRead(2, nil) // manifest ReadFile is read 1; table read 2 fails
+	d2, err := OpenFS(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d2.LoadTable(tbl.Name)
+	if err == nil {
+		t.Fatal("expected injected read error")
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("I/O error misclassified as corruption: %v", err)
+	}
+}

@@ -83,6 +83,7 @@ import (
 	"os"
 
 	"s2rdf/internal/core"
+	"s2rdf/internal/fault"
 	"s2rdf/internal/layout"
 	"s2rdf/internal/rdf"
 )
@@ -146,6 +147,11 @@ type Store struct {
 	ds      *layout.Dataset
 	opts    Options
 	engines map[Mode]*core.Engine
+	// health is the store's fault-health state machine: detected data
+	// corruption fails the store permanently, repeated spill-I/O failures
+	// degrade it, successes heal it. Every mode engine reports its spill
+	// outcomes here; the serving layer gates admission on it.
+	health *fault.Health
 }
 
 // Load builds a store from triples.
@@ -192,7 +198,12 @@ func Open(dir string, opts Options) (*Store, error) {
 func (s *Store) Save(dir string) error { return layout.Save(s.ds, dir) }
 
 func newStore(ds *layout.Dataset, opts Options) *Store {
-	s := &Store{ds: ds, opts: opts, engines: make(map[Mode]*core.Engine)}
+	s := &Store{
+		ds:      ds,
+		opts:    opts,
+		engines: make(map[Mode]*core.Engine),
+		health:  fault.NewHealth(),
+	}
 	var lazy *layout.LazyExtVP
 	if opts.Lazy && !opts.DisableExtVP {
 		lazy = layout.NewLazyExtVP(ds)
@@ -200,12 +211,43 @@ func newStore(ds *layout.Dataset, opts Options) *Store {
 	for _, m := range []Mode{ModeExtVP, ModeVP, ModeTT, ModePT} {
 		e := core.New(ds, m)
 		e.UnifyCorrelations = opts.UnifyCorrelations
+		e.Faults = s.health
 		if m == ModeExtVP {
 			e.Lazy = lazy
 		}
 		s.engines[m] = e
 	}
 	return s
+}
+
+// NewUnavailableStore returns a store whose health is permanently failed
+// with the given reason. It answers no queries usefully (it holds an empty
+// dataset) but keeps its route alive: the serving layer sees the failed
+// health and answers 503 + Retry-After, so one corrupt store directory does
+// not take the process — or its healthy sibling stores — down with it.
+func NewUnavailableStore(reason string) *Store {
+	st := Load(nil, Options{DisableExtVP: true})
+	st.health.Fail(reason)
+	return st
+}
+
+// Health returns the store's current fault-health snapshot: healthy,
+// degraded (repeated spill-I/O failures) or failed (detected corruption).
+// The serving layer refuses queries against failed stores with 503.
+func (s *Store) Health() fault.HealthSnapshot { return s.health.Snapshot() }
+
+// Faults exposes the store's health state machine, so integrity checks
+// outside the query path (store loading, background scrubbing) can feed
+// corruption and I/O signals into the same admission gate.
+func (s *Store) Faults() *fault.Health { return s.health }
+
+// SetFaultFS routes every mode engine's spill-file I/O through fs — the
+// fault-injection seam the chaos tests use. A nil fs selects the real OS
+// filesystem.
+func (s *Store) SetFaultFS(fs fault.FS) {
+	for _, e := range s.engines {
+		e.FS = fs
+	}
 }
 
 // Query executes a SPARQL query in ExtVP mode (or VP when ExtVP was

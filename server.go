@@ -17,9 +17,15 @@ import (
 
 	"s2rdf/internal/core"
 	"s2rdf/internal/engine"
+	"s2rdf/internal/fault"
 	"s2rdf/internal/rdf"
 	"s2rdf/internal/sched"
 )
+
+// failedStoreRetryAfter is the Retry-After a failed (corrupt) store answers
+// with: long enough that well-behaved clients back off meaningfully, short
+// enough that a repaired and restarted store is rediscovered quickly.
+const failedStoreRetryAfter = 30 * time.Second
 
 // ServerOptions configures the HTTP SPARQL endpoint.
 type ServerOptions struct {
@@ -87,6 +93,11 @@ type ServerOptions struct {
 	// flushed, when non-nil, observes every streamed flush with the rows
 	// delivered so far. Test hook.
 	flushed func(rows int)
+	// chaos, when non-nil, may return an extra Yielder for one request
+	// (nil leaves the request alone), composed into its query context.
+	// Test hook: lets the e2e chaos tests panic a chosen request
+	// mid-execution while its neighbours keep streaming.
+	chaos func(r *http.Request) engine.Yielder
 }
 
 // DefaultStreamThreshold is the StreamThreshold used when the options leave
@@ -193,13 +204,63 @@ func NewMux(stores map[string]*Store, defaultStore string, opts ServerOptions) (
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
-		s.handleSPARQL(w, r, s.def)
+		s.serveRecovered(w, r, s.def)
 	})
 	mux.HandleFunc("/sparql/{store}", func(w http.ResponseWriter, r *http.Request) {
-		s.handleSPARQL(w, r, r.PathValue("store"))
+		s.serveRecovered(w, r, r.PathValue("store"))
 	})
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux, nil
+}
+
+// trackingWriter records whether any part of the response reached the wire,
+// so the panic boundary below knows whether a 500 status line can still be
+// written. It forwards Flush so the streaming path keeps working through it.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(p []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(p)
+}
+
+func (t *trackingWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// serveRecovered is the handler-level panic boundary, the last line behind
+// the per-query recovery in core: a panic that still escapes the handler
+// becomes a 500 when no byte has been written yet, and a closed (truncated)
+// connection when the response was already underway — never a crashed
+// process. http.ErrAbortHandler passes through: it is the deliberate
+// mid-stream abort signal and must reach net/http unchanged.
+func (s *sparqlServer) serveRecovered(w http.ResponseWriter, r *http.Request, storeName string) {
+	tw := &trackingWriter{ResponseWriter: w}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		if !tw.wrote {
+			httpError(tw, http.StatusInternalServerError,
+				fmt.Sprintf("internal error: %v", rec))
+			return
+		}
+		panic(http.ErrAbortHandler)
+	}()
+	s.handleSPARQL(tw, r, storeName)
 }
 
 func (s *sparqlServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -217,6 +278,10 @@ func (s *sparqlServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		// SpilledBytes is the total the store's queries have written to
 		// join spill runs since load, across every mode engine.
 		SpilledBytes int64 `json:"spilled_bytes"`
+		// Health is the store's fault-health record: healthy, degraded
+		// (repeated spill-I/O failures) or failed (detected corruption,
+		// refusing queries with 503).
+		Health fault.HealthSnapshot `json:"health"`
 	}
 	doc := struct {
 		Status  string               `json:"status"`
@@ -224,12 +289,19 @@ func (s *sparqlServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Stores  map[string]storeInfo `json:"stores"`
 	}{Status: "ok", Stores: make(map[string]storeInfo, len(s.stores))}
 	for name, st := range s.stores {
+		health := st.Health()
 		doc.Stores[name] = storeInfo{
 			Triples:      st.NumTriples(),
 			Default:      name == s.def,
 			Sched:        s.scheds[name].Stats(),
 			Streaming:    s.streaming[name].Load(),
 			SpilledBytes: st.SpilledBytes(),
+			Health:       health,
+		}
+		// The process answers ok as long as it serves; any unhealthy store
+		// flips the summary status so probes see trouble at a glance.
+		if health.State != fault.Healthy.String() && doc.Status == "ok" {
+			doc.Status = health.State
 		}
 	}
 	doc.Triples = s.stores[s.def].NumTriples()
@@ -319,6 +391,23 @@ func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request, stor
 		sort.Strings(known)
 		httpError(w, http.StatusNotFound,
 			fmt.Sprintf("unknown store %q (stores: %s)", storeName, strings.Join(known, ", ")))
+		return
+	}
+
+	// Every /sparql response reports the store's health, and a failed store
+	// (detected data corruption) refuses admission outright: wrong bindings
+	// must never leave the process, and a 503 with Retry-After tells load
+	// balancers to route around the store while its siblings keep serving.
+	state := st.Faults().State()
+	w.Header().Set("X-S2RDF-Store-Health", state.String())
+	if state == fault.Failed {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(failedStoreRetryAfter)))
+		reason := st.Faults().Reason()
+		if reason == "" {
+			reason = "data corruption detected"
+		}
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("store %q is unavailable: %s", storeName, reason))
 		return
 	}
 
@@ -418,10 +507,16 @@ func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request, stor
 	if s.opts.pacer != nil {
 		yielders = append(yielders, s.opts.pacer)
 	}
+	if s.opts.chaos != nil {
+		if y := s.opts.chaos(r); y != nil {
+			yielders = append(yielders, y)
+		}
+	}
 	switch len(yielders) {
+	case 0:
 	case 1:
 		qctx = engine.WithYielder(ctx, yielders[0])
-	case 2:
+	default:
 		qctx = engine.WithYielder(ctx, yielders)
 	}
 
@@ -430,6 +525,14 @@ func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request, stor
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			setSchedHeaders(w.Header(), sc, class, cost, ticket)
 			writeCtxError(w, err, "during execution")
+			return
+		}
+		if errors.Is(err, core.ErrInternal) {
+			// An operator panic (or other execution-machinery failure)
+			// recovered at the query boundary: the server's fault, not the
+			// request's — 500, and the process keeps serving.
+			setSchedHeaders(w.Header(), sc, class, cost, ticket)
+			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -508,6 +611,13 @@ func (s *sparqlServer) writeStream(w http.ResponseWriter, storeName string, mode
 		res := finish()
 		if streamErr != nil {
 			setSchedHeaders(w.Header(), sc, class, cost, ticket)
+			if errors.Is(streamErr, core.ErrInternal) {
+				// The query panicked before the first byte was written: the
+				// status line can still carry the verdict — 500, while the
+				// process (and every concurrent query) keeps serving.
+				httpError(w, http.StatusInternalServerError, streamErr.Error())
+				return
+			}
 			writeCtxError(w, streamErr, "during execution")
 			return
 		}
