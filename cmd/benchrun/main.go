@@ -29,7 +29,11 @@
 // With -compare OLD.json the basic-workload cells of a previous run (for
 // example the BENCH_baseline.json committed to the repository) are diffed
 // against this run and printed as a delta table, so CI job logs surface
-// scan and allocation regressions without downloading artifacts. A missing
+// scan and allocation regressions without downloading artifacts. The table
+// carries warm-repeat means and cache hit-rate cells (WarmNanos /
+// CacheHitRate in the JSON) next to the cold times, so warm-vs-cold
+// medians — the effect of the memo and result caches — are visible in the
+// same diff. A missing
 // OLD.json is reported and skipped, not fatal: the first run of a new
 // baseline has nothing to compare against.
 package main
@@ -175,16 +179,19 @@ func printDelta(w *os.File, oldPath string, cells []bench.Cell, failAbove float6
 	}
 	fmt.Fprintf(w, "\n=== delta vs %s (basic workload) ===\n", oldPath)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "query\tengine\ttime\tΔtime\tttfr\tallocs\tΔallocs\tscanned\tΔscanned\tpruned")
+	fmt.Fprintln(tw, "query\tengine\ttime\tΔtime\twarm\tΔwarm\thit%\tttfr\tallocs\tΔallocs\tscanned\tΔscanned\tpruned")
 	var regressed []string
 	for _, c := range cells {
 		o, ok := old[[2]string{c.Query, c.Engine}]
 		if !ok || c.Failed || o.Failed {
 			continue
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%v\t%s\t%v\t%d\t%s\t%d\t%s\t%d\n",
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%s\t%v\t%s\t%.0f\t%v\t%d\t%s\t%d\t%s\t%d\n",
 			c.Query, c.Engine, c.Reported.Round(time.Microsecond),
 			pct(int64(o.Reported), int64(c.Reported)),
+			c.Warm.Round(time.Microsecond),
+			pct(int64(o.Warm), int64(c.Warm)),
+			100*c.CacheHitRate,
 			c.TTFR.Round(time.Microsecond),
 			c.Allocs, pct(int64(o.Allocs), int64(c.Allocs)),
 			c.RowsScanned, pct(o.RowsScanned, c.RowsScanned),

@@ -9,7 +9,7 @@
 //	            [-mode ExtVP] [-max-concurrent 8] [-queue-depth 32]
 //	            [-cheap-threshold 1000] [-slice 20ms]
 //	            [-mem-budget N] [-stream-threshold 1024]
-//	            [-timeout 30s] [-drain 30s]
+//	            [-result-cache-bytes N] [-timeout 30s] [-drain 30s]
 //	s2rdf stats -store ./storedir
 //
 // query prints solutions as the engine delivers them (batch streaming);
@@ -70,6 +70,7 @@ func usage() {
               [-mode ExtVP|VP|TT|PT] [-max-concurrent N] [-queue-depth N]
               [-cheap-threshold N] [-slice D] [-pt]
               [-mem-budget BYTES] [-stream-threshold N]
+              [-result-cache-bytes BYTES]
               [-timeout D] [-max-timeout D] [-drain D]
   s2rdf stats -store DIR`)
 	os.Exit(2)
@@ -215,6 +216,8 @@ func cmdQuery(args []string) {
 			res.Sched.Class, cost.Cost(), cost.ScanRows, cost.PeakRows, cost.Patterns)
 		fmt.Printf("# sched: queue wait %v, yields %d\n",
 			res.Sched.QueueWait.Round(time.Microsecond), res.Sched.Yields)
+		fmt.Printf("# stats epoch: %d (result-cache entries for this query key on it)\n",
+			st.Dataset().StatsEpoch())
 		fmt.Println("# plan:")
 		for _, p := range res.Plan {
 			fmt.Printf("#   %-40s -> %s (rows %d, est %d, SF %.2f; scanned %d, pruned %d)\n",
@@ -270,6 +273,7 @@ func cmdServe(args []string) {
 	pt := fs.Bool("pt", false, "also build the property table so mode=PT requests work")
 	memBudget := fs.Int64("mem-budget", 0, "per-query memory budget in bytes; joins past it spill to temp files (0 = unbounded)")
 	streamThreshold := fs.Int("stream-threshold", 0, "rows above which SELECT responses stream incrementally (0 = 1024)")
+	resultCacheBytes := fs.Int64("result-cache-bytes", 0, "per-store full-result cache budget in bytes; hits skip admission and execution, identical concurrent misses coalesce (0 = disabled)")
 	timeout := fs.Duration("timeout", 0, "default per-query deadline (0 = none); requests may override with ?timeout=")
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on per-query deadlines, including client-requested ones (0 = no cap)")
 	drainT := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight queries on SIGINT/SIGTERM")
@@ -316,15 +320,16 @@ func cmdServe(args []string) {
 		*maxConcurrent = *workers
 	}
 	h, err := s2rdf.NewMux(stores, s2rdf.DefaultStoreName, s2rdf.ServerOptions{
-		Mode:            m,
-		MaxConcurrent:   *maxConcurrent,
-		QueueDepth:      *queueDepth,
-		CheapThreshold:  *cheapThreshold,
-		Slice:           *slice,
-		DefaultTimeout:  *timeout,
-		MaxTimeout:      *maxTimeout,
-		MemBudget:       *memBudget,
-		StreamThreshold: *streamThreshold,
+		Mode:             m,
+		MaxConcurrent:    *maxConcurrent,
+		QueueDepth:       *queueDepth,
+		CheapThreshold:   *cheapThreshold,
+		Slice:            *slice,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		MemBudget:        *memBudget,
+		StreamThreshold:  *streamThreshold,
+		ResultCacheBytes: *resultCacheBytes,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -75,6 +75,10 @@ type RunStats struct {
 	// PeakMem is the peak accounted intermediate state in bytes
 	// (0 for systems that do not meter it).
 	PeakMem int64
+	// Cached reports whether the engine answered the query through its
+	// plan cache (false for systems that do not meter it); the warm-run
+	// hit-rate cells aggregate it.
+	Cached bool
 }
 
 // Engine is a uniform wrapper over all compared systems.
@@ -159,6 +163,7 @@ func NewWorkbench(cfg Config) (*Workbench, error) {
 				Rows: res.Len(), Wall: res.Duration, Reported: res.Duration,
 				Scanned: res.Metrics.RowsScanned, Pruned: res.Metrics.RowsPruned,
 				TTFR: res.TimeToFirstRow, PeakMem: res.PeakMemBytes,
+				Cached: res.PlanCached,
 			}, nil
 		}}
 	}
@@ -268,6 +273,14 @@ type Cell struct {
 	// them.
 	TTFR    time.Duration `json:"TTFRNanos"`
 	PeakMem int64         `json:"PeakMemBytes"`
+	// Warm is the mean reported time of re-running the same instantiations
+	// immediately after the measured runs, when every memo layer the
+	// serving stack relies on (plan cache, selection cache, lazily counted
+	// ExtVP reductions) is hot; CacheHitRate is the fraction of those warm
+	// repeats the engine answered through its plan cache. Together they
+	// make warm-vs-cold medians visible in the -compare delta table.
+	Warm         time.Duration `json:"WarmNanos"`
+	CacheHitRate float64       `json:"CacheHitRate"`
 }
 
 // allocDelta runs fn and returns the process-wide heap allocation deltas
@@ -336,6 +349,24 @@ func (wb *Workbench) RunWorkload(templates []watdiv.Template) []Cell {
 				cell.RowsPruned = pruned / int64(n)
 				cell.TTFR = ttfr / time.Duration(len(queries))
 				cell.PeakMem = peak / int64(n)
+				// Warm repeats: the same instantiations again, now that the
+				// engine's memo layers have seen them.
+				var warm time.Duration
+				hits := 0
+				for _, src := range queries {
+					st, err := runWithTimeout(wb.Cfg.Timeout,
+						func() (RunStats, error) { return eng.Run(src) })
+					if err != nil || st.Reported == timedOut {
+						warm, hits = 0, 0
+						break
+					}
+					warm += st.Reported
+					if st.Cached {
+						hits++
+					}
+				}
+				cell.Warm = warm / time.Duration(len(queries))
+				cell.CacheHitRate = float64(hits) / float64(len(queries))
 			}
 			cells = append(cells, cell)
 		}

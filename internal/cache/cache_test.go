@@ -1,0 +1,297 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func key(q string, epoch int64) Key {
+	return Key{Store: "default", Mode: "ExtVP", Query: q, Epoch: epoch}
+}
+
+func entry(body string) *Entry {
+	return &Entry{Body: []byte(body), Rows: 1}
+}
+
+// TestCacheLRUByteAccounting checks that the byte budget evicts least
+// recently used entries and that a Get refreshes recency.
+func TestCacheLRUByteAccounting(t *testing.T) {
+	// Room for roughly three small entries (each ~ entryOverhead + a few
+	// bytes of body and query text).
+	c := New(3*entryOverhead+100, entryOverhead+50)
+	if !c.Put(key("a", 1), entry("aaaa")) {
+		t.Fatal("put a rejected")
+	}
+	if !c.Put(key("b", 1), entry("bbbb")) {
+		t.Fatal("put b rejected")
+	}
+	if !c.Put(key("c", 1), entry("cccc")) {
+		t.Fatal("put c rejected")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// Touch "a" so "b" is now the LRU entry, then insert "d" to evict it.
+	if _, ok := c.Get(key("a", 1)); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	if !c.Put(key("d", 1), entry("dddd")) {
+		t.Fatal("put d rejected")
+	}
+	if _, ok := c.Get(key("b", 1)); ok {
+		t.Fatal("b survived past the byte budget (should have been the LRU victim)")
+	}
+	for _, q := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(key(q, 1)); !ok {
+			t.Fatalf("%s missing after eviction of b", q)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions counted")
+	}
+	if st.Bytes > st.Capacity {
+		t.Fatalf("bytes %d over capacity %d", st.Bytes, st.Capacity)
+	}
+	if st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", st.Entries)
+	}
+}
+
+// TestCacheEpochSweep checks that observing a newer epoch drops all older
+// entries and that a stale-epoch Put is refused.
+func TestCacheEpochSweep(t *testing.T) {
+	c := New(1<<20, 0)
+	c.Put(key("a", 1), entry("a"))
+	c.Put(key("b", 1), entry("b"))
+	// A lookup at epoch 2 must miss AND sweep both epoch-1 entries.
+	if _, ok := c.Get(key("a", 2)); ok {
+		t.Fatal("stale entry served under a newer epoch key")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after epoch sweep, want 0", c.Len())
+	}
+	if got := c.Stats().Swept; got != 2 {
+		t.Fatalf("Swept = %d, want 2", got)
+	}
+	// A result produced under the superseded epoch must not be published.
+	if c.Put(key("c", 1), entry("c")) {
+		t.Fatal("stale-epoch Put admitted")
+	}
+	if !c.Put(key("c", 2), entry("c")) {
+		t.Fatal("current-epoch Put rejected")
+	}
+}
+
+// TestCacheOversizeRejected checks the per-entry cap: one oversized result
+// cannot flush the whole cache, and the rejection is counted.
+func TestCacheOversizeRejected(t *testing.T) {
+	c := New(1<<20, 600)
+	if c.Put(key("big", 1), entry(string(make([]byte, 1024)))) {
+		t.Fatal("oversized entry admitted")
+	}
+	c.NoteRejected()
+	if got := c.Stats().Rejected; got != 2 {
+		t.Fatalf("Rejected = %d, want 2", got)
+	}
+	if !c.Put(key("small", 1), entry("ok")) {
+		t.Fatal("small entry rejected")
+	}
+}
+
+// TestCacheDisabled checks every method is safe on the nil (disabled) cache.
+func TestCacheDisabled(t *testing.T) {
+	c := New(0, 0)
+	if c != nil {
+		t.Fatal("capacity 0 should return the nil cache")
+	}
+	if _, ok := c.Get(key("a", 1)); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.Put(key("a", 1), entry("a")) {
+		t.Fatal("nil cache admitted an entry")
+	}
+	c.NoteRejected()
+	if c.Len() != 0 || c.MaxEntry() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache reported non-zero state")
+	}
+}
+
+// TestSingleFlightLeaderFollower checks the happy path: the leader's header
+// and chunks replay to a follower byte-for-byte, and the group's counters
+// record the coalescing.
+func TestSingleFlightLeaderFollower(t *testing.T) {
+	g := NewFlightGroup()
+	k := key("q", 1)
+	f, leader := g.Join(k)
+	if !leader {
+		t.Fatal("first join was not the leader")
+	}
+	f2, leader2 := g.Join(k)
+	if leader2 || f2 != f {
+		t.Fatal("second join did not coalesce onto the first flight")
+	}
+
+	var got []byte
+	var gotHdr map[string][]string
+	done := make(chan error, 1)
+	go func() {
+		ctx := context.Background()
+		h, err := f2.AwaitHeader(ctx)
+		if err != nil {
+			done <- err
+			return
+		}
+		gotHdr = h
+		off := 0
+		for {
+			chunk, fin, err := f2.Read(ctx, off)
+			if err != nil {
+				done <- err
+				return
+			}
+			got = append(got, chunk...)
+			off += len(chunk)
+			if fin {
+				done <- nil
+				return
+			}
+		}
+	}()
+
+	f.SetHeader(map[string][]string{"Content-Type": {"application/json"}})
+	f.Write([]byte("hello "))
+	f.Write([]byte("world"))
+	g.Complete(f, nil)
+
+	if err := <-done; err != nil {
+		t.Fatalf("follower error: %v", err)
+	}
+	if !bytes.Equal(got, []byte("hello world")) {
+		t.Fatalf("follower body = %q", got)
+	}
+	if gotHdr["Content-Type"][0] != "application/json" {
+		t.Fatalf("follower header = %v", gotHdr)
+	}
+	coalesced, waiting := g.Stats()
+	if coalesced != 1 || waiting != 0 {
+		t.Fatalf("stats = (%d, %d), want (1, 0)", coalesced, waiting)
+	}
+	// The completed flight left the group: the next join leads again.
+	if _, lead := g.Join(k); !lead {
+		t.Fatal("join after Complete did not lead")
+	}
+}
+
+// TestSingleFlightAbort checks the failure contracts: a Close with an error
+// surfaces it to followers, and a "successful" Close without a header (the
+// leader unwound before producing a body) becomes ErrFlightAborted.
+func TestSingleFlightAbort(t *testing.T) {
+	g := NewFlightGroup()
+	f, _ := g.Join(key("a", 1))
+	boom := errors.New("boom")
+	g.Complete(f, boom)
+	if _, err := f.AwaitHeader(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("AwaitHeader err = %v, want boom", err)
+	}
+
+	f2, _ := g.Join(key("b", 1))
+	g.Complete(f2, nil) // no header was ever published
+	if _, err := f2.AwaitHeader(context.Background()); !errors.Is(err, ErrFlightAborted) {
+		t.Fatalf("AwaitHeader err = %v, want ErrFlightAborted", err)
+	}
+
+	// Mid-body failure: the follower sees the bytes then the error.
+	f3, _ := g.Join(key("c", 1))
+	f3.SetHeader(map[string][]string{})
+	f3.Write([]byte("partial"))
+	g.Complete(f3, boom)
+	chunk, fin, err := f3.Read(context.Background(), 0)
+	if string(chunk) != "partial" || fin || !errors.Is(err, boom) {
+		t.Fatalf("Read = (%q, %v, %v), want (partial, false, boom)", chunk, fin, err)
+	}
+}
+
+// TestSingleFlightFollowerContext checks a follower's own cancellation
+// unblocks it without touching the flight.
+func TestSingleFlightFollowerContext(t *testing.T) {
+	g := NewFlightGroup()
+	f, _ := g.Join(key("q", 1))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := f.AwaitHeader(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AwaitHeader err = %v, want deadline", err)
+	}
+	// The flight itself is untouched: a later follower still works.
+	f.SetHeader(map[string][]string{})
+	f.Write([]byte("x"))
+	g.Complete(f, nil)
+	if chunk, fin, err := f.Read(context.Background(), 0); string(chunk) != "x" || !fin || err != nil {
+		t.Fatalf("Read = (%q, %v, %v), want (x, true, nil)", chunk, fin, err)
+	}
+}
+
+// TestSingleFlightConcurrentFollowers hammers one flight with many
+// followers while the leader streams, for the race detector's benefit.
+func TestSingleFlightConcurrentFollowers(t *testing.T) {
+	g := NewFlightGroup()
+	f, _ := g.Join(key("q", 1))
+	const followers = 8
+	const chunks = 50
+
+	var want bytes.Buffer
+	for i := 0; i < chunks; i++ {
+		fmt.Fprintf(&want, "chunk-%03d;", i)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			if _, err := f.AwaitHeader(ctx); err != nil {
+				errs <- err
+				return
+			}
+			var got []byte
+			off := 0
+			for {
+				chunk, fin, err := f.Read(ctx, off)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got = append(got, chunk...)
+				off += len(chunk)
+				if fin {
+					break
+				}
+			}
+			if !bytes.Equal(got, want.Bytes()) {
+				errs <- fmt.Errorf("follower body diverged: %d vs %d bytes", len(got), want.Len())
+				return
+			}
+			errs <- nil
+		}()
+	}
+
+	f.SetHeader(map[string][]string{})
+	for i := 0; i < chunks; i++ {
+		f.Write([]byte(fmt.Sprintf("chunk-%03d;", i)))
+	}
+	g.Complete(f, nil)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrFlightAborted is the error a Flight finishes with when its leader
+// unwound without producing a response body (parse error, admission
+// rejection, pre-first-byte deadline, panic). Followers that have written
+// nothing fall back to executing the query themselves.
+var ErrFlightAborted = errors.New("cache: in-flight execution aborted before producing a result")
+
+// FlightGroup coalesces concurrent identical queries (same Key) onto one
+// execution. The first request to Join a key becomes the leader: it runs
+// the query normally and tees its serialized response into the Flight.
+// Every later request joining before the leader finishes becomes a
+// follower: it streams the leader's bytes as they are produced, occupying
+// no scheduler slot and executing nothing — a thundering herd of N
+// identical cache misses costs one slot, one execution, one cache fill.
+type FlightGroup struct {
+	mu      sync.Mutex
+	flights map[Key]*Flight
+
+	coalesced atomic.Int64
+	waiting   atomic.Int64
+}
+
+// NewFlightGroup returns an empty group.
+func NewFlightGroup() *FlightGroup {
+	return &FlightGroup{flights: make(map[Key]*Flight)}
+}
+
+// Join returns the flight for k, creating it if absent. leader reports
+// whether the caller created it: a leader must execute the query, tee its
+// response into the flight, and end it with exactly one Close (directly or
+// via Complete); a follower must only read.
+func (g *FlightGroup) Join(k Key) (f *Flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[k]; ok {
+		f.followers.Add(1)
+		g.coalesced.Add(1)
+		return f, false
+	}
+	f = &Flight{g: g, key: k, notify: make(chan struct{})}
+	g.flights[k] = f
+	return f, true
+}
+
+// Complete ends a leader's flight: the flight leaves the group (later
+// requests start fresh — by then the result cache holds the body, when the
+// fill policy admitted it) and is closed with err so blocked followers
+// wake. Idempotent via Flight.Close.
+func (g *FlightGroup) Complete(f *Flight, err error) {
+	g.mu.Lock()
+	if g.flights[f.key] == f {
+		delete(g.flights, f.key)
+	}
+	g.mu.Unlock()
+	f.Close(err)
+}
+
+// Stats reports the group's counters: requests coalesced onto another
+// request's execution (monotonic) and followers currently blocked.
+func (g *FlightGroup) Stats() (coalesced int64, waiting int) {
+	return g.coalesced.Load(), int(g.waiting.Load())
+}
+
+// Flight is one in-flight execution shared between a leader and its
+// followers. The leader appends the response — header snapshot first, then
+// body chunks at flush granularity — and followers replay it concurrently,
+// each at its own pace.
+type Flight struct {
+	g   *FlightGroup
+	key Key
+
+	mu     sync.Mutex
+	header map[string][]string // nil until the leader commits to a 200 body
+	body   []byte
+	done   bool
+	err    error
+	notify chan struct{} // closed and replaced on every state change
+
+	followers atomic.Int64
+}
+
+// Followers reports how many requests joined this flight.
+func (f *Flight) Followers() int { return int(f.followers.Load()) }
+
+// broadcastLocked wakes every waiter. Caller holds f.mu.
+func (f *Flight) broadcastLocked() {
+	close(f.notify)
+	f.notify = make(chan struct{})
+}
+
+// SetHeader publishes the leader's response headers, committing the flight
+// to a 200 response whose body follows via Write. Must be called before the
+// first Write.
+func (f *Flight) SetHeader(h map[string][]string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done || f.header != nil {
+		return
+	}
+	f.header = h
+	f.broadcastLocked()
+}
+
+// Write appends one body chunk (copied; the caller may reuse p).
+func (f *Flight) Write(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return
+	}
+	f.body = append(f.body, p...)
+	f.broadcastLocked()
+}
+
+// Close ends the flight: err == nil marks the body complete, a non-nil err
+// marks it truncated (followers that already streamed bytes abort their
+// connections; followers still waiting for the header fall back to
+// executing). Idempotent; the first call wins.
+func (f *Flight) Close(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return
+	}
+	f.done = true
+	if err == nil && f.header == nil {
+		// A "successful" close without a published header means the leader
+		// never produced a body (e.g. a 4xx response): followers must not
+		// wait forever for one.
+		err = ErrFlightAborted
+	}
+	f.err = err
+	f.broadcastLocked()
+}
+
+// AwaitHeader blocks until the leader publishes its header snapshot,
+// returning it, or returns the flight's error (ErrFlightAborted when the
+// leader unwound without a body) or ctx.Err(). A nil error guarantees a
+// non-nil header.
+func (f *Flight) AwaitHeader(ctx context.Context) (map[string][]string, error) {
+	f.g.waiting.Add(1)
+	defer f.g.waiting.Add(-1)
+	for {
+		f.mu.Lock()
+		h, done, err := f.header, f.done, f.err
+		wait := f.notify
+		f.mu.Unlock()
+		if h != nil {
+			return h, nil
+		}
+		if done {
+			if err == nil {
+				err = ErrFlightAborted
+			}
+			return nil, err
+		}
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Read returns body bytes past off, blocking while none are available and
+// the flight is still producing. done reports a complete body (the returned
+// chunk, possibly empty, is its tail); a non-nil err means the body is a
+// truncation. The returned slice aliases the flight's buffer and must not
+// be modified.
+func (f *Flight) Read(ctx context.Context, off int) (chunk []byte, done bool, err error) {
+	f.g.waiting.Add(1)
+	defer f.g.waiting.Add(-1)
+	for {
+		f.mu.Lock()
+		var avail []byte
+		if off < len(f.body) {
+			avail = f.body[off:]
+		}
+		fDone, fErr := f.done, f.err
+		wait := f.notify
+		f.mu.Unlock()
+		if len(avail) > 0 || fDone {
+			return avail, fDone && fErr == nil, fErr
+		}
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}

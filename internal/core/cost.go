@@ -58,7 +58,14 @@ func (c CostEstimate) Cost() int {
 // the serving layer rejects malformed queries before they ever occupy a
 // queue slot.
 func (e *Engine) EstimateCost(src string) (CostEstimate, error) {
-	q, cached, err := e.parseCached(src)
+	return e.EstimateCostNorm(src, "")
+}
+
+// EstimateCostNorm is EstimateCost with the normalized query text
+// precomputed by the caller (empty means compute it here); see
+// parseCachedNorm.
+func (e *Engine) EstimateCostNorm(src, norm string) (CostEstimate, error) {
+	q, cached, err := e.parseCachedNorm(src, norm)
 	if err != nil {
 		return CostEstimate{}, err
 	}

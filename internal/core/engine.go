@@ -258,23 +258,35 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) 
 // front of QueryContext and EstimateCost, so estimating a query's cost
 // warms the same cache entry its execution will hit.
 func (e *Engine) parseCached(src string) (q *sparql.Query, cached bool, err error) {
+	return e.parseCachedNorm(src, "")
+}
+
+// parseCachedNorm is parseCached with the normalized query text precomputed
+// by the caller (empty means unknown). A caller that already normalized src
+// — the serving layer does, once per request, for its result-cache and
+// single-flight keys — skips both the raw-alias probe and a second
+// NormalizeQuery here.
+func (e *Engine) parseCachedNorm(src, norm string) (q *sparql.Query, cached bool, err error) {
 	if e.Plans == nil {
 		q, err = sparql.Parse(src)
 		return q, false, err
 	}
-	q, cached = e.Plans.getRaw(src)
-	if !cached {
-		key := NormalizeQuery(src)
-		q, cached = e.Plans.get(key)
-		if !cached {
-			q, err = sparql.Parse(src)
-			if err != nil {
-				return nil, false, err
-			}
-			e.Plans.put(key, q)
+	if norm == "" {
+		q, cached = e.Plans.getRaw(src)
+		if cached {
+			return q, true, nil
 		}
-		e.Plans.alias(src, key)
+		norm = NormalizeQuery(src)
 	}
+	q, cached = e.Plans.get(norm)
+	if !cached {
+		q, err = sparql.Parse(src)
+		if err != nil {
+			return nil, false, err
+		}
+		e.Plans.put(norm, q)
+	}
+	e.Plans.alias(src, norm)
 	return q, cached, nil
 }
 

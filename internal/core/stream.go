@@ -31,7 +31,15 @@ type Stream struct {
 // QueryStream parses src (through the plan cache) and starts executing it,
 // returning the stream of its solutions. See ExecStream.
 func (e *Engine) QueryStream(ctx context.Context, src string) (*Stream, error) {
-	q, cached, err := e.parseCached(src)
+	return e.QueryStreamNorm(ctx, src, "")
+}
+
+// QueryStreamNorm is QueryStream with the normalized query text precomputed
+// by the caller (empty means compute it here): serving layers that already
+// normalized the request once — for the result-cache and single-flight keys
+// — reuse that work for the plan-cache key instead of normalizing again.
+func (e *Engine) QueryStreamNorm(ctx context.Context, src, norm string) (*Stream, error) {
+	q, cached, err := e.parseCachedNorm(src, norm)
 	if err != nil {
 		return nil, err
 	}
@@ -165,25 +173,58 @@ func (s *Stream) Next() (batch [][]rdf.Term, err error) {
 			recoverAsError(r, &err)
 		}
 	}()
-	b, ok := s.it.Next()
-	if !ok {
-		s.done = true
-		return nil, s.ex.Err()
+	rows, err := s.nextRows()
+	if rows == nil || err != nil {
+		return nil, err
 	}
 	d := s.e.DS.Dict
-	n := b.Len()
-	arity := b.Arity()
-	out := make([][]rdf.Term, n)
-	row := make(engine.Row, arity)
-	for i := 0; i < n; i++ {
-		b.CopyRow(row, i)
-		terms := make([]rdf.Term, arity)
+	out := make([][]rdf.Term, len(rows))
+	for i, row := range rows {
+		terms := make([]rdf.Term, len(row))
 		for j, id := range row {
 			if id != engine.Null {
 				terms[j] = d.Decode(id)
 			}
 		}
 		out[i] = terms
+	}
+	return out, nil
+}
+
+// NextRaw is Next without binding decode: the next batch of solutions as
+// rows of dictionary IDs (engine.Null marks an unbound variable), or nil
+// when the stream is exhausted. Consumers that serialize terms through the
+// dictionary's memoized renderings (dict.TermJSON) skip the per-row Decode
+// round trip entirely. Error and panic-isolation semantics match Next.
+func (s *Stream) NextRaw() (batch []engine.Row, err error) {
+	if s.done {
+		return nil, nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.done = true
+			batch = nil
+			recoverAsError(r, &err)
+		}
+	}()
+	return s.nextRows()
+}
+
+// nextRows fetches and copies out the next engine batch, stamping
+// time-to-first-row. Callers own the recover boundary.
+func (s *Stream) nextRows() ([]engine.Row, error) {
+	b, ok := s.it.Next()
+	if !ok {
+		s.done = true
+		return nil, s.ex.Err()
+	}
+	n := b.Len()
+	arity := b.Arity()
+	out := make([]engine.Row, n)
+	for i := 0; i < n; i++ {
+		row := make(engine.Row, arity)
+		b.CopyRow(row, i)
+		out[i] = row
 	}
 	if s.ttfr == 0 && n > 0 {
 		s.ttfr = time.Since(s.start)

@@ -6,6 +6,7 @@ package dict
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -25,6 +26,14 @@ type Dict struct {
 	mu    sync.RWMutex
 	ids   map[rdf.Term]ID
 	terms []rdf.Term
+
+	// jsonTerms memoizes TermJSON renderings. IDs are stable for the
+	// dictionary's lifetime and the rendering is a pure function of the
+	// term, so each slot is computed at most a handful of times (benign
+	// races recompute identical bytes) and then reused by every query that
+	// streams the term — the serving layer's term-render cache (tier 3).
+	jsonMu    sync.RWMutex
+	jsonTerms [][]byte
 }
 
 // New returns an empty dictionary.
@@ -114,6 +123,64 @@ func Load(r io.Reader) (*Dict, error) {
 		return nil, err
 	}
 	return d, nil
+}
+
+// TermJSON returns the term's SPARQL 1.1 JSON results object — e.g.
+// {"type":"uri","value":"http://…"} — as pre-serialized bytes, memoized per
+// ID. Streaming result encoders concatenate these instead of re-escaping
+// the same IRIs and literals on every row, which speeds every query whose
+// result repeats terms (joins repeat them by construction). The returned
+// slice is shared and must not be modified.
+func (d *Dict) TermJSON(id ID) []byte {
+	d.jsonMu.RLock()
+	if int(id) < len(d.jsonTerms) {
+		if b := d.jsonTerms[id]; b != nil {
+			d.jsonMu.RUnlock()
+			return b
+		}
+	}
+	d.jsonMu.RUnlock()
+	b := RenderTermJSON(d.Decode(id))
+	d.jsonMu.Lock()
+	if int(id) >= len(d.jsonTerms) {
+		grown := make([][]byte, d.Len())
+		copy(grown, d.jsonTerms)
+		d.jsonTerms = grown
+	}
+	d.jsonTerms[id] = b
+	d.jsonMu.Unlock()
+	return b
+}
+
+// RenderTermJSON serializes one term's SPARQL-JSON object without the memo
+// — the uncached rendering TermJSON amortizes (exported so benchmarks can
+// measure the memo's win directly).
+func RenderTermJSON(t rdf.Term) []byte {
+	appendStr := func(dst []byte, s string) []byte {
+		q, _ := json.Marshal(s)
+		return append(dst, q...)
+	}
+	b := make([]byte, 0, len(t)+32)
+	switch {
+	case t.IsIRI():
+		b = append(b, `{"type":"uri","value":`...)
+		b = appendStr(b, t.Value())
+	case t.IsBlank():
+		b = append(b, `{"type":"bnode","value":`...)
+		b = appendStr(b, t.Value())
+	default:
+		b = append(b, `{"type":"literal","value":`...)
+		b = appendStr(b, t.Value())
+		if dt := t.Datatype(); dt != "" {
+			b = append(b, `,"datatype":`...)
+			b = appendStr(b, dt)
+		}
+		if lang := t.Lang(); lang != "" {
+			b = append(b, `,"xml:lang":`...)
+			b = appendStr(b, lang)
+		}
+	}
+	return append(b, '}')
 }
 
 // SortedIDs returns the given IDs sorted by their decoded term text. Used to

@@ -1,0 +1,136 @@
+package dict
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"s2rdf/internal/rdf"
+)
+
+// TestRenderTermJSON checks the SPARQL-JSON term objects for every term
+// kind, decoding them back through encoding/json so escaping is validated
+// against the standard library, not against a second hand-rolled parser.
+func TestRenderTermJSON(t *testing.T) {
+	cases := []struct {
+		term rdf.Term
+		want map[string]string
+	}{
+		{rdf.NewIRI("http://example.org/a"), map[string]string{"type": "uri", "value": "http://example.org/a"}},
+		{rdf.NewBlank("b0"), map[string]string{"type": "bnode", "value": "b0"}},
+		// Plain literals carry the implicit xsd:string datatype, exactly as
+		// the serving layer has always rendered them.
+		{rdf.NewLiteral("plain"), map[string]string{"type": "literal", "value": "plain", "datatype": rdf.XSDString}},
+		{rdf.NewLiteral(`quote " backslash \ newline` + "\n"), map[string]string{"type": "literal", "value": `quote " backslash \ newline` + "\n", "datatype": rdf.XSDString}},
+		{rdf.NewLangLiteral("bonjour", "fr"), map[string]string{"type": "literal", "value": "bonjour", "datatype": rdf.XSDString, "xml:lang": "fr"}},
+		{rdf.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"), map[string]string{"type": "literal", "value": "42", "datatype": "http://www.w3.org/2001/XMLSchema#integer"}},
+		{rdf.NewLiteral("héllo ☃"), map[string]string{"type": "literal", "value": "héllo ☃", "datatype": rdf.XSDString}},
+	}
+	for _, c := range cases {
+		b := RenderTermJSON(c.term)
+		var got map[string]string
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("%s rendered invalid JSON %q: %v", c.term, b, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("%s -> %q, want fields %v", c.term, b, c.want)
+		}
+		for k, v := range c.want {
+			if got[k] != v {
+				t.Fatalf("%s -> %q: field %q = %q, want %q", c.term, b, k, got[k], v)
+			}
+		}
+	}
+}
+
+// TestTermJSONMemo checks the memo returns the identical pre-rendered slice
+// on repeat lookups and that it matches the uncached rendering.
+func TestTermJSONMemo(t *testing.T) {
+	d := New()
+	id := d.Encode(rdf.NewIRI("http://example.org/x"))
+	first := d.TermJSON(id)
+	second := d.TermJSON(id)
+	if &first[0] != &second[0] {
+		t.Fatal("repeat TermJSON did not return the memoized slice")
+	}
+	if want := RenderTermJSON(d.Decode(id)); !bytes.Equal(first, want) {
+		t.Fatalf("TermJSON = %q, want %q", first, want)
+	}
+}
+
+// TestTermJSONConcurrent renders many IDs from many goroutines while new
+// terms are still being encoded, for the race detector's benefit.
+func TestTermJSONConcurrent(t *testing.T) {
+	d := New()
+	const terms = 200
+	ids := make([]ID, terms)
+	for i := range ids {
+		ids[i] = d.Encode(rdf.NewIRI(fmt.Sprintf("http://t/%d", i)))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range ids {
+				b := d.TermJSON(ids[(i+g*13)%terms])
+				if len(b) == 0 {
+					t.Error("empty rendering")
+					return
+				}
+			}
+			// Interleave fresh encodes so the memo grows under load.
+			d.Encode(rdf.NewIRI(fmt.Sprintf("http://fresh/%d", g)))
+		}(g)
+	}
+	wg.Wait()
+}
+
+// benchDict builds a dictionary with a spread of term kinds, mirroring
+// what a result serializer renders.
+func benchDict(n int) (*Dict, []ID) {
+	d := New()
+	ids := make([]ID, 0, n)
+	for i := 0; i < n; i++ {
+		var t rdf.Term
+		switch i % 3 {
+		case 0:
+			t = rdf.NewIRI(fmt.Sprintf("http://db.uwaterloo.ca/~galuc/wsdbm/Product%d", i))
+		case 1:
+			t = rdf.NewLiteral(fmt.Sprintf("review body %d with some text", i))
+		default:
+			t = rdf.NewTypedLiteral(fmt.Sprintf("%d", i), "http://www.w3.org/2001/XMLSchema#integer")
+		}
+		ids = append(ids, d.Encode(t))
+	}
+	return d, ids
+}
+
+// BenchmarkTermRenderUncached renders every term from scratch on each
+// lookup — what the serializer paid before the memo existed.
+func BenchmarkTermRenderUncached(b *testing.B) {
+	d, ids := benchDict(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(RenderTermJSON(d.Decode(ids[i%len(ids)]))) == 0 {
+			b.Fatal("empty rendering")
+		}
+	}
+}
+
+// BenchmarkTermRenderMemo hits the per-dictionary memo: decode + marshal
+// are paid once per distinct term for the store's lifetime.
+func BenchmarkTermRenderMemo(b *testing.B) {
+	d, ids := benchDict(1024)
+	for _, id := range ids {
+		d.TermJSON(id) // prime
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(d.TermJSON(ids[i%len(ids)])) == 0 {
+			b.Fatal("empty rendering")
+		}
+	}
+}

@@ -139,11 +139,23 @@ type Ticket struct {
 }
 
 // QueueWait reports the total time the ticket has spent waiting for a slot
-// (initial admission plus any re-enqueues after yielding).
-func (t *Ticket) QueueWait() time.Duration { return t.waited }
+// (initial admission plus any re-enqueues after yielding). It takes the
+// scheduler lock: the owner may ask while the ticket is still re-queued
+// from a yield (its query died waiting), racing a concurrent grant that
+// folds the current wait into the total.
+func (t *Ticket) QueueWait() time.Duration {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.waited
+}
 
 // Yields reports how many times the ticket gave up its slot and re-queued.
-func (t *Ticket) Yields() int { return t.yields }
+// Locked for the same reason as QueueWait.
+func (t *Ticket) Yields() int {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.yields
+}
 
 // Class reports which lane admitted the ticket.
 func (t *Ticket) Class() Class {

@@ -309,6 +309,33 @@ func (s *Store) SpilledBytes() int64 {
 	return n
 }
 
+// CacheCounters is one memo cache's hit/miss record, summed across a
+// store's mode engines; surfaced per store in the healthz document.
+type CacheCounters struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// CacheCounters reports the store's plan-cache and selection-cache totals
+// across every mode engine. The per-query X-S2RDF-Plan-Cache and
+// X-S2RDF-Selection-Cache headers carry the same information one request
+// at a time; these are the running sums an operator watches.
+func (s *Store) CacheCounters() (plan, sel CacheCounters) {
+	for _, e := range s.engines {
+		if e.Plans != nil {
+			h, m := e.Plans.Stats()
+			plan.Hits += h
+			plan.Misses += m
+		}
+		if e.Selections != nil {
+			h, m := e.Selections.Stats()
+			sel.Hits += h
+			sel.Misses += m
+		}
+	}
+	return plan, sel
+}
+
 // Dataset exposes the loaded layouts and statistics.
 func (s *Store) Dataset() *layout.Dataset { return s.ds }
 

@@ -15,7 +15,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"s2rdf/internal/cache"
 	"s2rdf/internal/core"
+	"s2rdf/internal/dict"
 	"s2rdf/internal/engine"
 	"s2rdf/internal/fault"
 	"s2rdf/internal/rdf"
@@ -84,6 +86,18 @@ type ServerOptions struct {
 	MemBudget int64
 	// SpillDir hosts the spill runs; empty selects the OS temp directory.
 	SpillDir string
+	// ResultCacheBytes enables the full-result cache: each store keeps a
+	// byte-accounted LRU of this capacity mapping (mode, normalized query,
+	// StatsEpoch) to the pre-serialized response body plus its header
+	// snapshot. Hits are served before the cost gate — no admission, no
+	// queueing, no execution — with X-S2RDF-Cache: hit; concurrent
+	// identical misses coalesce onto one execution (single-flight). Only
+	// expensive-class results whose body fits the per-entry cap (an eighth
+	// of the budget) are cached, so point lookups don't churn the LRU. The
+	// epoch in the key makes the existing statistics-epoch bump invalidate
+	// every stale entry for free. 0 (the default) disables the cache and
+	// the single-flight coalescing that rides on it.
+	ResultCacheBytes int64
 
 	// pacer, when non-nil, is composed into every query context as an
 	// extra engine.Yielder, called at each row-batch boundary alongside
@@ -124,6 +138,11 @@ type sparqlServer struct {
 	// exactly as long as this gauge counts the query: release moved from
 	// result-computed to stream-complete with the streaming pipeline.
 	streaming map[string]*atomic.Int64
+	// rcaches holds each store's full-result cache (nil entries when
+	// ResultCacheBytes is 0 — caching disabled); flights holds the
+	// single-flight groups that coalesce identical cache misses.
+	rcaches map[string]*cache.ResultCache
+	flights map[string]*cache.FlightGroup
 }
 
 // DefaultStoreName is the name NewHandler registers its single store under,
@@ -190,6 +209,8 @@ func NewMux(stores map[string]*Store, defaultStore string, opts ServerOptions) (
 		opts:      opts,
 		scheds:    make(map[string]*sched.Scheduler, len(stores)),
 		streaming: make(map[string]*atomic.Int64, len(stores)),
+		rcaches:   make(map[string]*cache.ResultCache, len(stores)),
+		flights:   make(map[string]*cache.FlightGroup, len(stores)),
 	}
 	for name, st := range stores {
 		s.scheds[name] = sched.New(sched.Options{
@@ -198,6 +219,10 @@ func NewMux(stores map[string]*Store, defaultStore string, opts ServerOptions) (
 			Slice:         opts.Slice,
 		})
 		s.streaming[name] = new(atomic.Int64)
+		s.rcaches[name] = cache.New(opts.ResultCacheBytes, 0)
+		if opts.ResultCacheBytes > 0 {
+			s.flights[name] = cache.NewFlightGroup()
+		}
 		if opts.MemBudget > 0 {
 			st.SetMemBudget(opts.MemBudget, opts.SpillDir)
 		}
@@ -282,6 +307,15 @@ func (s *sparqlServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		// (repeated spill-I/O failures) or failed (detected corruption,
 		// refusing queries with 503).
 		Health fault.HealthSnapshot `json:"health"`
+		// ResultCache is the store's full-result cache record — the cached
+		// lane — including the single-flight counters. Omitted when serving
+		// without -result-cache-bytes.
+		ResultCache *cache.Stats `json:"result_cache,omitempty"`
+		// PlanCache and SelectionCache surface the engines' memo counters,
+		// summed across the store's mode engines (previously visible only
+		// as per-query X-S2RDF-*-Cache headers).
+		PlanCache      CacheCounters `json:"plan_cache"`
+		SelectionCache CacheCounters `json:"selection_cache"`
 	}
 	doc := struct {
 		Status  string               `json:"status"`
@@ -290,14 +324,25 @@ func (s *sparqlServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}{Status: "ok", Stores: make(map[string]storeInfo, len(s.stores))}
 	for name, st := range s.stores {
 		health := st.Health()
-		doc.Stores[name] = storeInfo{
-			Triples:      st.NumTriples(),
-			Default:      name == s.def,
-			Sched:        s.scheds[name].Stats(),
-			Streaming:    s.streaming[name].Load(),
-			SpilledBytes: st.SpilledBytes(),
-			Health:       health,
+		plan, sel := st.CacheCounters()
+		info := storeInfo{
+			Triples:        st.NumTriples(),
+			Default:        name == s.def,
+			Sched:          s.scheds[name].Stats(),
+			Streaming:      s.streaming[name].Load(),
+			SpilledBytes:   st.SpilledBytes(),
+			Health:         health,
+			PlanCache:      plan,
+			SelectionCache: sel,
 		}
+		if rc := s.rcaches[name]; rc != nil {
+			cs := rc.Stats()
+			if fg := s.flights[name]; fg != nil {
+				cs.Coalesced, cs.Waiting = fg.Stats()
+			}
+			info.ResultCache = &cs
+		}
+		doc.Stores[name] = info
 		// The process answers ok as long as it serves; any unhealthy store
 		// flips the summary status so probes see trouble at a glance.
 		if health.State != fault.Healthy.String() && doc.Status == "ok" {
@@ -450,6 +495,32 @@ func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request, stor
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+
+	// The query text is normalized exactly once per request; the plan
+	// cache, the result cache and the single-flight group all key on this
+	// same string.
+	norm := core.NormalizeQuery(src)
+
+	// Result-cache fast path: a hit is served straight from the cached
+	// buffer — before the cost gate, before admission, exempt from 429 —
+	// replaying the header snapshot taken when the body was produced. The
+	// key carries the store's current statistics epoch, so an entry from a
+	// superseded epoch can never be looked up again.
+	rc := s.rcaches[storeName]
+	var ckey cache.Key
+	if rc != nil {
+		ckey = cache.Key{
+			Store: storeName,
+			Mode:  mode.String(),
+			Query: norm,
+			Epoch: st.Dataset().StatsEpoch(),
+		}
+		if ent, ok := rc.Get(ckey); ok {
+			serveCachedEntry(w, ent)
+			return
+		}
+	}
+
 	// The deadline covers the whole stay: queue wait plus execution. The
 	// context is also cancelled when the client disconnects, which aborts
 	// the plan mid-operator and frees the worker slot.
@@ -460,10 +531,34 @@ func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request, stor
 		defer cancel()
 	}
 
+	// Single-flight: concurrent identical cache misses coalesce onto one
+	// execution. The first request in becomes the leader and runs the query
+	// normally, teeing its serialized response into the flight; the rest
+	// stream the leader's bytes without occupying a slot or executing
+	// anything. A flight that aborts before producing a body (the leader
+	// hit a parse error, a full queue, a deadline…) sends its followers
+	// down the normal execution path instead — the leader's failure may
+	// have been specific to its own request.
+	var flight *cache.Flight
+	if fg := s.flights[storeName]; fg != nil {
+		f, leader := fg.Join(ckey)
+		if !leader {
+			if s.serveFollower(w, ctx, f) {
+				return
+			}
+		} else {
+			flight = f
+			// The deferred Complete removes the flight from the group and —
+			// when writeStream did not already close it with the real
+			// outcome — wakes followers with the abort error.
+			defer fg.Complete(f, cache.ErrFlightAborted)
+		}
+	}
+
 	// Cost gate: classify the query from the planner's estimates before
 	// it occupies any slot. A parse error is rejected here, so malformed
 	// queries never enter the queue.
-	cost, err := st.Engine(mode).EstimateCost(src)
+	cost, err := st.Engine(mode).EstimateCostNorm(src, norm)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -520,7 +615,7 @@ func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request, stor
 		qctx = engine.WithYielder(ctx, yielders)
 	}
 
-	stream, err := st.Engine(mode).QueryStream(qctx, src)
+	stream, err := st.Engine(mode).QueryStreamNorm(qctx, src, norm)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			setSchedHeaders(w.Header(), sc, class, cost, ticket)
@@ -538,7 +633,93 @@ func (s *sparqlServer) handleSPARQL(w http.ResponseWriter, r *http.Request, stor
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.writeStream(w, storeName, mode, stream, sc, class, cost, ticket)
+	s.writeStream(w, st, storeName, mode, stream, sc, class, cost, ticket, rc, ckey, flight)
+}
+
+// serveCachedEntry answers a request entirely from the result cache: the
+// snapshotted explain headers, X-S2RDF-Cache: hit, and the pre-serialized
+// body. No admission, no execution, no engine rows scanned.
+func serveCachedEntry(w http.ResponseWriter, ent *cache.Entry) {
+	copyCachedHeaders(w.Header(), ent.Header)
+	w.Header().Set("X-S2RDF-Cache", "hit")
+	w.Header().Set("Content-Length", strconv.Itoa(len(ent.Body)))
+	w.Write(ent.Body)
+}
+
+// serveFollower streams another request's in-flight execution to this one,
+// reporting whether a response was written. false means the flight aborted
+// before producing a body and the caller should execute normally.
+func (s *sparqlServer) serveFollower(w http.ResponseWriter, ctx context.Context, f *cache.Flight) bool {
+	hdr, err := f.AwaitHeader(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			writeCtxError(w, err, "while coalesced")
+			return true
+		}
+		return false
+	}
+	copyCachedHeaders(w.Header(), hdr)
+	w.Header().Set("X-S2RDF-Cache", "coalesced")
+	fl, _ := w.(http.Flusher)
+	off := 0
+	for {
+		chunk, done, err := f.Read(ctx, off)
+		if len(chunk) > 0 {
+			w.Write(chunk)
+			off += len(chunk)
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			if off == 0 {
+				// Nothing written yet: the status line can still carry the
+				// verdict (own-context errors map like any pre-body failure).
+				if ctx.Err() != nil {
+					writeCtxError(w, err, "while coalesced")
+				} else {
+					httpError(w, http.StatusInternalServerError,
+						"coalesced execution aborted: "+err.Error())
+				}
+				return true
+			}
+			// Mid-body: same contract as the leader's own abort — trailing
+			// "error" member, then a truncated connection.
+			writeAbortTrailer(w, err)
+			panic(http.ErrAbortHandler)
+		}
+		if done {
+			return true
+		}
+	}
+}
+
+// cacheSnapshotSkip lists response headers never included in a flight or
+// cache header snapshot: each request stamps its own cache status, and a
+// replayed body is not an in-progress stream.
+var cacheSnapshotSkip = map[string]bool{
+	http.CanonicalHeaderKey("X-S2RDF-Cache"):     true,
+	http.CanonicalHeaderKey("X-S2RDF-Streaming"): true,
+}
+
+// snapshotHeaders deep-copies h for replay on cache hits and to followers.
+func snapshotHeaders(h http.Header) map[string][]string {
+	snap := make(map[string][]string, len(h))
+	for k, vals := range h {
+		if cacheSnapshotSkip[k] {
+			continue
+		}
+		snap[k] = append([]string(nil), vals...)
+	}
+	return snap
+}
+
+// copyCachedHeaders replays a snapshot into a response's headers. Values
+// are copied: the snapshot is shared by every future hit.
+func copyCachedHeaders(dst http.Header, src map[string][]string) {
+	for k, vals := range src {
+		dst[k] = append([]string(nil), vals...)
+	}
 }
 
 // yieldChain fans one engine yield point out to several hooks (the sched
@@ -566,17 +747,17 @@ func (c yieldChain) Yield() {
 // extension member after the bindings array and the connection is closed
 // without a clean terminator, so both JSON-level and transport-level
 // clients can tell the result is a truncation.
-func (s *sparqlServer) writeStream(w http.ResponseWriter, storeName string, mode Mode, stream *core.Stream, sc *sched.Scheduler, class sched.Class, cost core.CostEstimate, ticket *sched.Ticket) {
+func (s *sparqlServer) writeStream(w http.ResponseWriter, st *Store, storeName string, mode Mode, stream *core.Stream, sc *sched.Scheduler, class sched.Class, cost core.CostEstimate, ticket *sched.Ticket, rc *cache.ResultCache, ckey cache.Key, flight *cache.Flight) {
 	threshold := s.opts.StreamThreshold
 	if threshold <= 0 {
 		threshold = DefaultStreamThreshold
 	}
 
-	var rows [][]rdf.Term
+	var rows []engine.Row
 	var streamErr error
 	done := false
 	for !done && len(rows) <= threshold {
-		batch, err := stream.Next()
+		batch, err := stream.NextRaw()
 		if err != nil {
 			streamErr = err
 			done = true
@@ -607,23 +788,48 @@ func (s *sparqlServer) writeStream(w http.ResponseWriter, storeName string, mode
 		return res
 	}
 
-	if done {
-		res := finish()
-		if streamErr != nil {
-			setSchedHeaders(w.Header(), sc, class, cost, ticket)
-			if errors.Is(streamErr, core.ErrInternal) {
-				// The query panicked before the first byte was written: the
-				// status line can still carry the verdict — 500, while the
-				// process (and every concurrent query) keeps serving.
-				httpError(w, http.StatusInternalServerError, streamErr.Error())
-				return
-			}
-			writeCtxError(w, streamErr, "during execution")
+	if done && streamErr != nil {
+		finish()
+		setSchedHeaders(w.Header(), sc, class, cost, ticket)
+		if errors.Is(streamErr, core.ErrInternal) {
+			// The query panicked before the first byte was written: the
+			// status line can still carry the verdict — 500, while the
+			// process (and every concurrent query) keeps serving.
+			httpError(w, http.StatusInternalServerError, streamErr.Error())
 			return
 		}
-		res.Rows = rows
+		writeCtxError(w, streamErr, "during execution")
+		return
+	}
+
+	if done {
+		res := finish()
 		setSchedHeaders(w.Header(), sc, class, cost, ticket)
-		writeResult(w, mode, res)
+		if res.Vars == nil && rows == nil {
+			// ASK answer: a tiny buffered document, never cached or teed
+			// (followers of an ASK flight fall back to executing — the
+			// answer is a cheap count probe by construction).
+			writeResult(w, mode, res)
+			return
+		}
+		// Buffered SELECT: the complete document goes through the same
+		// encoder as the streaming path — including the flight tee and the
+		// cache fill — so a cached or coalesced replay is byte-identical
+		// to direct execution. Headers carry the final metrics, exactly as
+		// before.
+		if rc != nil {
+			w.Header().Set("X-S2RDF-Cache", "miss")
+		}
+		setResultHeaders(w.Header(), mode, res)
+		fill := s.newFill(rc, class)
+		snap := s.publishSnapshot(w, flight, fill)
+		enc := newStreamEncoder(w, st.Dataset().Dict, res.Vars, flight, fill)
+		enc.bindings(rows)
+		enc.end()
+		if flight != nil {
+			flight.Close(nil)
+		}
+		s.fillCache(st, rc, ckey, fill, snap, enc.n)
 		return
 	}
 
@@ -633,18 +839,26 @@ func (s *sparqlServer) writeStream(w http.ResponseWriter, storeName string, mode
 
 	res := finish()
 	setSchedHeaders(w.Header(), sc, class, cost, ticket)
+	if rc != nil {
+		w.Header().Set("X-S2RDF-Cache", "miss")
+	}
 	setResultHeaders(w.Header(), mode, res)
 	w.Header().Set("X-S2RDF-Streaming", "true")
 
-	enc := newStreamEncoder(w, res.Vars)
+	fill := s.newFill(rc, class)
+	snap := s.publishSnapshot(w, flight, fill)
+	enc := newStreamEncoder(w, st.Dataset().Dict, res.Vars, flight, fill)
 	enc.bindings(rows)
 	enc.flush()
 	if s.opts.flushed != nil {
 		s.opts.flushed(enc.n)
 	}
 	for {
-		batch, err := stream.Next()
+		batch, err := stream.NextRaw()
 		if err != nil {
+			if flight != nil {
+				flight.Close(err)
+			}
 			enc.abort(err)
 			// Closing the connection without the terminating chunk marks
 			// the body as truncated at the transport level; the JSON
@@ -661,38 +875,143 @@ func (s *sparqlServer) writeStream(w http.ResponseWriter, storeName string, mode
 		}
 	}
 	enc.end()
+	if flight != nil {
+		flight.Close(nil)
+	}
+	s.fillCache(st, rc, ckey, fill, snap, enc.n)
 }
 
-// streamEncoder writes the SPARQL 1.1 JSON results document incrementally:
-// head on creation, bindings as they arrive, one Flush per engine batch.
+// newFill returns the cache-fill accumulator for one executing query, or
+// nil when its result is not cacheable: the cache is off, or the cost gate
+// classified the query cheap (point lookups re-execute faster than they
+// churn the LRU — the admission policy of the result cache is the same
+// gate that splits the scheduler lanes).
+func (s *sparqlServer) newFill(rc *cache.ResultCache, class sched.Class) *fillState {
+	if rc == nil || class != sched.Expensive {
+		return nil
+	}
+	return &fillState{max: rc.MaxEntry(), rc: rc}
+}
+
+// publishSnapshot takes the response-header snapshot (once the handler has
+// stamped every header) and, when a flight is open, publishes it so
+// followers can start replaying. Returns nil when nothing will replay it.
+func (s *sparqlServer) publishSnapshot(w http.ResponseWriter, flight *cache.Flight, fill *fillState) map[string][]string {
+	if flight == nil && fill == nil {
+		return nil
+	}
+	snap := snapshotHeaders(w.Header())
+	if flight != nil {
+		flight.SetHeader(snap)
+	}
+	return snap
+}
+
+// fillCache inserts a completed response into the result cache, re-checking
+// the statistics epoch first: a lazy ExtVP count that landed mid-query
+// bumped the epoch, and a result computed under the old statistics must not
+// be published under a key that was already superseded when it finished.
+func (s *sparqlServer) fillCache(st *Store, rc *cache.ResultCache, ckey cache.Key, fill *fillState, snap map[string][]string, rows int) {
+	if fill == nil || fill.over {
+		return
+	}
+	if st.Dataset().StatsEpoch() != ckey.Epoch {
+		return
+	}
+	rc.Put(ckey, &cache.Entry{Body: fill.body, Header: snap, Rows: rows})
+}
+
+// fillState accumulates the serialized body for a cache fill, abandoning
+// the copy (and counting the rejection) as soon as it outgrows the
+// per-entry cap — the executing response keeps streaming regardless.
+type fillState struct {
+	body []byte
+	max  int64
+	over bool
+	rc   *cache.ResultCache
+}
+
+func (fs *fillState) add(p []byte) {
+	if fs.over {
+		return
+	}
+	if int64(len(fs.body))+int64(len(p)) > fs.max {
+		fs.over = true
+		fs.body = nil
+		fs.rc.NoteRejected()
+		return
+	}
+	fs.body = append(fs.body, p...)
+}
+
+// streamEncoder writes the SPARQL 1.1 JSON results document over raw
+// dictionary-ID rows: head on creation, bindings as they arrive, one Flush
+// per engine batch. Terms render through the dictionary's memoized
+// SPARQL-JSON bytes (dict.TermJSON), so a term is escaped once per store
+// lifetime, not once per row. Every flushed chunk tees into the request's
+// flight (followers replay it live) and its cache fill (future hits replay
+// it from memory); because buffered and streaming responses both flow
+// through here, a replayed body is byte-identical to an executed one.
 type streamEncoder struct {
-	w    io.Writer
-	f    http.Flusher
-	vars []string
-	n    int // bindings written
+	w      io.Writer
+	f      http.Flusher
+	d      *dict.Dict
+	names  [][]byte // pre-marshaled JSON variable names, by column
+	buf    []byte   // pending bytes since the last flush
+	n      int      // bindings written
+	flight *cache.Flight
+	fill   *fillState
 }
 
-func newStreamEncoder(w http.ResponseWriter, vars []string) *streamEncoder {
-	e := &streamEncoder{w: w, vars: vars}
+func newStreamEncoder(w http.ResponseWriter, d *dict.Dict, vars []string, flight *cache.Flight, fill *fillState) *streamEncoder {
+	e := &streamEncoder{w: w, d: d, flight: flight, fill: fill}
 	e.f, _ = w.(http.Flusher)
+	e.names = make([][]byte, len(vars))
+	for i, v := range vars {
+		e.names[i], _ = json.Marshal(v)
+	}
 	head, _ := json.Marshal(vars)
-	fmt.Fprintf(e.w, `{"head":{"vars":%s},"results":{"bindings":[`, head)
+	e.buf = fmt.Appendf(e.buf, `{"head":{"vars":%s},"results":{"bindings":[`, head)
 	return e
 }
 
-func (e *streamEncoder) bindings(rows [][]rdf.Term) {
+func (e *streamEncoder) bindings(rows []engine.Row) {
 	for _, row := range rows {
 		if e.n > 0 {
-			io.WriteString(e.w, ",")
+			e.buf = append(e.buf, ',')
 		}
-		io.WriteString(e.w, "\n")
-		b, _ := json.Marshal(bindingJSON(e.vars, row))
-		e.w.Write(b)
+		e.buf = append(e.buf, '\n', '{')
+		first := true
+		for j, id := range row {
+			if id == engine.Null {
+				continue // unbound under OPTIONAL/UNION
+			}
+			if !first {
+				e.buf = append(e.buf, ',')
+			}
+			first = false
+			e.buf = append(e.buf, e.names[j]...)
+			e.buf = append(e.buf, ':')
+			e.buf = append(e.buf, e.d.TermJSON(id)...)
+		}
+		e.buf = append(e.buf, '}')
 		e.n++
 	}
 }
 
+// flush writes the pending chunk to the wire, tees it into the flight and
+// the cache fill, and flushes the connection.
 func (e *streamEncoder) flush() {
+	if len(e.buf) > 0 {
+		e.w.Write(e.buf)
+		if e.flight != nil {
+			e.flight.Write(e.buf)
+		}
+		if e.fill != nil {
+			e.fill.add(e.buf)
+		}
+		e.buf = e.buf[:0]
+	}
 	if e.f != nil {
 		e.f.Flush()
 	}
@@ -700,14 +1019,24 @@ func (e *streamEncoder) flush() {
 
 // end closes the document after a complete stream.
 func (e *streamEncoder) end() {
-	io.WriteString(e.w, "\n]}}\n")
+	e.buf = append(e.buf, "\n]}}\n"...)
 	e.flush()
 }
 
 // abort closes the document after a mid-stream failure, appending the
 // trailing "error" extension member the endpoint documents: the bindings
-// delivered so far are a truncation, not the result.
+// delivered so far are a truncation, not the result. The trailer is
+// deliberately not teed — followers and the cache must never see one
+// request's error text; the flight is closed with the error itself, and the
+// fill is simply never inserted.
 func (e *streamEncoder) abort(err error) {
+	writeAbortTrailer(e.w, err)
+}
+
+// writeAbortTrailer appends the trailing "error" member that marks a
+// response body as truncated (shared by the leader's abort path and a
+// follower whose flight died mid-body).
+func writeAbortTrailer(w io.Writer, err error) {
 	msg := "query aborted mid-stream"
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -718,8 +1047,10 @@ func (e *streamEncoder) abort(err error) {
 		msg = err.Error()
 	}
 	quoted, _ := json.Marshal(msg)
-	fmt.Fprintf(e.w, "\n]},\"error\":%s}\n", quoted)
-	e.flush()
+	fmt.Fprintf(w, "\n]},\"error\":%s}\n", quoted)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // retryAfterSeconds renders a Retry-After duration as whole seconds,

@@ -1,0 +1,345 @@
+package s2rdf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"s2rdf/internal/engine"
+	"s2rdf/internal/rdf"
+	"s2rdf/internal/watdiv"
+)
+
+// cacheStats reads one store's result_cache record (plus the plan- and
+// selection-cache counters) out of /healthz.
+type cacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Fills     int64 `json:"fills"`
+	Swept     int64 `json:"swept"`
+	Entries   int   `json:"entries"`
+	Coalesced int64 `json:"coalesced"`
+	Waiting   int   `json:"waiting"`
+}
+
+func healthzCaches(t *testing.T, srv *httptest.Server) (rc cacheStats, plan, sel CacheCounters) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Stores map[string]struct {
+			ResultCache    *cacheStats   `json:"result_cache"`
+			PlanCache      CacheCounters `json:"plan_cache"`
+			SelectionCache CacheCounters `json:"selection_cache"`
+		} `json:"stores"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	s := doc.Stores[DefaultStoreName]
+	if s.ResultCache != nil {
+		rc = *s.ResultCache
+	}
+	return rc, s.PlanCache, s.SelectionCache
+}
+
+// getCached issues one query and returns the body plus the X-S2RDF-Cache
+// header ("hit", "miss", "coalesced", or "" when caching is disabled).
+func getCached(t *testing.T, srv *httptest.Server, query string) (body []byte, lane string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d for %q", resp.StatusCode, query)
+	}
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, resp.Header.Get("X-S2RDF-Cache")
+}
+
+// rankedTriples builds n subjects where every subject has an urn:score,
+// every second an urn:rank and every fourth an urn:tag, so lazy ExtVP
+// counting over any predicate pair finds a selective reduction (SF < 1)
+// and bumps the statistics epoch.
+func rankedTriples(n int) []Triple {
+	score := rdf.NewIRI("urn:score")
+	rank := rdf.NewIRI("urn:rank")
+	tag := rdf.NewIRI("urn:tag")
+	var triples []Triple
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("urn:P%d", i))
+		triples = append(triples, Triple{S: s, P: score, O: rdf.NewInteger(int64(i % (n / 4)))})
+		if i%2 == 0 {
+			triples = append(triples, Triple{S: s, P: rank, O: rdf.NewInteger(int64(i))})
+		}
+		if i%4 == 0 {
+			triples = append(triples, Triple{S: s, P: tag, O: rdf.NewInteger(int64(i))})
+		}
+	}
+	return triples
+}
+
+// TestServerResultCacheEpochInvalidation drives the epoch contract on a
+// lazy ("pay as you go") store, where on-demand ExtVP counting bumps the
+// statistics epoch underneath in-flight requests:
+//
+//  1. the first execution of a join observes the bump and must NOT fill
+//     (its result was produced under superseded statistics);
+//  2. the re-execution under stable statistics fills, and a repeat hits;
+//  3. a different join bumps the epoch again, which invalidates the
+//     cached entry — the original query re-executes rather than serving
+//     the stale body.
+func TestServerResultCacheEpochInvalidation(t *testing.T) {
+	st := Load(rankedTriples(400), Options{Lazy: true})
+	var execs atomic.Int64
+	opts := ServerOptions{
+		MaxConcurrent:    4,
+		CheapThreshold:   1, // everything non-trivial is Expensive, so it caches
+		ResultCacheBytes: 1 << 20,
+	}
+	opts.chaos = func(*http.Request) engine.Yielder { execs.Add(1); return nil }
+	srv := httptest.NewServer(NewHandler(st, opts))
+	defer srv.Close()
+
+	const q1 = `SELECT * WHERE { ?p <urn:score> ?s . ?p <urn:rank> ?r }`
+	const q2 = `SELECT * WHERE { ?p <urn:score> ?s . ?p <urn:tag> ?v }`
+
+	epoch0 := st.Dataset().StatsEpoch()
+	body1, lane := getCached(t, srv, q1)
+	if lane != "miss" {
+		t.Fatalf("first request lane = %q, want miss", lane)
+	}
+	if got := st.Dataset().StatsEpoch(); got == epoch0 {
+		t.Fatalf("lazy counting did not bump the stats epoch (still %d) — test premise broken", got)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("executions = %d after first request, want 1", got)
+	}
+
+	// The epoch moved during request 1, so its fill must have been skipped:
+	// the repeat is a miss again and re-executes, now under stable stats.
+	body2, lane := getCached(t, srv, q1)
+	if lane != "miss" {
+		t.Fatalf("second request lane = %q, want miss (fill under a moving epoch must be skipped)", lane)
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("executions = %d after second request, want 2", got)
+	}
+
+	// Stable epoch now: the third request must be a pure cache hit.
+	body3, lane := getCached(t, srv, q1)
+	if lane != "hit" {
+		t.Fatalf("third request lane = %q, want hit", lane)
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("executions = %d after cache hit, want still 2", got)
+	}
+	if !bytes.Equal(body2, body3) {
+		t.Fatal("cached body differs from the executed body")
+	}
+	if !bytes.Equal(body1, body3) {
+		t.Fatal("pre-bump and post-bump bodies differ (same data, must agree)")
+	}
+	rc, _, _ := healthzCaches(t, srv)
+	if rc.Hits != 1 || rc.Fills != 1 {
+		t.Fatalf("healthz result_cache = %+v, want 1 hit / 1 fill", rc)
+	}
+
+	// A different join makes the lazy layer count new reductions, bumping
+	// the epoch again: the entry cached for q1 is now stale.
+	epoch1 := st.Dataset().StatsEpoch()
+	if _, lane := getCached(t, srv, q2); lane != "miss" {
+		t.Fatalf("q2 lane = %q, want miss", lane)
+	}
+	if got := st.Dataset().StatsEpoch(); got == epoch1 {
+		t.Fatal("q2 did not bump the stats epoch — test premise broken")
+	}
+
+	// q1 must re-execute (stale entry swept), then hit again once refilled.
+	before := execs.Load()
+	if _, lane := getCached(t, srv, q1); lane != "miss" {
+		t.Fatalf("q1 after epoch bump lane = %q, want miss", lane)
+	}
+	if got := execs.Load(); got != before+1 {
+		t.Fatalf("executions = %d after invalidation, want %d", got, before+1)
+	}
+	rc, _, _ = healthzCaches(t, srv)
+	if rc.Swept == 0 {
+		t.Fatalf("healthz result_cache = %+v, want swept > 0 after epoch bump", rc)
+	}
+	if _, lane := getCached(t, srv, q1); lane != "hit" {
+		t.Fatalf("q1 refill lane = %q, want hit", lane)
+	}
+
+	// Satellite: the plan- and selection-cache counters surface in healthz
+	// and have seen traffic by now.
+	_, plan, sel := healthzCaches(t, srv)
+	if plan.Hits == 0 || plan.Misses == 0 {
+		t.Fatalf("plan_cache = %+v, want non-zero hits and misses", plan)
+	}
+	if sel.Hits+sel.Misses == 0 {
+		t.Fatalf("selection_cache = %+v, want some traffic", sel)
+	}
+}
+
+// TestServerResultCacheByteEquality replays randomized WatDiv basic-shape
+// instantiations twice each and checks the cached body is byte-for-byte
+// the body the engine produced — the contract that makes the fast path
+// invisible to clients.
+func TestServerResultCacheByteEquality(t *testing.T) {
+	data := watdiv.Generate(watdiv.Config{Scale: 0.05, Seed: 7})
+	st := Load(data.Triples, Options{})
+	var execs atomic.Int64
+	opts := ServerOptions{
+		MaxConcurrent:    4,
+		CheapThreshold:   1,
+		ResultCacheBytes: 16 << 20,
+	}
+	opts.chaos = func(*http.Request) engine.Yielder { execs.Add(1); return nil }
+	srv := httptest.NewServer(NewHandler(st, opts))
+	defer srv.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	hits := 0
+	for _, tpl := range watdiv.BasicTemplates() {
+		q := tpl.Instantiate(data, rng)
+		cold, coldLane := getCached(t, srv, q)
+		before := execs.Load()
+		warm, warmLane := getCached(t, srv, q)
+		if !bytes.Equal(cold, warm) {
+			t.Fatalf("%s: cached body diverges from executed body (%d vs %d bytes)",
+				tpl.Shape, len(cold), len(warm))
+		}
+		if warmLane == "hit" {
+			hits++
+			if coldLane != "miss" {
+				t.Fatalf("%s: warm hit after cold lane %q, want miss", tpl.Shape, coldLane)
+			}
+			if got := execs.Load(); got != before {
+				t.Fatalf("%s: cache hit executed the engine (%d -> %d)", tpl.Shape, before, got)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no WatDiv shape produced a cache hit — fill policy broken")
+	}
+}
+
+// TestServerSingleFlightStampede sends 8 identical requests at a store
+// whose engine is parked mid-production: exactly one executes (the
+// leader), the other 7 coalesce onto its flight, and all 8 read complete,
+// byte-identical result documents.
+func TestServerSingleFlightStampede(t *testing.T) {
+	st := Load(scoreTriples(3000), Options{})
+	pacer := newGatePacer()
+	var execs atomic.Int64
+	opts := ServerOptions{
+		StreamThreshold:  64,
+		ResultCacheBytes: 1 << 20,
+	}
+	opts.chaos = func(*http.Request) engine.Yielder { execs.Add(1); return nil }
+	srv := streamServer(t, st, pacer, opts)
+
+	const followers = 7
+	leaderResp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(scanQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaderResp.Body.Close()
+	if lane := leaderResp.Header.Get("X-S2RDF-Cache"); lane != "miss" {
+		t.Fatalf("leader lane = %q, want miss", lane)
+	}
+	// Read the head so the first flush (which arms the pacer) has happened,
+	// then wait for the engine to park mid-production.
+	first := make([]byte, 64<<10)
+	n, err := leaderResp.Body.Read(first)
+	if err != nil || n == 0 {
+		t.Fatalf("leader first read: %d bytes, err %v", n, err)
+	}
+	pacer.awaitBlocked(t)
+
+	// The stampede arrives while the leader is provably still executing.
+	type result struct {
+		body []byte
+		lane string
+		err  error
+	}
+	results := make([]result, followers)
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(scanQuery))
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			results[i].lane = resp.Header.Get("X-S2RDF-Cache")
+			results[i].body, results[i].err = io.ReadAll(resp.Body)
+		}(i)
+	}
+
+	// All 7 must have joined the flight before the engine is released —
+	// coalesced is cumulative, so this poll is race-free.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rc, _, _ := healthzCaches(t, srv)
+		if rc.Coalesced == followers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coalesced = %d, want %d (followers never joined the flight)", rc.Coalesced, followers)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	close(pacer.release)
+	rest, err := io.ReadAll(leaderResp.Body)
+	if err != nil {
+		t.Fatalf("draining leader: %v", err)
+	}
+	leaderBody := append(first[:n], rest...)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("executions = %d, want exactly 1 for the whole stampede", got)
+	}
+	var doc resultsDoc
+	if err := json.Unmarshal(leaderBody, &doc); err != nil {
+		t.Fatalf("leader document invalid: %v", err)
+	}
+	if len(doc.Results.Bindings) != 3000 {
+		t.Fatalf("leader streamed %d bindings, want 3000", len(doc.Results.Bindings))
+	}
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("follower %d: %v", i, r.err)
+		}
+		if r.lane != "coalesced" {
+			t.Fatalf("follower %d lane = %q, want coalesced", i, r.lane)
+		}
+		if !bytes.Equal(r.body, leaderBody) {
+			t.Fatalf("follower %d body diverges from the leader (%d vs %d bytes)",
+				i, len(r.body), len(leaderBody))
+		}
+	}
+}
